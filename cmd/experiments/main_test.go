@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+// TestAllExperimentsRun executes every experiment once: the harness must
+// regenerate each table/figure without error. (The numeric assertions live
+// in the package tests and benchmarks; this pins the CLI paths.)
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are heavyweight")
+	}
+	for _, e := range []struct {
+		id string
+		fn func(int64) error
+	}{
+		{"EX1", ex1HitRates},
+		{"FIG1", fig1DependencyGraph},
+		{"TAB1", tab1NonExclusiveSets},
+		{"TAB2", tab2StageHistory},
+		{"TAB3", tab3Examples},
+		{"ABL1", ablOffloadFirst},
+		{"ABL2", ablCMSShrink},
+		{"ABL3", ablP5Baseline},
+		{"ABL4", ablDoesNotFit},
+		{"EXT1", extGuards},
+		{"EXT2", extOnline},
+		{"EXT3", extNetwork},
+		{"EXT4", extEgress},
+	} {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			if err := e.fn(1); err != nil {
+				t.Fatalf("%s: %v", e.id, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,200 @@
+// Command p2go runs the profile-guided optimizer: it profiles a P4_14
+// program against a traffic trace and applies the three optimization
+// phases, printing the observations and the Table 2-style stage history.
+//
+// Usage:
+//
+//	p2go profile  -workload ex1 [-seed N]
+//	p2go optimize -workload ex1 [-seed N] [-no-deps] [-no-mem] [-no-offload] [-emit out.p4]
+//	p2go optimize -program prog.p4 -rules rules.txt -workload-trace ex1
+//	p2go list
+//
+// Workloads bundle a program, rules, and a calibrated trace; -program and
+// -rules override the program/rules while borrowing a workload's trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"p2go"
+	"p2go/internal/controller"
+	"p2go/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "optimize":
+		err = cmdOptimize(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "list":
+		err = cmdList()
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "p2go: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p2go:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  p2go profile  -workload <name> [-seed N]
+  p2go optimize -workload <name> [-seed N] [-no-deps] [-no-mem] [-no-offload] [-emit out.p4]
+  p2go serve    -workload <name> [-listen addr]   (optimize, then run the controller over TCP)
+  p2go list`)
+}
+
+// load resolves the program, rules, and trace from flags.
+func load(fs *flag.FlagSet, args []string) (*p2go.Program, *p2go.Config, *p2go.Trace, error) {
+	workload := fs.String("workload", "ex1", "named workload (see 'p2go list')")
+	programFile := fs.String("program", "", "P4_14 program file (overrides the workload's program)")
+	rulesFile := fs.String("rules", "", "rules file (overrides the workload's rules)")
+	seed := fs.Int64("seed", 1, "trace generator seed")
+	if err := fs.Parse(args); err != nil {
+		return nil, nil, nil, err
+	}
+	w, err := workloads.Get(*workload)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	src := w.Source
+	if *programFile != "" {
+		data, err := os.ReadFile(*programFile)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		src = string(data)
+	}
+	prog, err := p2go.ParseProgram(src)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("parse program: %w", err)
+	}
+	cfg := w.Config()
+	if *rulesFile != "" {
+		data, err := os.ReadFile(*rulesFile)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		cfg, err = p2go.ParseRules(string(data))
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("parse rules: %w", err)
+		}
+	}
+	trace, err := w.Trace(*seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return prog, cfg, trace, nil
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	prog, cfg, trace, err := load(fs, args)
+	if err != nil {
+		return err
+	}
+	prof, err := p2go.RunProfile(prog, cfg, trace)
+	if err != nil {
+		return err
+	}
+	fmt.Print(prof.Render())
+	return nil
+}
+
+func cmdOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
+	noDeps := fs.Bool("no-deps", false, "disable Phase 2 (dependency removal)")
+	noMem := fs.Bool("no-mem", false, "disable Phase 3 (memory reduction)")
+	noOffload := fs.Bool("no-offload", false, "disable Phase 4 (offloading)")
+	emit := fs.String("emit", "", "write the optimized program to this file")
+	emitCtl := fs.String("emit-controller", "", "write the controller program to this file")
+	prog, cfg, trace, err := load(fs, args)
+	if err != nil {
+		return err
+	}
+	res, err := p2go.Optimize(prog, cfg, trace, p2go.Options{
+		DisablePhase2: *noDeps,
+		DisablePhase3: *noMem,
+		DisablePhase4: *noOffload,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Report())
+	report, err := p2go.VerifyEquivalence(res, cfg, trace)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nbehavior check:", report)
+	if *emit != "" {
+		if err := os.WriteFile(*emit, []byte(p2go.PrintProgram(res.Optimized)), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *emit)
+	}
+	if *emitCtl != "" && res.ControllerProgram != nil {
+		if err := os.WriteFile(*emitCtl, []byte(p2go.PrintProgram(res.ControllerProgram)), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *emitCtl)
+	}
+	return nil
+}
+
+// cmdServe optimizes the workload and serves the generated controller
+// program behind the TCP packet-in protocol until interrupted.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:9099", "packet-in listen address")
+	prog, cfg, trace, err := load(fs, args)
+	if err != nil {
+		return err
+	}
+	res, err := p2go.Optimize(prog, cfg, trace, p2go.Options{})
+	if err != nil {
+		return err
+	}
+	if res.ControllerProgram == nil {
+		return fmt.Errorf("nothing was offloaded; no controller to serve")
+	}
+	fmt.Printf("optimized %d -> %d stages; offloaded %v\n",
+		res.StagesBefore(), res.StagesAfter(), res.OffloadedTables)
+	ctl, err := p2go.NewController(res.ControllerProgram, cfg)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("controller serving the offloaded segment on %s (Ctrl-C to stop)\n", l.Addr())
+	srv := controller.NewServer(ctl)
+	return srv.Serve(l)
+}
+
+func cmdList() error {
+	for _, name := range workloads.Names() {
+		w, err := workloads.Get(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %s\n%-12s paper: %s\n", w.Name, w.Description, "", w.Paper)
+	}
+	return nil
+}

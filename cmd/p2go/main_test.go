@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCmdList(t *testing.T) {
+	if err := cmdList(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdProfile(t *testing.T) {
+	if err := cmdProfile([]string{"-workload", "quickstart"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdProfile([]string{"-workload", "no-such"}); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+func TestCmdOptimizeEmits(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "opt.p4")
+	ctl := filepath.Join(dir, "ctl.p4")
+	err := cmdOptimize([]string{"-workload", "failure", "-emit", out, "-emit-controller", ctl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optSrc, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(optSrc), "To_Ctl") {
+		t.Error("emitted optimized program lacks the redirect table")
+	}
+	ctlSrc, err := os.ReadFile(ctl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(ctlSrc), "FailureAlarm") {
+		t.Error("emitted controller program lacks the offloaded alarm")
+	}
+}
+
+func TestCmdOptimizeDisabledPhases(t *testing.T) {
+	if err := cmdOptimize([]string{"-workload", "quickstart", "-no-deps", "-no-mem", "-no-offload"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadOverrides(t *testing.T) {
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "p.p4")
+	src := `
+header_type m_t { fields { x : 8; } }
+metadata m_t m;
+action a() { no_op(); }
+table t { actions { a; } default_action : a; }
+control ingress { apply(t); }
+`
+	if err := os.WriteFile(prog, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rules := filepath.Join(dir, "r.txt")
+	if err := os.WriteFile(rules, []byte("\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdProfile([]string{"-workload", "quickstart", "-program", prog, "-rules", rules}); err != nil {
+		t.Fatal(err)
+	}
+}

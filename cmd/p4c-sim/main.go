@@ -1,0 +1,95 @@
+// Command p4c-sim is the standalone compiler driver: it checks a P4_14
+// program, maps it onto the RMT target model, and prints the three
+// artifacts the optimizer consumes — the stage mapping, the dependency
+// graph (optionally as Graphviz), and the control graph's execution paths.
+//
+// Usage:
+//
+//	p4c-sim [-workload ex1 | -program file.p4] [-dot] [-paths] [-stages N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"p2go"
+	"p2go/internal/tofino"
+	"p2go/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "ex1", "named workload program")
+	programFile := flag.String("program", "", "P4_14 program file (overrides the workload)")
+	dot := flag.Bool("dot", false, "print the dependency graph in Graphviz format (Fig. 1)")
+	paths := flag.Bool("paths", false, "print the control graph's execution paths")
+	stages := flag.Int("stages", 0, "override the target's physical stage count")
+	flag.Parse()
+
+	if err := run(*workload, *programFile, *dot, *paths, *stages); err != nil {
+		fmt.Fprintln(os.Stderr, "p4c-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload, programFile string, dot, paths bool, stages int) error {
+	src := ""
+	if programFile != "" {
+		data, err := os.ReadFile(programFile)
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	} else {
+		w, err := workloads.Get(workload)
+		if err != nil {
+			return err
+		}
+		src = w.Source
+	}
+	prog, err := p2go.ParseProgram(src)
+	if err != nil {
+		return err
+	}
+	tgt := tofino.DefaultTarget()
+	if stages > 0 {
+		tgt.Stages = stages
+	}
+	res, err := p2go.Compile(prog, tgt)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== stage mapping ==")
+	fmt.Print(res.Mapping.Render())
+	fmt.Println("\n== memory occupancy ==")
+	for _, occ := range res.Mapping.Occupancy() {
+		fmt.Printf("  stage %2d: SRAM %7d/%d  TCAM %6d/%d\n",
+			occ.Stage, occ.SRAMUsed, tgt.StageSRAMBytes, occ.TCAMUsed, tgt.StageTCAMBytes)
+	}
+	fmt.Println("\n== dependency graph ==")
+	if dot {
+		fmt.Print(res.Deps.Dot())
+	} else {
+		for _, e := range res.Deps.Edges {
+			kinds := e.Kinds()
+			names := make([]string, len(kinds))
+			for i, k := range kinds {
+				names[i] = k.String()
+			}
+			fmt.Printf("  %s -> %s  (%v)\n", e.From, e.To, names)
+		}
+		if lp := res.Deps.LongestPaths(); len(lp) > 0 {
+			fmt.Println("  longest path(s):")
+			for _, p := range lp {
+				fmt.Println("   ", p)
+			}
+		}
+	}
+	if paths {
+		fmt.Println("\n== control graph (execution paths) ==")
+		for _, p := range res.Paths {
+			fmt.Println("  ", p)
+		}
+	}
+	return nil
+}

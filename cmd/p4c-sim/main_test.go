@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWorkload(t *testing.T) {
+	if err := run("natgre", "", false, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("ex1", "", true, true, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunProgramFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.p4")
+	src := `
+action a() { no_op(); }
+table t { actions { a; } default_action : a; }
+control ingress { apply(t); }
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", path, false, false, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("no-such-workload", "", false, false, 0); err == nil {
+		t.Error("unknown workload should fail")
+	}
+	if err := run("", "/nonexistent/file.p4", false, false, 0); err == nil {
+		t.Error("missing file should fail")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.p4")
+	if err := os.WriteFile(bad, []byte("not p4"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", bad, false, false, 0); err == nil {
+		t.Error("invalid program should fail")
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"p2go/internal/pcap"
+)
+
+func TestRunWritesPcapAndPorts(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "trace.pcap")
+	ports := filepath.Join(dir, "trace.ports")
+	if err := run("quickstart", out, ports, 1); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := pcap.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("empty pcap")
+	}
+	data, err := os.ReadFile(ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(string(data)), "\n") + 1
+	if lines != len(recs) {
+		t.Errorf("ports file has %d lines, pcap has %d records", lines, len(recs))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("quickstart", "", "", 1); err == nil {
+		t.Error("missing -out should fail")
+	}
+	if err := run("ghost", filepath.Join(t.TempDir(), "x.pcap"), "", 1); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}

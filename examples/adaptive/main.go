@@ -1,0 +1,107 @@
+// Adaptive: the §6 "dynamic compilation" loop. The Ex. 1 firewall is
+// optimized offline (the 2%-DNS profile lets P2GO offload the DNS branch),
+// then deployed behind an online monitor. When the live traffic shifts —
+// DNS jumps to 30% — the monitor flags the baseline profile as stale,
+// records the recent window as a fresh trace, and re-runs P2GO: the hot
+// DNS branch is no longer offloaded.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"p2go"
+	"p2go/internal/packet"
+	"p2go/internal/programs"
+	"p2go/internal/sim"
+	"p2go/internal/trafficgen"
+)
+
+func main() {
+	prog, err := p2go.ParseProgram(programs.Ex1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := programs.Ex1Config()
+	trace, err := trafficgen.EnterpriseTrace(trafficgen.EnterpriseSpec{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := p2go.Optimize(prog, cfg, trace, p2go.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline optimization: %d -> %d stages, offloaded %v (%.1f%% redirected)\n",
+		res.StagesBefore(), res.StagesAfter(), res.OffloadedTables, 100*res.RedirectedFraction)
+
+	mon, err := p2go.NewOnlineMonitor(res.Optimized, res.OptimizedConfig, res.FinalProfile,
+		p2go.OnlineConfig{WindowSize: 2000, SampleEvery: 4, RecordLast: 6000})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase A: live traffic matches the profile — no drift.
+	fresh, err := trafficgen.EnterpriseTrace(trafficgen.EnterpriseSpec{Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pkt := range fresh.Packets[:6000] {
+		if _, err := mon.Process(sim.Input{Port: pkt.Port, Data: pkt.Data}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("representative traffic: %d windows, stale=%v\n", mon.Windows(), mon.Stale())
+
+	// Phase B: traffic shifts — a DNS surge.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 6000; i++ {
+		var data []byte
+		if rng.Float64() < 0.30 {
+			data = packet.Serialize(
+				&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+				&packet.IPv4{Protocol: packet.ProtoUDP,
+					Src: packet.IP(10, 9, byte(rng.Intn(250)), byte(1+rng.Intn(250))),
+					Dst: packet.IP(10, 0, 0, 53)},
+				&packet.UDP{SrcPort: 5353, DstPort: packet.PortDNS},
+				&packet.DNS{ID: uint16(i), QDCount: 1},
+			)
+		} else {
+			data = packet.Serialize(
+				&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+				&packet.IPv4{Protocol: packet.ProtoTCP,
+					Src: packet.IP(10, 20, 0, byte(1+rng.Intn(250))),
+					Dst: packet.IP(10, 0, 1, byte(1+rng.Intn(250)))},
+				&packet.TCP{SrcPort: uint16(1024 + rng.Intn(60000)), DstPort: 443,
+					Seq: rng.Uint32(), Flags: packet.TCPAck},
+			)
+		}
+		if _, err := mon.Process(sim.Input{Port: 1, Data: data}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("after the DNS surge: stale=%v\n", mon.Stale())
+	for _, d := range mon.Drifts() {
+		fmt.Println("  drift:", d)
+	}
+	if !mon.Stale() {
+		log.Fatal("expected the monitor to flag staleness")
+	}
+
+	// Re-optimize the ORIGINAL program with the recorded fresh trace.
+	res2, err := p2go.Optimize(res.Original, cfg, mon.RecentTrace(), p2go.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-optimization on the fresh trace: %d -> %d stages, offloaded %v\n",
+		res2.StagesBefore(), res2.StagesAfter(), res2.OffloadedTables)
+	for _, tbl := range res2.OffloadedTables {
+		if tbl == "Sketch_1" {
+			log.Fatal("the hot DNS branch must not be offloaded anymore")
+		}
+	}
+	fmt.Println("the hot DNS branch stays in the data plane — profile-guided decisions adapt")
+}

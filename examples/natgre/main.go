@@ -1,0 +1,54 @@
+// Natgre: the dependency-removal example. NAT and GRE both rewrite the
+// IPv4 addresses, so static analysis chains them; profiling shows no
+// packet uses both features, and P2GO rewrites the program so GRE applies
+// only when NAT misses — the compiler then places both features in the
+// same stage.
+//
+//	go run ./examples/natgre
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"p2go"
+	"p2go/internal/programs"
+	"p2go/internal/trafficgen"
+)
+
+func main() {
+	prog, err := p2go.ParseProgram(programs.NATGRE)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := programs.NATGREConfig()
+	trace := trafficgen.NATGRETrace(trafficgen.NATGRESpec{Seed: 1})
+
+	compiled, err := p2go.Compile(prog, p2go.DefaultTarget())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== dependency graph (before) ==")
+	for _, e := range compiled.Deps.Edges {
+		fmt.Printf("  %s -> %s\n", e.From, e.To)
+	}
+	fmt.Println("\n== mapping (before) ==")
+	fmt.Print(compiled.Mapping.Render())
+
+	res, err := p2go.Optimize(prog, cfg, trace, p2go.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== observations ==")
+	for _, o := range res.Observations {
+		fmt.Println(o)
+	}
+	fmt.Println("\n== optimized control flow ==")
+	fmt.Println(p2go.PrintProgram(res.Optimized))
+
+	report, err := p2go.VerifyEquivalence(res, cfg, trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("behavior check:", report)
+}

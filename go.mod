@@ -1,0 +1,3 @@
+module p2go
+
+go 1.22

@@ -1,0 +1,264 @@
+// Package controller implements the software side of Phase 4: a controller
+// that processes the packets an optimized data plane redirects to the CPU
+// port. It executes the offloaded segment (core.Result.ControllerProgram)
+// in the behavioral simulator: reception implies the segment's external
+// guards held, the segment is self-contained, and the data plane's
+// forwarding decision survives the redirect (sim.Output.ForwardPort), so
+// the composed system reproduces the original program's behavior exactly.
+//
+// The package also provides the end-to-end equivalence harness the
+// experiments use: original program vs. optimized program + controller,
+// verdict-for-verdict over a trace.
+package controller
+
+import (
+	"fmt"
+	"sync"
+
+	"p2go/internal/ir"
+	"p2go/internal/p4"
+	"p2go/internal/rt"
+	"p2go/internal/sim"
+	"p2go/internal/trafficgen"
+)
+
+// Stats counts controller activity.
+type Stats struct {
+	Handled  int // packets received from the data plane
+	Dropped  int // segment verdict: drop
+	Notified int // segment verdict: notification (e.g. a failure alarm)
+	Passed   int // segment verdict: pass (data plane forwards)
+}
+
+// Controller executes the offloaded segment on redirected packets.
+type Controller struct {
+	mu    sync.Mutex
+	sw    *sim.Switch
+	stats Stats
+}
+
+// New builds a controller from the offloaded-segment program (e.g.
+// core.Result.ControllerProgram) and the full runtime configuration —
+// rules for tables outside the segment are filtered out.
+func New(segment *p4.Program, cfg *rt.Config) (*Controller, error) {
+	ast := p4.Clone(segment)
+	if err := p4.Check(ast); err != nil {
+		return nil, fmt.Errorf("controller: %w", err)
+	}
+	prog, err := ir.Build(ast)
+	if err != nil {
+		return nil, fmt.Errorf("controller: %w", err)
+	}
+	filtered := &rt.Config{}
+	if cfg != nil {
+		for _, rule := range cfg.Rules {
+			if ast.Table(rule.Table) != nil {
+				filtered.Add(rule)
+			}
+		}
+	}
+	sw, err := sim.New(prog, filtered, sim.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("controller: %w", err)
+	}
+	return &Controller{sw: sw}, nil
+}
+
+// Handle processes one redirected packet through the segment and returns
+// the segment's output.
+func (c *Controller) Handle(in sim.Input) (sim.Output, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out, err := c.sw.Process(in)
+	if err != nil {
+		return sim.Output{}, err
+	}
+	c.stats.Handled++
+	switch {
+	case out.Dropped:
+		c.stats.Dropped++
+	case out.ToCPU:
+		c.stats.Notified++
+	default:
+		c.stats.Passed++
+	}
+	return out, nil
+}
+
+// Stats returns a snapshot of the controller's counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Reset clears the controller's state (registers and counters).
+func (c *Controller) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sw.Reset()
+	c.stats = Stats{}
+}
+
+// Verdict is the effective fate of a packet after the data plane and,
+// when redirected, the controller.
+type Verdict struct {
+	Dropped       bool
+	Port          uint64
+	ViaController bool
+	// Notified means the segment raised a controller notification (the
+	// original program would have sent the packet to the CPU port).
+	Notified bool
+}
+
+// Deployment composes the optimized data plane with a controller, modeling
+// the post-offload system.
+type Deployment struct {
+	dataPlane *sim.Switch
+	ctl       *Controller
+}
+
+// NewDeployment builds the composed system from a completed optimization:
+// the optimized program and its filtered configuration drive the data
+// plane; the controller program (the offloaded segment) and the full
+// original configuration drive the controller.
+func NewDeployment(optimized *p4.Program, optimizedCfg *rt.Config,
+	segment *p4.Program, fullCfg *rt.Config) (*Deployment, error) {
+	ast := p4.Clone(optimized)
+	if err := p4.Check(ast); err != nil {
+		return nil, fmt.Errorf("controller: optimized program: %w", err)
+	}
+	prog, err := ir.Build(ast)
+	if err != nil {
+		return nil, err
+	}
+	dp, err := sim.New(prog, optimizedCfg, sim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := New(segment, fullCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{dataPlane: dp, ctl: ctl}, nil
+}
+
+// Controller exposes the deployment's controller (for stats).
+func (d *Deployment) Controller() *Controller { return d.ctl }
+
+// Process runs a packet through the data plane and, when redirected,
+// through the controller. Packets the controller passes are forwarded to
+// the data plane's pre-redirect forwarding decision.
+func (d *Deployment) Process(in sim.Input) (Verdict, error) {
+	out, err := d.dataPlane.Process(in)
+	if err != nil {
+		return Verdict{}, err
+	}
+	if !out.ToCPU {
+		return Verdict{Dropped: out.Dropped, Port: out.Port}, nil
+	}
+	ctlOut, err := d.ctl.Handle(in)
+	if err != nil {
+		return Verdict{}, err
+	}
+	v := Verdict{ViaController: true}
+	switch {
+	case ctlOut.Dropped:
+		v.Dropped = true
+		v.Port = sim.DropPort
+	case ctlOut.ToCPU:
+		v.Notified = true
+		v.Port = sim.CPUPort
+	default:
+		v.Port = out.ForwardPort
+		v.Dropped = out.ForwardPort == sim.DropPort
+	}
+	return v, nil
+}
+
+// Reset clears data-plane and controller state.
+func (d *Deployment) Reset() {
+	d.dataPlane.Reset()
+	d.ctl.Reset()
+}
+
+// EquivalenceReport summarizes an original-vs-deployment comparison.
+type EquivalenceReport struct {
+	Packets    int
+	Redirected int
+	Mismatches int
+	// First describes the first mismatch, for debugging.
+	First string
+}
+
+// Equivalent is true when every packet's fate matched.
+func (r *EquivalenceReport) Equivalent() bool { return r.Mismatches == 0 }
+
+func (r *EquivalenceReport) String() string {
+	if r.Equivalent() {
+		return fmt.Sprintf("equivalent over %d packets (%d via controller)", r.Packets, r.Redirected)
+	}
+	return fmt.Sprintf("%d/%d mismatches (first: %s)", r.Mismatches, r.Packets, r.First)
+}
+
+// VerifyEquivalence replays the trace through the original program and
+// through the optimized program + controller, comparing the fate of every
+// packet: drops must match, controller notifications must correspond to
+// the original's CPU-port redirects, and forwarded packets must leave on
+// the same port.
+func VerifyEquivalence(original *p4.Program, originalCfg *rt.Config,
+	optimized *p4.Program, optimizedCfg *rt.Config,
+	segment *p4.Program, trace *trafficgen.Trace) (*EquivalenceReport, error) {
+
+	origAST := p4.Clone(original)
+	if err := p4.Check(origAST); err != nil {
+		return nil, err
+	}
+	origIR, err := ir.Build(origAST)
+	if err != nil {
+		return nil, err
+	}
+	origSwitch, err := sim.New(origIR, originalCfg, sim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	dep, err := NewDeployment(optimized, optimizedCfg, segment, originalCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &EquivalenceReport{}
+	for i, pkt := range trace.Packets {
+		in := sim.Input{Port: pkt.Port, Data: pkt.Data}
+		origOut, err := origSwitch.Process(in)
+		if err != nil {
+			return nil, fmt.Errorf("controller: original, packet %d: %w", i, err)
+		}
+		verdict, err := dep.Process(in)
+		if err != nil {
+			return nil, fmt.Errorf("controller: deployment, packet %d: %w", i, err)
+		}
+		report.Packets++
+		if verdict.ViaController {
+			report.Redirected++
+		}
+		equal := origOut.Dropped == verdict.Dropped
+		if equal && !origOut.Dropped {
+			if origOut.ToCPU {
+				equal = verdict.Notified
+			} else {
+				equal = origOut.Port == verdict.Port && !verdict.Notified
+			}
+		}
+		if !equal {
+			report.Mismatches++
+			if report.First == "" {
+				report.First = fmt.Sprintf(
+					"packet %d: original(drop=%v port=%d cpu=%v) vs deployment(drop=%v port=%d via_ctl=%v notified=%v)",
+					i, origOut.Dropped, origOut.Port, origOut.ToCPU,
+					verdict.Dropped, verdict.Port, verdict.ViaController, verdict.Notified)
+			}
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,141 @@
+package controller
+
+import (
+	"testing"
+
+	"p2go/internal/core"
+	"p2go/internal/p4"
+	"p2go/internal/programs"
+	"p2go/internal/sim"
+	"p2go/internal/trafficgen"
+)
+
+// TestEx1DeploymentEquivalence: after the full P2GO pipeline, the optimized
+// data plane plus the controller behaves exactly like the original firewall
+// on the profiling trace — the paper's central "same behavior on the trace"
+// claim, verified end to end.
+func TestEx1DeploymentEquivalence(t *testing.T) {
+	trace, err := trafficgen.EnterpriseTrace(trafficgen.EnterpriseSpec{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := programs.Ex1Config()
+	res, err := core.New(core.Options{}).Optimize(p4.MustParse(programs.Ex1), cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ControllerProgram == nil {
+		t.Fatal("no controller program produced")
+	}
+	report, err := VerifyEquivalence(res.Original, cfg, res.Optimized, res.OptimizedConfig,
+		res.ControllerProgram, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Equivalent() {
+		t.Fatalf("behavior diverged: %s", report)
+	}
+	// Exactly the DNS share is redirected.
+	if report.Redirected != res.Profile.Hits["Sketch_1"] {
+		t.Errorf("redirected = %d, want %d", report.Redirected, res.Profile.Hits["Sketch_1"])
+	}
+}
+
+// TestFailureDeploymentEquivalence: same end-to-end check for the
+// failure-detection example, where the offloaded segment's guard depends on
+// data-plane Bloom filter state.
+func TestFailureDeploymentEquivalence(t *testing.T) {
+	trace := trafficgen.FailureTrace(trafficgen.FailureSpec{Seed: 1})
+	cfg := programs.FailureConfig()
+	res, err := core.New(core.Options{}).Optimize(p4.MustParse(programs.FailureDetection), cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ControllerProgram == nil {
+		t.Fatal("no controller program produced")
+	}
+	report, err := VerifyEquivalence(res.Original, cfg, res.Optimized, res.OptimizedConfig,
+		res.ControllerProgram, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Equivalent() {
+		t.Fatalf("behavior diverged: %s", report)
+	}
+	if report.Redirected == 0 {
+		t.Error("expected redirected retransmissions")
+	}
+}
+
+// TestControllerProgramShape: the Ex. 1 controller program is exactly the
+// DNS branch.
+func TestControllerProgramShape(t *testing.T) {
+	trace, err := trafficgen.EnterpriseTrace(trafficgen.EnterpriseSpec{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.New(core.Options{}).Optimize(p4.MustParse(programs.Ex1), programs.Ex1Config(), trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := res.ControllerProgram
+	for _, want := range []string{"Sketch_1", "Sketch_2", "Sketch_Min", "DNS_Drop"} {
+		if ctl.Table(want) == nil {
+			t.Errorf("controller program missing table %s", want)
+		}
+	}
+	for _, gone := range []string{"IPv4", "ACL_UDP", "ACL_DHCP"} {
+		if ctl.Table(gone) != nil {
+			t.Errorf("controller program should not contain %s", gone)
+		}
+	}
+	if ctl.Register("cms_r1") == nil || ctl.Register("cms_r2") == nil {
+		t.Error("controller program missing the sketch registers")
+	}
+	// It is valid, printable P4.
+	src := p4.Print(ctl)
+	if _, err := p4.Parse(src); err != nil {
+		t.Fatalf("controller program does not reparse: %v", err)
+	}
+}
+
+// TestControllerStats: the deployment counts drops, notifications, passes.
+func TestControllerStats(t *testing.T) {
+	trace, err := trafficgen.EnterpriseTrace(trafficgen.EnterpriseSpec{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := programs.Ex1Config()
+	res, err := core.New(core.Options{}).Optimize(p4.MustParse(programs.Ex1), cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := NewDeployment(res.Optimized, res.OptimizedConfig, res.ControllerProgram, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkt := range trace.Packets {
+		if _, err := dep.Process(simInput(pkt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := dep.Controller().Stats()
+	if stats.Handled != res.Profile.Hits["Sketch_1"] {
+		t.Errorf("handled = %d, want the DNS share %d", stats.Handled, res.Profile.Hits["Sketch_1"])
+	}
+	if stats.Dropped != res.Profile.Hits["DNS_Drop"] {
+		t.Errorf("controller drops = %d, want %d", stats.Dropped, res.Profile.Hits["DNS_Drop"])
+	}
+	if stats.Passed != stats.Handled-stats.Dropped {
+		t.Errorf("passed = %d, want %d", stats.Passed, stats.Handled-stats.Dropped)
+	}
+	// Reset clears everything.
+	dep.Reset()
+	if dep.Controller().Stats().Handled != 0 {
+		t.Error("Reset did not clear stats")
+	}
+}
+
+func simInput(p trafficgen.Packet) (in sim.Input) {
+	return sim.Input{Port: p.Port, Data: p.Data}
+}

@@ -1,0 +1,220 @@
+package controller
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"p2go/internal/sim"
+)
+
+// Wire protocol for remote packet-in handling: the data plane sends
+//
+//	uint16 ingress port | uint32 frame length | frame bytes
+//
+// and the controller answers
+//
+//	uint8 verdict (0 pass, 1 drop, 2 notify) | uint16 forward port
+//
+// per packet, in order, over a TCP connection. The protocol is
+// deliberately minimal — one request, one response, no pipelining
+// required — but responses preserve request order even when the client
+// pipelines.
+
+// Verdict codes on the wire.
+const (
+	WireVerdictPass   = 0
+	WireVerdictDrop   = 1
+	WireVerdictNotify = 2
+)
+
+// maxFrameLen bounds accepted frames; anything larger is a protocol error.
+const maxFrameLen = 1 << 16
+
+// Server serves packet-in requests over TCP, backed by a Controller.
+type Server struct {
+	ctl *Controller
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps a controller.
+func NewServer(ctl *Controller) *Server {
+	return &Server{ctl: ctl, conns: map[net.Conn]struct{}{}}
+}
+
+// Serve accepts connections on l until Close is called. It blocks; run it
+// in a goroutine.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("controller: server closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("controller: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Close stops the server and waits for connection handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	l := s.listener
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// handleConn processes packet-in requests sequentially per connection.
+func (s *Server) handleConn(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		port, frame, err := readPacketIn(r)
+		if err != nil {
+			return // EOF or protocol error: drop the connection
+		}
+		out, err := s.ctl.Handle(sim.Input{Port: uint64(port), Data: frame})
+		if err != nil {
+			return
+		}
+		verdict := byte(WireVerdictPass)
+		fwd := uint16(out.Port)
+		switch {
+		case out.Dropped:
+			verdict = WireVerdictDrop
+			fwd = 0
+		case out.ToCPU:
+			verdict = WireVerdictNotify
+			fwd = 0
+		}
+		resp := []byte{verdict, byte(fwd >> 8), byte(fwd)}
+		if _, err := w.Write(resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func readPacketIn(r io.Reader) (uint16, []byte, error) {
+	hdr := make([]byte, 6)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	port := binary.BigEndian.Uint16(hdr[0:2])
+	n := binary.BigEndian.Uint32(hdr[2:6])
+	if n > maxFrameLen {
+		return 0, nil, fmt.Errorf("controller: frame length %d exceeds %d", n, maxFrameLen)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return 0, nil, err
+	}
+	return port, frame, nil
+}
+
+// Client sends packet-in requests to a remote controller.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a controller server.
+func Dial(network, addr string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("controller: dial: %w", err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (useful with net.Pipe in
+// tests).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+}
+
+// RemoteVerdict is a controller response.
+type RemoteVerdict struct {
+	Code        byte // WireVerdictPass/Drop/Notify
+	ForwardPort uint16
+}
+
+// Submit sends one packet and waits for the verdict.
+func (c *Client) Submit(port uint16, frame []byte) (RemoteVerdict, error) {
+	if len(frame) > maxFrameLen {
+		return RemoteVerdict{}, fmt.Errorf("controller: frame too large (%d bytes)", len(frame))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hdr := make([]byte, 6)
+	binary.BigEndian.PutUint16(hdr[0:2], port)
+	binary.BigEndian.PutUint32(hdr[2:6], uint32(len(frame)))
+	if _, err := c.w.Write(hdr); err != nil {
+		return RemoteVerdict{}, err
+	}
+	if _, err := c.w.Write(frame); err != nil {
+		return RemoteVerdict{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return RemoteVerdict{}, err
+	}
+	resp := make([]byte, 3)
+	if _, err := io.ReadFull(c.r, resp); err != nil {
+		return RemoteVerdict{}, err
+	}
+	return RemoteVerdict{Code: resp[0], ForwardPort: binary.BigEndian.Uint16(resp[1:3])}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

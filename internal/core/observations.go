@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Phase identifies a P2GO phase.
+type Phase int
+
+// P2GO phases (§2.2).
+const (
+	PhaseProfiling Phase = iota + 1
+	PhaseDependencies
+	PhaseMemory
+	PhaseOffload
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseProfiling:
+		return "profiling"
+	case PhaseDependencies:
+		return "removing-dependencies"
+	case PhaseMemory:
+		return "reducing-memory"
+	case PhaseOffload:
+		return "offloading-code"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// Observation is one profile-guided finding, always reported to the
+// programmer together with the evidence that produced it — accepted
+// optimizations and rejected candidates alike ("P2GO reports the
+// adaptations it made ... together with the profile-based observations
+// that guided each individual change").
+type Observation struct {
+	Phase    Phase
+	Kind     string // "remove-dependency", "reduce-table", "reduce-register", "offload-segment"
+	Accepted bool
+	// Summary is the one-line human-readable statement of the change.
+	Summary string
+	// Evidence states the profile facts that justify (or reject) it.
+	Evidence string
+	// Tables involved in the change.
+	Tables []string
+	// StagesBefore/After bracket the pipeline length around the change
+	// (equal when the candidate was rejected).
+	StagesBefore int
+	StagesAfter  int
+	// Details carries kind-specific values (sizes, fractions) for
+	// programmatic consumers.
+	Details map[string]string
+}
+
+func (o Observation) String() string {
+	verdict := "applied"
+	if !o.Accepted {
+		verdict = "rejected"
+	}
+	return fmt.Sprintf("[%s/%s] %s (%s) — evidence: %s; stages %d -> %d",
+		o.Phase, verdict, o.Summary, strings.Join(o.Tables, ","), o.Evidence,
+		o.StagesBefore, o.StagesAfter)
+}
+
+// StageSnapshot records the pipeline length after one phase, reproducing
+// the rows of the paper's Table 2.
+type StageSnapshot struct {
+	Label string // "initial", "removing-dependencies", ...
+	// Stages is the optimization objective: ingress plus egress stages.
+	// For ingress-only programs (all the paper's examples) it equals
+	// IngressStages.
+	Stages        int
+	IngressStages int
+	EgressStages  int
+	Fits          bool
+	Summary       string // per-stage table layout
+}
+
+// Report renders the artifact P2GO hands the programmer (Fig. 2): the
+// optimized program's stage history, every observation with its evidence
+// (accepted and rejected), the offloaded tables the controller must
+// implement, and the behavior summary. The programmer verifies the
+// observations and re-runs with optimizations disabled if any look
+// trace-specific.
+func (r *Result) Report() string {
+	var b strings.Builder
+	b.WriteString("P2GO optimization report\n")
+	b.WriteString("========================\n\n")
+	fmt.Fprintf(&b, "pipeline stages: %d -> %d\n\n", r.StagesBefore(), r.StagesAfter())
+	b.WriteString("stage history:\n")
+	b.WriteString(RenderHistory(r.History))
+	b.WriteString("\nobservations to verify:\n")
+	if len(r.Observations) == 0 {
+		b.WriteString("  (none: no optimization opportunities found)\n")
+	}
+	for i, o := range r.Observations {
+		verdict := "APPLIED "
+		if !o.Accepted {
+			verdict = "REJECTED"
+		}
+		fmt.Fprintf(&b, "  %2d. [%s] %s\n      evidence: %s\n", i+1, verdict, o.Summary, o.Evidence)
+	}
+	if len(r.OffloadedTables) > 0 {
+		fmt.Fprintf(&b, "\noffloaded to the controller (implement these): %s\n",
+			strings.Join(r.OffloadedTables, ", "))
+		fmt.Fprintf(&b, "redirected traffic on the trace: %.2f%%\n", 100*r.RedirectedFraction)
+	}
+	if len(r.Guards) > 0 {
+		b.WriteString("\nruntime violation detectors:\n")
+		for _, g := range r.Guards {
+			fmt.Fprintf(&b, "  %s -> %s watched by table %s (read register %s cell 0)\n",
+				g.From, g.To, g.Table, g.Register)
+		}
+	}
+	return b.String()
+}
+
+// RenderHistory formats the snapshots as a Table 2-style report.
+func RenderHistory(history []StageSnapshot) string {
+	var b strings.Builder
+	for _, h := range history {
+		fits := ""
+		if !h.Fits {
+			fits = "  (does not fit)"
+		}
+		fmt.Fprintf(&b, "%-24s %2d stages%s  %s\n", h.Label, h.Stages, fits, h.Summary)
+	}
+	return b.String()
+}

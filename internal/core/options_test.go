@@ -1,0 +1,129 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"p2go/internal/p4"
+	"p2go/internal/programs"
+	"p2go/internal/tofino"
+)
+
+// TestPhase4RedirectCapDisabled: a negative cap admits hot segments; the
+// minimum-redirect rule still picks the DNS branch on Ex. 1, so the
+// outcome matches the default — but the candidate pool is larger (covered
+// via the ablation); here we pin that disabling the cap keeps Table 2.
+func TestPhase4RedirectCapDisabled(t *testing.T) {
+	res := optimizeEx1(t, Options{Phase4MaxRedirect: -1})
+	if res.StagesAfter() != 3 {
+		t.Errorf("stages after = %d, want 3", res.StagesAfter())
+	}
+}
+
+// TestPhase4RedirectCapTight: a cap below the DNS share (2%) suppresses
+// the offload entirely.
+func TestPhase4RedirectCapTight(t *testing.T) {
+	res := optimizeEx1(t, Options{Phase4MaxRedirect: 0.01})
+	if len(res.OffloadedTables) != 0 {
+		t.Errorf("offloaded %v despite the 1%% cap", res.OffloadedTables)
+	}
+	if res.StagesAfter() != 6 {
+		t.Errorf("stages after = %d, want 6 (phases 2+3 only)", res.StagesAfter())
+	}
+}
+
+// TestPhase4MinSavings: requiring 4+ saved stages rejects the DNS branch
+// (which saves 3).
+func TestPhase4MinSavings(t *testing.T) {
+	res := optimizeEx1(t, Options{Phase4MinSavings: 4})
+	if len(res.OffloadedTables) != 0 {
+		t.Errorf("offloaded %v despite MinSavings=4", res.OffloadedTables)
+	}
+}
+
+// TestTargetOverride: a roomier target dissolves the memory pressure that
+// makes IPv4 span stages, so the initial mapping shrinks.
+func TestTargetOverride(t *testing.T) {
+	tgt := tofino.DefaultTarget()
+	tgt.StageSRAMBytes *= 4
+	tgt.StageTCAMBytes *= 4
+	res, err := New(Options{Target: tgt}).Optimize(p4.MustParse(programs.Ex1), programs.Ex1Config(), enterpriseTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IPv4 fits one stage; S1+S2 can share: the dependency structure
+	// still forces SM after the sketches and DD after SM.
+	if res.StagesBefore() >= 8 {
+		t.Errorf("roomier target should start below 8 stages, got %d", res.StagesBefore())
+	}
+}
+
+// TestObservationDetails: accepted observations carry machine-readable
+// details.
+func TestObservationDetails(t *testing.T) {
+	res := optimizeEx1(t, Options{})
+	for _, o := range res.Observations {
+		if !o.Accepted {
+			continue
+		}
+		switch o.Kind {
+		case "reduce-table", "reduce-register":
+			if o.Details["full"] == "" || o.Details["reduced"] == "" || o.Details["reduction"] == "" {
+				t.Errorf("memory observation missing details: %v", o.Details)
+			}
+		case "offload-segment":
+			if o.Details["redirected_fraction"] == "" || o.Details["stages_saved"] == "" {
+				t.Errorf("offload observation missing details: %v", o.Details)
+			}
+		case "remove-dependency":
+			if o.Details["from"] == "" || o.Details["to"] == "" {
+				t.Errorf("dependency observation missing details: %v", o.Details)
+			}
+		}
+	}
+}
+
+// TestPhaseLabels: the history labels follow the paper's phase names.
+func TestPhaseLabels(t *testing.T) {
+	res := optimizeEx1(t, Options{})
+	want := []string{"initial", "removing-dependencies", "reducing-memory", "offloading-code"}
+	for i, h := range res.History {
+		if h.Label != want[i] {
+			t.Errorf("history[%d] = %s, want %s", i, h.Label, want[i])
+		}
+	}
+	if PhaseProfiling.String() != "profiling" || PhaseOffload.String() != "offloading-code" {
+		t.Error("phase names drifted")
+	}
+}
+
+// TestReportRendering: the operator-facing report carries the history,
+// every observation with evidence, and the offload summary. The plain run
+// shows the Sketch_1 rejection; the guard run shows the detectors (its
+// extra guard table shifts Phase 3's binary-search landing point, so the
+// engineered rejection does not reproduce there — a nice demonstration
+// that the optimization trajectory depends on every byte in the stages).
+func TestReportRendering(t *testing.T) {
+	plain := optimizeEx1(t, Options{}).Report()
+	for _, want := range []string{
+		"pipeline stages: 8 -> 3",
+		"APPLIED",
+		"REJECTED",
+		"evidence:",
+		"offloaded to the controller",
+		"Sketch_Min",
+	} {
+		if !strings.Contains(plain, want) {
+			t.Errorf("plain report missing %q:\n%s", want, plain)
+		}
+	}
+	guarded := optimizeEx1(t, Options{InsertDependencyGuards: true}).Report()
+	for _, want := range []string{
+		"runtime violation detectors",
+		"p2go_viol_ACL_DHCP",
+	} {
+		if !strings.Contains(guarded, want) {
+			t.Errorf("guarded report missing %q:\n%s", want, guarded)
+		}
+	}
+}

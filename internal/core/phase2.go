@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"p2go/internal/deps"
+	"p2go/internal/p4"
+	"p2go/internal/rt"
+)
+
+// phase2 removes dependencies that do not manifest in the profile (§3.2).
+// Candidates are dependency edges on the longest path of the dependency
+// graph — only those can shorten the pipeline. A candidate is removable
+// when no set of non-exclusive actions contains the conflicting actions of
+// both tables. One dependency is removed per iteration (the paper keeps
+// changes tractable for the programmer); the loop re-runs until no
+// candidate improves the pipeline or MaxPhase2Removals is reached.
+func (r *run) phase2() error {
+	removed := 0
+	for {
+		if r.opts.MaxPhase2Removals > 0 && removed >= r.opts.MaxPhase2Removals {
+			return nil
+		}
+		improved, err := r.phase2Once()
+		if err != nil {
+			return err
+		}
+		if !improved {
+			return nil
+		}
+		removed++
+	}
+}
+
+// phase2Once tries candidates in control order and applies the first
+// rewrite that both does not manifest and shortens the pipeline.
+func (r *run) phase2Once() (bool, error) {
+	g := r.compile.Deps
+	baseStages := totalStages(r.compile.Mapping)
+	for _, edge := range g.LongestPathEdges() {
+		manifested, witness := r.edgeManifests(edge)
+		if manifested {
+			continue
+		}
+		if conflict := r.interveningConflict(edge); conflict != "" {
+			continue
+		}
+		// Rewrite a clone: apply `to` only when `from` misses. When
+		// requested, a runtime violation detector goes into the hit arm
+		// (§3.2's alternative approach).
+		candidate := p4.Clone(r.cur)
+		guard, err := moveIntoMissArm(candidate, edge.From, edge.To, r.opts.InsertDependencyGuards)
+		if err != nil {
+			continue // not expressible (hit/miss nesting); try next
+		}
+		var guardRules []rt.Rule
+		if guard != nil {
+			// Mirror `to`'s rules onto the detector so it hits exactly
+			// when `to` would have. Installed only if the candidate is
+			// accepted.
+			for _, rule := range r.cfg.ForTable(edge.To) {
+				guardRules = append(guardRules, rt.Rule{
+					Table:    guard.Table,
+					Action:   guard.Action,
+					Matches:  append([]rt.FieldMatch(nil), rule.Matches...),
+					Priority: rule.Priority,
+				})
+			}
+		}
+		compiled, err := r.compileCandidate(candidate)
+		if err != nil {
+			continue // rewrite made the program invalid for the target
+		}
+		if totalStages(compiled.Mapping) >= baseStages {
+			continue // no stage saved; keep looking
+		}
+		// Safety check beyond the paper: the rewrite must preserve the
+		// program's observable behavior on the trace (miss markers aside
+		// — skipping a table whose outcome was a no-op miss is the
+		// intended effect of the rewrite).
+		newProf, err := r.profileCandidate(candidate)
+		if err != nil {
+			return false, err
+		}
+		if diff := r.prof.BehaviorDiff(newProf); diff != "" {
+			r.obs = append(r.obs, Observation{
+				Phase:        PhaseDependencies,
+				Kind:         "remove-dependency",
+				Accepted:     false,
+				Summary:      fmt.Sprintf("apply %s only if %s misses", edge.To, edge.From),
+				Evidence:     "rewrite changed the profile on the trace: " + diff,
+				Tables:       []string{edge.From, edge.To},
+				StagesBefore: baseStages,
+				StagesAfter:  baseStages,
+			})
+			continue
+		}
+		r.cur = candidate
+		r.compile = compiled
+		r.prof = newProf
+		if guard != nil {
+			for _, gr := range guardRules {
+				r.cfg.Add(gr)
+			}
+			r.guards = append(r.guards, *guard)
+			// Re-profile with the detector rules installed; on the
+			// trace the detector must never hit (the dependency does
+			// not manifest), so behavior is unchanged.
+			if err := r.reprofile(); err != nil {
+				return false, err
+			}
+		}
+		r.obs = append(r.obs, Observation{
+			Phase:        PhaseDependencies,
+			Kind:         "remove-dependency",
+			Accepted:     true,
+			Summary:      fmt.Sprintf("%s and %s are not dependent: apply %s only if %s misses", edge.From, edge.To, edge.To, edge.From),
+			Evidence:     fmt.Sprintf("no set of non-exclusive actions contains the dependent actions of both tables (%s)", witness),
+			Tables:       []string{edge.From, edge.To},
+			StagesBefore: baseStages,
+			StagesAfter:  totalStages(compiled.Mapping),
+			Details: map[string]string{
+				"from": edge.From,
+				"to":   edge.To,
+			},
+		})
+		return true, nil
+	}
+	return false, nil
+}
+
+// edgeManifests checks the dependency against the profile: it manifests if
+// any conflicting action pair was observed on the same packet. Pair
+// semantics follow the conflict kind: action-level conflicts need both
+// actions executed; a read-after-write into the match key needs the later
+// table to have *hit*; a control dependency needs the guarded table to have
+// been applied at all. The witness string describes the checked pairs for
+// the observation report.
+func (r *run) edgeManifests(edge *deps.Edge) (bool, string) {
+	var checked []string
+	for _, pair := range edge.Pairs {
+		manifested := false
+		switch {
+		case pair.ToAction != "":
+			manifested = r.prof.CoOccurred(edge.From, pair.FromAction, edge.To, pair.ToAction)
+		case pair.Kind == deps.KindReadAfterWrite:
+			manifested = r.prof.CoHit(edge.From, pair.FromAction, edge.To)
+		default: // control dependency
+			manifested = r.prof.CoOccurred(edge.From, pair.FromAction, edge.To, "")
+		}
+		if manifested {
+			return true, pair.String()
+		}
+		checked = append(checked, pair.String())
+	}
+	return false, strings.Join(checked, "; ")
+}
+
+// interveningConflict reports whether a table ordered between the edge's
+// endpoints conflicts with any table that the rewrite would move (the
+// moved apply subtree executes earlier after the rewrite, so reordering
+// must be safe). Returns the offending table name, or "".
+func (r *run) interveningConflict(edge *deps.Edge) string {
+	prog := r.compile.IR
+	from, to := prog.Tables[edge.From], prog.Tables[edge.To]
+	if from == nil || to == nil {
+		return "missing"
+	}
+	// Tables moving with `to`: its apply subtree (hit/miss arms).
+	moved := map[string]bool{edge.To: true}
+	var path []enclosure
+	for _, name := range []string{p4.IngressControl, p4.EgressControl} {
+		if c := r.compile.AST.Control(name); c != nil {
+			if path = findApplyPath(c.Body, edge.To); path != nil {
+				break
+			}
+		}
+	}
+	if path != nil {
+		last := path[len(path)-1]
+		if ap, ok := last.block.Stmts[last.idx].(*p4.ApplyStmt); ok {
+			for _, t := range p4.TablesInBlock(ap.Hit) {
+				moved[t] = true
+			}
+			for _, t := range p4.TablesInBlock(ap.Miss) {
+				moved[t] = true
+			}
+		}
+	}
+	g := r.compile.Deps
+	for _, t := range prog.Ordered {
+		if t.Order <= from.Order || t.Order >= to.Order || moved[t.Name] {
+			continue
+		}
+		for m := range moved {
+			if g.Edge(t.Name, m) != nil || g.Edge(m, t.Name) != nil {
+				return t.Name
+			}
+		}
+	}
+	return ""
+}

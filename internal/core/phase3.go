@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"p2go/internal/p4"
+)
+
+// phase3 reduces table/register memory (§3.3). For each table it probes a
+// halving of its memory; tables whose halving saves a stage are candidates.
+// The candidate with the lowest hit rate is tried first (least risk of
+// changing behavior). Binary search finds the minimum reduction that still
+// saves a stage — without needing the target's memory description — and
+// the reduced program is re-profiled: if the profile changed (e.g. a
+// shrunken Count-Min Sketch over-counts), the candidate is discarded and
+// the next one is tried.
+func (r *run) phase3() error {
+	rejected := map[string]bool{}
+	for {
+		applied, err := r.phase3Once(rejected)
+		if err != nil {
+			return err
+		}
+		if !applied {
+			return nil
+		}
+	}
+}
+
+func (r *run) phase3Once(rejected map[string]bool) (bool, error) {
+	baseStages := totalStages(r.compile.Mapping)
+
+	// Probe: halve each table's memory knob and recompile.
+	type candidate struct {
+		knob    memoryKnob
+		hitRate float64
+		order   int
+	}
+	var candidates []candidate
+	for _, t := range r.compile.IR.Ordered {
+		if rejected[t.Name] {
+			continue
+		}
+		knob, ok := knobFor(r.cur, t.Name)
+		if !ok {
+			continue
+		}
+		stages, _, err := r.stagesWithKnob(knob, knob.full/2)
+		if err != nil {
+			continue // halving made the program infeasible; not a candidate
+		}
+		if stages < baseStages {
+			candidates = append(candidates, candidate{
+				knob:    knob,
+				hitRate: r.prof.HitRate(t.Name),
+				order:   t.Order,
+			})
+		}
+	}
+	if len(candidates) == 0 {
+		return false, nil
+	}
+	// Lowest hit rate first: least risk of impacting behavior.
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].hitRate != candidates[j].hitRate {
+			return candidates[i].hitRate < candidates[j].hitRate
+		}
+		return candidates[i].order < candidates[j].order
+	})
+
+	for _, c := range candidates {
+		// Binary search the largest knob value that still saves a stage
+		// (i.e. the minimum memory reduction).
+		lo, hi := c.knob.full/2, c.knob.full // stages(lo) < base, stages(hi) == base
+		for lo+1 < hi {
+			mid := (lo + hi) / 2
+			stages, _, err := r.stagesWithKnob(c.knob, mid)
+			if err != nil {
+				hi = mid
+				continue
+			}
+			if stages < baseStages {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		minValue := lo
+		stages, reducedProg, err := r.stagesWithKnob(c.knob, minValue)
+		if err != nil {
+			rejected[c.knob.table] = true
+			continue
+		}
+		reduction := 100 * float64(c.knob.full-minValue) / float64(c.knob.full)
+		what := fmt.Sprintf("table %s size %d -> %d", c.knob.table, c.knob.full, minValue)
+		kind := "reduce-table"
+		if c.knob.register != "" {
+			what = fmt.Sprintf("register %s of table %s: %d -> %d cells", c.knob.register, c.knob.table, c.knob.full, minValue)
+			kind = "reduce-register"
+		}
+
+		// Verify: the reduction must not change the profile on the trace.
+		// A profiling failure (e.g. the installed rules no longer fit the
+		// shrunken table) also rejects the candidate.
+		newProf, err := r.profileCandidate(reducedProg)
+		if err != nil {
+			rejected[c.knob.table] = true
+			r.obs = append(r.obs, Observation{
+				Phase:        PhaseMemory,
+				Kind:         kind,
+				Accepted:     false,
+				Summary:      what + fmt.Sprintf(" (-%.1f%%)", reduction),
+				Evidence:     "reduced program cannot run the provided configuration: " + err.Error(),
+				Tables:       []string{c.knob.table},
+				StagesBefore: baseStages,
+				StagesAfter:  baseStages,
+			})
+			continue
+		}
+		if diff := r.prof.Diff(newProf); diff != "" {
+			rejected[c.knob.table] = true
+			r.obs = append(r.obs, Observation{
+				Phase:        PhaseMemory,
+				Kind:         kind,
+				Accepted:     false,
+				Summary:      what + fmt.Sprintf(" (-%.1f%%)", reduction),
+				Evidence:     "reduction changed the program's behavior on the trace: " + diff,
+				Tables:       []string{c.knob.table},
+				StagesBefore: baseStages,
+				StagesAfter:  baseStages,
+				Details: map[string]string{
+					"diff": diff,
+				},
+			})
+			continue
+		}
+
+		compiled, err := r.compileCandidate(reducedProg)
+		if err != nil {
+			return false, err
+		}
+		r.cur = reducedProg
+		r.compile = compiled
+		r.prof = newProf
+		r.obs = append(r.obs, Observation{
+			Phase:        PhaseMemory,
+			Kind:         kind,
+			Accepted:     true,
+			Summary:      what + fmt.Sprintf(" (-%.1f%%, minimum reduction found by binary search)", reduction),
+			Evidence:     "profile unchanged on the trace after the reduction",
+			Tables:       []string{c.knob.table},
+			StagesBefore: baseStages,
+			StagesAfter:  stages,
+			Details: map[string]string{
+				"full":      fmt.Sprintf("%d", c.knob.full),
+				"reduced":   fmt.Sprintf("%d", minValue),
+				"reduction": fmt.Sprintf("%.4f", reduction/100),
+			},
+		})
+		return true, nil
+	}
+	return false, nil
+}
+
+// stagesWithKnob compiles the current program with the knob set to value
+// and returns the required stages together with the rewritten program.
+func (r *run) stagesWithKnob(knob memoryKnob, value int) (int, *p4.Program, error) {
+	candidate := p4.Clone(r.cur)
+	if err := applyKnob(candidate, knob, value); err != nil {
+		return 0, nil, err
+	}
+	compiled, err := r.compileCandidate(candidate)
+	if err != nil {
+		return 0, nil, err
+	}
+	return totalStages(compiled.Mapping), candidate, nil
+}

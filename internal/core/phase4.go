@@ -1,0 +1,423 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"p2go/internal/deps"
+	"p2go/internal/ir"
+	"p2go/internal/p4"
+)
+
+// ToCtlAction is the redirect action Phase 4 synthesizes.
+const ToCtlAction = "to_controller"
+
+// ToCtlTable is the redirect table name (Table 2's "C / To_Ctl" box).
+const ToCtlTable = "To_Ctl"
+
+// cpuPort must match sim.CPUPort; kept local to avoid the import.
+const cpuPort = 255
+
+// Segment is one offload candidate: a contiguous statement run in some
+// control block, identified by its index in the deterministic enumeration
+// order so it can be re-located in program clones.
+type Segment struct {
+	Index  int
+	Tables []string
+	// Depth and span describe the location for diagnostics.
+	Desc string
+}
+
+// CandidateReport carries the metrics Phase 4's selection uses; exported
+// for the phase-ordering ablation benchmarks.
+type CandidateReport struct {
+	Segment      Segment
+	StagesSaved  int
+	Redirected   int     // packets redirected to the controller
+	RedirectFrac float64 // fraction of the trace
+}
+
+// phase4 offloads the self-contained code segment that saves at least one
+// stage while redirecting the least traffic to the controller (§3.4). The
+// contiguous-run enumeration over every control block is the dynamic
+// program over (block, start, end); each candidate is compiled and
+// profiled to measure its stage savings and redirected traffic, exactly as
+// the paper describes.
+func (r *run) phase4() error {
+	reports, err := r.offloadCandidates()
+	if err != nil {
+		return err
+	}
+	baseStages := totalStages(r.compile.Mapping)
+	var viable []CandidateReport
+	for _, rep := range reports {
+		if rep.StagesSaved < r.opts.Phase4MinSavings {
+			continue
+		}
+		if r.opts.Phase4MaxRedirect > 0 && rep.RedirectFrac > r.opts.Phase4MaxRedirect {
+			continue
+		}
+		viable = append(viable, rep)
+	}
+	if len(viable) == 0 {
+		return nil
+	}
+	sort.Slice(viable, func(i, j int) bool {
+		a, b := viable[i], viable[j]
+		if a.Redirected != b.Redirected {
+			return a.Redirected < b.Redirected
+		}
+		if a.StagesSaved != b.StagesSaved {
+			return a.StagesSaved > b.StagesSaved
+		}
+		return a.Segment.Index < b.Segment.Index
+	})
+	win := viable[0]
+
+	candidate, ctlProg, err := r.rewriteOffloadBoth(win.Segment)
+	if err != nil {
+		return err
+	}
+	compiled, err := r.compileCandidate(candidate)
+	if err != nil {
+		return err
+	}
+	newProf, err := r.profileCandidate(candidate)
+	if err != nil {
+		return err
+	}
+	r.cur = candidate
+	r.compile = compiled
+	r.prof = newProf
+	r.offloaded = append(r.offloaded, win.Segment.Tables...)
+	r.ctlProgram = ctlProg
+	r.obs = append(r.obs, Observation{
+		Phase:    PhaseOffload,
+		Kind:     "offload-segment",
+		Accepted: true,
+		Summary: fmt.Sprintf("offload {%s} to the controller via %s",
+			strings.Join(win.Segment.Tables, ", "), ToCtlTable),
+		Evidence: fmt.Sprintf("segment is self-contained and redirects only %.2f%% of the trace (%d packets) while saving %d stage(s); implement the removed tables in the controller",
+			100*win.RedirectFrac, win.Redirected, win.StagesSaved),
+		Tables:       win.Segment.Tables,
+		StagesBefore: baseStages,
+		StagesAfter:  totalStages(compiled.Mapping),
+		Details: map[string]string{
+			"redirected_fraction": fmt.Sprintf("%.6f", win.RedirectFrac),
+			"stages_saved":        fmt.Sprintf("%d", win.StagesSaved),
+		},
+	})
+	return nil
+}
+
+// offloadCandidates enumerates self-contained segments and measures each
+// one by compiling and profiling the rewritten program.
+func (r *run) offloadCandidates() ([]CandidateReport, error) {
+	segs := enumerateSegments(r.cur)
+	baseStages := totalStages(r.compile.Mapping)
+	var out []CandidateReport
+	for _, seg := range segs {
+		if !r.selfContained(seg) {
+			continue
+		}
+		candidate, err := r.rewriteOffload(seg)
+		if err != nil {
+			continue
+		}
+		compiled, err := r.compileCandidate(candidate)
+		if err != nil {
+			continue
+		}
+		prof, err := r.profileCandidate(candidate)
+		if err != nil {
+			continue
+		}
+		redirected := prof.Hits[ToCtlTable]
+		rep := CandidateReport{
+			Segment:     seg,
+			StagesSaved: baseStages - totalStages(compiled.Mapping),
+			Redirected:  redirected,
+		}
+		if prof.TotalPackets > 0 {
+			rep.RedirectFrac = float64(redirected) / float64(prof.TotalPackets)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// enumerateSegments lists every contiguous statement run containing at
+// least one table, across all blocks of the ingress control, in a
+// deterministic depth-first order.
+func enumerateSegments(ast *p4.Program) []Segment {
+	ingress := ast.Control(p4.IngressControl)
+	if ingress == nil {
+		return nil
+	}
+	var out []Segment
+	var walk func(b *p4.BlockStmt, where string)
+	walk = func(b *p4.BlockStmt, where string) {
+		if b == nil {
+			return
+		}
+		for lo := 0; lo < len(b.Stmts); lo++ {
+			for hi := lo; hi < len(b.Stmts); hi++ {
+				tables := tablesInRun(b, lo, hi)
+				if len(tables) == 0 {
+					continue
+				}
+				out = append(out, Segment{
+					Index:  len(out),
+					Tables: tables,
+					Desc:   fmt.Sprintf("%s[%d:%d]", where, lo, hi),
+				})
+			}
+		}
+		for i, s := range b.Stmts {
+			switch v := s.(type) {
+			case *p4.ApplyStmt:
+				walk(v.Hit, fmt.Sprintf("%s.%d.hit", where, i))
+				walk(v.Miss, fmt.Sprintf("%s.%d.miss", where, i))
+			case *p4.IfStmt:
+				walk(v.Then, fmt.Sprintf("%s.%d.then", where, i))
+				walk(v.Else, fmt.Sprintf("%s.%d.else", where, i))
+			case *p4.BlockStmt:
+				walk(v, fmt.Sprintf("%s.%d", where, i))
+			}
+		}
+	}
+	walk(ingress.Body, "ingress")
+	return out
+}
+
+func tablesInRun(b *p4.BlockStmt, lo, hi int) []string {
+	tmp := &p4.BlockStmt{Stmts: b.Stmts[lo : hi+1]}
+	return p4.TablesInBlock(tmp)
+}
+
+// selfContained checks the paper's offloadability criteria: packets sent to
+// the controller need no additional state (no reads of externally written
+// metadata — header fields and intrinsic metadata are fine: the controller
+// reparses the packet and packet-in carries the ingress port) and no
+// further data-plane processing of the segment's outputs (no field written
+// inside is read outside). Conditions nested inside the segment count as
+// segment reads: removing them moves their evaluation to the controller.
+// The drop/forward verdict (egress_spec) only flows out if some remaining
+// table actually reads it.
+func (r *run) selfContained(seg Segment) bool {
+	prog := r.compile.IR
+	segSet := map[string]bool{}
+	for _, t := range seg.Tables {
+		if prog.Tables[t] == nil || prog.Tables[t].Order < 0 {
+			return false
+		}
+		segSet[t] = true
+	}
+	intrinsic := map[ir.FieldKey]bool{
+		ir.FieldKey(p4.StandardMetadataName + "." + p4.FieldIngressPort):  true,
+		ir.FieldKey(p4.StandardMetadataName + "." + p4.FieldPacketLength): true,
+	}
+
+	writesInside := ir.FieldSet{}
+	readsInside := ir.FieldSet{}
+	for t := range segSet {
+		tbl := prog.Tables[t]
+		for k := range tbl.ActionWrites() {
+			writesInside.Add(k)
+		}
+		for k := range tbl.ActionReads() {
+			readsInside.Add(k)
+		}
+		for k := range tbl.MatchReads {
+			readsInside.Add(k)
+		}
+	}
+	// Conditions inside the segment move to the controller with it.
+	for k := range r.segmentCondReads(seg) {
+		readsInside.Add(k)
+	}
+	// Outputs must not feed the rest of the data plane.
+	for _, t := range prog.Ordered {
+		if segSet[t.Name] {
+			continue
+		}
+		outsideReads := t.MatchReads.Union(t.ActionReads()).Union(t.GuardReads)
+		for k := range outsideReads {
+			if writesInside.Has(k) {
+				return false
+			}
+		}
+	}
+	// Inputs must be reconstructible by the controller: header fields,
+	// intrinsic metadata, or values computed inside the segment.
+	for k := range readsInside {
+		if intrinsic[k] || writesInside.Has(k) {
+			continue
+		}
+		inst := instanceOf(r.cur, k)
+		if inst == nil {
+			return false
+		}
+		if inst.Metadata {
+			return false // externally computed metadata
+		}
+	}
+	return true
+}
+
+// segmentCondReads collects the fields read by if-conditions nested inside
+// the segment's statements.
+func (r *run) segmentCondReads(seg Segment) ir.FieldSet {
+	out := ir.FieldSet{}
+	block, lo, hi, err := locateSegment(r.cur, seg.Index)
+	if err != nil {
+		return out
+	}
+	probe := &p4.BlockStmt{Stmts: block.Stmts[lo : hi+1]}
+	p4.WalkStmts(probe, func(s p4.Stmt) bool {
+		if ifs, ok := s.(*p4.IfStmt); ok {
+			for k := range deps.CondReads(ifs.Cond) {
+				out.Add(k)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func instanceOf(ast *p4.Program, k ir.FieldKey) *p4.Instance {
+	name := string(k)
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		name = name[:i]
+	}
+	return ast.Instance(name)
+}
+
+// rewriteOffload clones the current program, replaces the segment's
+// statements with an apply of the To_Ctl redirect table, and prunes the
+// now-unreachable declarations.
+func (r *run) rewriteOffload(seg Segment) (*p4.Program, error) {
+	candidate, _, err := r.rewriteOffloadBoth(seg)
+	return candidate, err
+}
+
+// rewriteOffloadBoth additionally returns the controller program: the
+// original program with its ingress control reduced to just the offloaded
+// segment. Reception at the controller implies the segment's external
+// guards held (the data plane still evaluates them before redirecting), so
+// the controller runs the segment body unconditionally.
+func (r *run) rewriteOffloadBoth(seg Segment) (*p4.Program, *p4.Program, error) {
+	candidate := p4.Clone(r.cur)
+	segs := enumerateSegments(candidate)
+	if seg.Index >= len(segs) {
+		return nil, nil, fmt.Errorf("core: segment index %d out of range", seg.Index)
+	}
+	clone := segs[seg.Index]
+	if strings.Join(clone.Tables, ",") != strings.Join(seg.Tables, ",") {
+		return nil, nil, fmt.Errorf("core: segment enumeration diverged between clones")
+	}
+	if err := ensureToCtl(candidate); err != nil {
+		return nil, nil, err
+	}
+	// Re-locate the block: enumerateSegments is deterministic, so the
+	// index identifies the same (block, lo, hi) in the clone.
+	block, lo, hi, err := locateSegment(candidate, seg.Index)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Controller program: the segment's statements become the whole
+	// ingress control of a copy of the (pre-offload) program.
+	ctlProg := p4.Clone(r.cur)
+	ctlBlock, ctlLo, ctlHi, err := locateSegment(ctlProg, seg.Index)
+	if err != nil {
+		return nil, nil, err
+	}
+	segmentStmts := append([]p4.Stmt(nil), ctlBlock.Stmts[ctlLo:ctlHi+1]...)
+	ctlProg.Control(p4.IngressControl).Body = &p4.BlockStmt{Stmts: segmentStmts}
+	pruneUnused(ctlProg)
+
+	redirect := &p4.ApplyStmt{Table: ToCtlTable}
+	rest := append([]p4.Stmt{redirect}, block.Stmts[hi+1:]...)
+	block.Stmts = append(block.Stmts[:lo], rest...)
+	pruneUnused(candidate)
+	return candidate, ctlProg, nil
+}
+
+// locateSegment re-runs the enumeration walk and returns the block and
+// bounds of the segment with the given index.
+func locateSegment(ast *p4.Program, index int) (*p4.BlockStmt, int, int, error) {
+	ingress := ast.Control(p4.IngressControl)
+	count := 0
+	var foundBlock *p4.BlockStmt
+	var foundLo, foundHi int
+	var walk func(b *p4.BlockStmt) bool
+	walk = func(b *p4.BlockStmt) bool {
+		if b == nil {
+			return true
+		}
+		for lo := 0; lo < len(b.Stmts); lo++ {
+			for hi := lo; hi < len(b.Stmts); hi++ {
+				if len(tablesInRun(b, lo, hi)) == 0 {
+					continue
+				}
+				if count == index {
+					foundBlock, foundLo, foundHi = b, lo, hi
+					return false
+				}
+				count++
+			}
+		}
+		for _, s := range b.Stmts {
+			switch v := s.(type) {
+			case *p4.ApplyStmt:
+				if !walk(v.Hit) || !walk(v.Miss) {
+					return false
+				}
+			case *p4.IfStmt:
+				if !walk(v.Then) || !walk(v.Else) {
+					return false
+				}
+			case *p4.BlockStmt:
+				if !walk(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	walk(ingress.Body)
+	if foundBlock == nil {
+		return nil, 0, 0, fmt.Errorf("core: segment %d not found", index)
+	}
+	return foundBlock, foundLo, foundHi, nil
+}
+
+// ensureToCtl declares the redirect action and table if absent.
+func ensureToCtl(ast *p4.Program) error {
+	if ast.Table(ToCtlTable) != nil {
+		return fmt.Errorf("core: program already declares %s", ToCtlTable)
+	}
+	if ast.Action(ToCtlAction) == nil {
+		act := &p4.ActionDecl{
+			Name: ToCtlAction,
+			Body: []*p4.PrimitiveCall{{
+				Name: p4.PrimModifyField,
+				Args: []p4.Expr{
+					p4.FieldRef{Instance: p4.StandardMetadataName, Field: p4.FieldEgressSpec},
+					p4.IntLit{Value: cpuPort},
+				},
+			}},
+		}
+		ast.Actions = append(ast.Actions, act)
+		ast.Decls = append(ast.Decls, act)
+	}
+	tbl := &p4.TableDecl{
+		Name:          ToCtlTable,
+		ActionNames:   []string{ToCtlAction},
+		DefaultAction: ToCtlAction,
+	}
+	ast.Tables = append(ast.Tables, tbl)
+	ast.Decls = append(ast.Decls, tbl)
+	return nil
+}

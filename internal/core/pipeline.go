@@ -1,0 +1,301 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"p2go/internal/p4"
+	"p2go/internal/profile"
+	"p2go/internal/rt"
+	"p2go/internal/tofino"
+	"p2go/internal/trafficgen"
+)
+
+// Options configures an optimization run.
+type Options struct {
+	// Target is the hardware model; zero value means
+	// tofino.DefaultTarget().
+	Target tofino.Target
+	// DisablePhase2/3/4 let the programmer re-run P2GO with individual
+	// optimizations turned off (§2.2).
+	DisablePhase2 bool
+	DisablePhase3 bool
+	DisablePhase4 bool
+	// MaxPhase2Removals bounds dependency removals; 0 means "until no
+	// candidate improves the pipeline". The paper's strict
+	// one-change-at-a-time mode is MaxPhase2Removals == 1.
+	MaxPhase2Removals int
+	// InsertDependencyGuards makes Phase 2 add a runtime violation
+	// detector for every removed dependency (§3.2's alternative
+	// approach): a table in the first table's hit arm matching on the
+	// second table's fields; a hit increments a violation register,
+	// reporting that the removed dependency manifested at runtime.
+	InsertDependencyGuards bool
+	// Phase4MinSavings is the minimum stage savings an offload must
+	// achieve (default 1).
+	Phase4MinSavings int
+	// Phase4MaxRedirect caps the fraction of traffic that may be
+	// redirected to the controller — the paper's premise is that offload
+	// candidates are "rarely used", so hot segments (e.g. the forwarding
+	// path itself) are never offloaded. 0 means the default of 10%;
+	// negative disables the cap.
+	Phase4MaxRedirect float64
+}
+
+// defaultPhase4MaxRedirect is the "rarely used" threshold.
+const defaultPhase4MaxRedirect = 0.10
+
+func (o Options) target() tofino.Target {
+	if o.Target.Stages == 0 {
+		return tofino.DefaultTarget()
+	}
+	return o.Target
+}
+
+// Result is the outcome of a P2GO run.
+type Result struct {
+	// Original is the input program (untouched).
+	Original *p4.Program
+	// Optimized is the rewritten program.
+	Optimized *p4.Program
+	// OptimizedConfig is the runtime configuration for the optimized
+	// program (rules of offloaded tables removed — they move to the
+	// controller).
+	OptimizedConfig *rt.Config
+	// Profile is the original program's profile (Phase 1 output).
+	Profile *profile.Profile
+	// FinalProfile is the optimized program's profile on the same trace.
+	FinalProfile *profile.Profile
+	// Observations lists every accepted and rejected candidate, in order.
+	Observations []Observation
+	// History snapshots the stage mapping after each phase (Table 2).
+	History []StageSnapshot
+	// OffloadedTables lists tables Phase 4 moved to the controller; the
+	// controller must implement them (§3.4).
+	OffloadedTables []string
+	// Guards lists the runtime violation detectors inserted by Phase 2
+	// when Options.InsertDependencyGuards is set. Read a guard's
+	// register (cell 0) on the running switch to see how many packets
+	// the removed dependency manifested on.
+	Guards []DependencyGuard
+	// ControllerProgram is the offloaded segment as a standalone P4
+	// program: its ingress control is exactly the segment body, to be
+	// executed (in software) on every redirected packet. Nil when
+	// nothing was offloaded. This realizes §3.4's "generating the
+	// controller code" via the same behavioral semantics instead of a
+	// uBPF backend.
+	ControllerProgram *p4.Program
+	// RedirectedFraction is the share of trace traffic the optimized
+	// program sends to the controller.
+	RedirectedFraction float64
+}
+
+// StagesBefore returns the initial pipeline length.
+func (r *Result) StagesBefore() int {
+	if len(r.History) == 0 {
+		return 0
+	}
+	return r.History[0].Stages
+}
+
+// StagesAfter returns the final pipeline length.
+func (r *Result) StagesAfter() int {
+	if len(r.History) == 0 {
+		return 0
+	}
+	return r.History[len(r.History)-1].Stages
+}
+
+// Optimizer runs the P2GO pipeline.
+type Optimizer struct {
+	opts Options
+}
+
+// New creates an Optimizer.
+func New(opts Options) *Optimizer {
+	if opts.Phase4MinSavings == 0 {
+		opts.Phase4MinSavings = 1
+	}
+	if opts.Phase4MaxRedirect == 0 {
+		opts.Phase4MaxRedirect = defaultPhase4MaxRedirect
+	}
+	return &Optimizer{opts: opts}
+}
+
+// run carries the evolving state across phases.
+type run struct {
+	opts       Options
+	tgt        tofino.Target
+	cfg        *rt.Config
+	trace      *trafficgen.Trace
+	cur        *p4.Program
+	compile    *tofino.Result
+	prof       *profile.Profile
+	obs        []Observation
+	history    []StageSnapshot
+	offloaded  []string
+	guards     []DependencyGuard
+	ctlProgram *p4.Program
+}
+
+// Optimize profiles the program on the trace and applies the three
+// optimization phases in the paper's order (offloading deliberately last,
+// §2.2: earlier phases may shrink segments enough that offloading them has
+// no benefit).
+func (o *Optimizer) Optimize(ast *p4.Program, cfg *rt.Config, trace *trafficgen.Trace) (*Result, error) {
+	if cfg == nil {
+		cfg = &rt.Config{}
+	}
+	if trace == nil || len(trace.Packets) == 0 {
+		return nil, fmt.Errorf("core: a traffic trace is required for profiling")
+	}
+	r := &run{
+		opts:  o.opts,
+		tgt:   o.opts.target(),
+		cfg:   cfg,
+		trace: trace,
+		cur:   p4.Clone(ast),
+	}
+	if err := r.recompile(); err != nil {
+		return nil, err
+	}
+	r.snapshot("initial")
+
+	// Phase 1: profiling.
+	if err := r.reprofile(); err != nil {
+		return nil, err
+	}
+	originalProfile := r.prof
+
+	// Phase 2: removing dependencies.
+	if !o.opts.DisablePhase2 {
+		if err := r.phase2(); err != nil {
+			return nil, err
+		}
+		r.snapshot("removing-dependencies")
+	}
+	// Phase 3: reducing memory.
+	if !o.opts.DisablePhase3 {
+		if err := r.phase3(); err != nil {
+			return nil, err
+		}
+		r.snapshot("reducing-memory")
+	}
+	// Phase 4: offloading code to the controller.
+	if !o.opts.DisablePhase4 {
+		if err := r.phase4(); err != nil {
+			return nil, err
+		}
+		r.snapshot("offloading-code")
+	}
+
+	res := &Result{
+		Original:          ast,
+		Optimized:         r.cur,
+		OptimizedConfig:   filterConfig(r.cfg, r.cur),
+		Profile:           originalProfile,
+		FinalProfile:      r.prof,
+		Observations:      r.obs,
+		History:           r.history,
+		OffloadedTables:   r.offloaded,
+		Guards:            r.guards,
+		ControllerProgram: r.ctlProgram,
+	}
+	if r.prof != nil && r.prof.TotalPackets > 0 {
+		res.RedirectedFraction = float64(r.prof.ToCPU) / float64(r.prof.TotalPackets)
+	}
+	return res, nil
+}
+
+// recompile refreshes the compiler outputs for the current program.
+func (r *run) recompile() error {
+	res, err := tofino.Compile(p4.Clone(r.cur), r.tgt)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	r.compile = res
+	return nil
+}
+
+// reprofile refreshes the profile for the current program. Rules whose
+// tables were optimized away are filtered first.
+func (r *run) reprofile() error {
+	prof, err := profile.Run(r.cur, filterConfig(r.cfg, r.cur), r.trace)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	r.prof = prof
+	return nil
+}
+
+func (r *run) snapshot(label string) {
+	m := r.compile.Mapping
+	summary := m.Summary()
+	if m.EgressStagesUsed > 0 {
+		summary += " egress:" + egressSummary(m)
+	}
+	r.history = append(r.history, StageSnapshot{
+		Label:         label,
+		Stages:        totalStages(m),
+		IngressStages: m.StagesUsed,
+		EgressStages:  m.EgressStagesUsed,
+		Fits:          m.Fits,
+		Summary:       summary,
+	})
+}
+
+// egressSummary renders the egress pipeline like Mapping.Summary.
+func egressSummary(m *tofino.Mapping) string {
+	out := ""
+	for s := 1; s <= m.EgressStagesUsed; s++ {
+		out += "[" + strings.Join(m.TablesInStageOf(p4.EgressControl, s), " ") + "]"
+	}
+	return out
+}
+
+// filterConfig drops rules for tables that no longer exist in the program
+// (they belong to the controller after offloading).
+func filterConfig(cfg *rt.Config, ast *p4.Program) *rt.Config {
+	out := &rt.Config{}
+	for _, rule := range cfg.Rules {
+		if ast.Table(rule.Table) != nil {
+			out.Add(rule)
+		}
+	}
+	return out.Clone()
+}
+
+// OffloadCandidates profiles the program and reports the metrics of every
+// self-contained offload segment, without applying anything. Used by the
+// phase-ordering ablation (§2.2: offloading first would have offloaded both
+// ACLs).
+func (o *Optimizer) OffloadCandidates(ast *p4.Program, cfg *rt.Config, trace *trafficgen.Trace) ([]CandidateReport, error) {
+	if cfg == nil {
+		cfg = &rt.Config{}
+	}
+	r := &run{opts: o.opts, tgt: o.opts.target(), cfg: cfg, trace: trace, cur: p4.Clone(ast)}
+	if err := r.recompile(); err != nil {
+		return nil, err
+	}
+	if err := r.reprofile(); err != nil {
+		return nil, err
+	}
+	return r.offloadCandidates()
+}
+
+// totalStages is the optimization objective: ingress plus egress stages
+// (egress is zero for ingress-only programs, so Table 2 semantics are
+// unchanged).
+func totalStages(m *tofino.Mapping) int { return m.StagesUsed + m.EgressStagesUsed }
+
+// compileCandidate compiles a rewritten program without touching the run
+// state.
+func (r *run) compileCandidate(ast *p4.Program) (*tofino.Result, error) {
+	return tofino.Compile(p4.Clone(ast), r.tgt)
+}
+
+// profileCandidate profiles a rewritten program without touching the run
+// state.
+func (r *run) profileCandidate(ast *p4.Program) (*profile.Profile, error) {
+	return profile.Run(ast, filterConfig(r.cfg, ast), r.trace)
+}

@@ -1,0 +1,419 @@
+// Package deps builds the table dependency graph of a P4 program, the
+// artifact Fig. 1 of the paper shows. Dependencies follow the paper's
+// definition: two tables are dependent if their actions modify the same
+// fields (write-after-write), if one reads a field the other modifies
+// (read-after-write, via match key or action input), or if a control
+// statement guarding one reads a field the other's actions modify
+// (control dependency).
+//
+// Edges are action-precise: each edge carries the (fromAction, toAction)
+// pairs that cause it, so Phase 2 can check whether a dependency manifests
+// in a profile ("the actions in both tables that cause the dependency are
+// not in any set of non-exclusive actions"). Pairs whose actions provably
+// cannot execute on the same packet — mutually exclusive branches, or
+// hit-only vs. miss-arm placement — are never added; that static pruning is
+// exactly the mechanism Phase 2's rewrite exploits.
+package deps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"p2go/internal/ir"
+	"p2go/internal/p4"
+)
+
+// Kind classifies why two tables are dependent.
+type Kind int
+
+// Dependency kinds.
+const (
+	// KindReadAfterWrite: the later table reads (match key or action
+	// input) a field an earlier action writes.
+	KindReadAfterWrite Kind = iota
+	// KindWriteAfterWrite: actions in both tables write the same field.
+	KindWriteAfterWrite
+	// KindControl: a condition guarding the later table reads a field an
+	// earlier action writes.
+	KindControl
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindReadAfterWrite:
+		return "read-after-write"
+	case KindWriteAfterWrite:
+		return "write-after-write"
+	case KindControl:
+		return "control"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Pair is one action-level conflict underlying an edge. ToAction is empty
+// when the conflict is with the later table's match key (read-after-write)
+// or with a guarding condition (control).
+type Pair struct {
+	FromAction string
+	ToAction   string
+	Kind       Kind
+	Fields     []ir.FieldKey
+}
+
+func (p Pair) String() string {
+	to := p.ToAction
+	if to == "" {
+		switch p.Kind {
+		case KindControl:
+			to = "<guard>"
+		default:
+			to = "<match>"
+		}
+	}
+	fields := make([]string, len(p.Fields))
+	for i, f := range p.Fields {
+		fields[i] = string(f)
+	}
+	return fmt.Sprintf("%s/%s on {%s} (%s)", p.FromAction, to, strings.Join(fields, ","), p.Kind)
+}
+
+// Edge is a dependency from an earlier table to a later one.
+type Edge struct {
+	From  string
+	To    string
+	Pairs []Pair
+}
+
+// Kinds returns the distinct kinds present on the edge, sorted.
+func (e *Edge) Kinds() []Kind {
+	seen := map[Kind]bool{}
+	var out []Kind
+	for _, p := range e.Pairs {
+		if !seen[p.Kind] {
+			seen[p.Kind] = true
+			out = append(out, p.Kind)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (e *Edge) String() string {
+	return fmt.Sprintf("%s -> %s", e.From, e.To)
+}
+
+// Graph is the dependency graph over the program's applied tables.
+type Graph struct {
+	Prog  *ir.Program
+	Nodes []string // applied tables, control order
+	Edges []*Edge  // sorted by (From.Order, To.Order)
+
+	index map[[2]string]*Edge
+}
+
+// Build computes the dependency graph for the program.
+func Build(prog *ir.Program) *Graph {
+	g := &Graph{Prog: prog, index: map[[2]string]*Edge{}}
+	for _, t := range prog.Ordered {
+		g.Nodes = append(g.Nodes, t.Name)
+	}
+	for i, from := range prog.Ordered {
+		for _, to := range prog.Ordered[i+1:] {
+			if from.Pipeline != to.Pipeline {
+				// Ingress and egress tables occupy separate physical
+				// pipelines: the whole egress pipeline runs after the
+				// ingress pipeline, so they never contend for a stage.
+				continue
+			}
+			if prog.MutuallyExclusive(from.Name, to.Name) {
+				continue
+			}
+			pairs := conflicts(prog, from, to)
+			if len(pairs) == 0 {
+				continue
+			}
+			e := &Edge{From: from.Name, To: to.Name, Pairs: pairs}
+			g.Edges = append(g.Edges, e)
+			g.index[[2]string{from.Name, to.Name}] = e
+		}
+	}
+	return g
+}
+
+// Edge returns the edge from -> to, or nil.
+func (g *Graph) Edge(from, to string) *Edge {
+	return g.index[[2]string{from, to}]
+}
+
+// Predecessors returns the tables with an edge into the given table, in
+// control order. It satisfies the allocator's DependencyEdges interface.
+func (g *Graph) Predecessors(table string) []string {
+	var out []string
+	for _, e := range g.Edges {
+		if e.To == table {
+			out = append(out, e.From)
+		}
+	}
+	return out
+}
+
+// conflicts computes the action-level conflict pairs between from and to.
+func conflicts(prog *ir.Program, from, to *ir.Table) []Pair {
+	var pairs []Pair
+	add := func(fromAction, toAction string, kind Kind, fields []ir.FieldKey) {
+		if len(fields) == 0 {
+			return
+		}
+		pairs = append(pairs, Pair{FromAction: fromAction, ToAction: toAction, Kind: kind, Fields: fields})
+	}
+	for _, a := range from.Actions {
+		// Write-after-write between specific actions.
+		for _, b := range to.Actions {
+			if !canCoOccur(prog, from, a, to, b) {
+				continue
+			}
+			add(a.Name, b.Name, KindWriteAfterWrite, fieldIntersection(a.Writes, b.Writes))
+			// Read-after-write into the later action's inputs.
+			add(a.Name, b.Name, KindReadAfterWrite, fieldIntersection(a.Writes, b.Reads))
+		}
+		// Read-after-write into the later table's match key.
+		if canCoOccur(prog, from, a, to, nil) {
+			add(a.Name, "", KindReadAfterWrite, fieldIntersection(a.Writes, to.MatchReads))
+			// Control dependency through the later table's guards.
+			add(a.Name, "", KindControl, fieldIntersection(a.Writes, to.GuardReads))
+		}
+	}
+	return pairs
+}
+
+func fieldIntersection(a, b ir.FieldSet) []ir.FieldKey {
+	return a.Intersection(b)
+}
+
+// canCoOccur reports whether action a of table A and action b of table B
+// (b == nil meaning "B's match/guard evaluation") can execute on the same
+// packet, using structural facts only: mutual exclusion was already checked
+// by the caller; here we prune hit/miss-arm placements. A table in the miss
+// arm of another runs only when that table missed, i.e. only the default
+// action of the outer table executed.
+func canCoOccur(prog *ir.Program, ta *ir.Table, a *ir.Action, tb *ir.Table, b *ir.Action) bool {
+	if g := findGuard(tb, ta.Name); g != nil {
+		// B is inside A's hit or miss arm.
+		if g.OnHit {
+			// Any action of A may have produced the hit (rules can
+			// install any declared action), so no pruning.
+			return true
+		}
+		// Only A's default action runs on a miss.
+		return ta.Default != nil && a.Name == ta.Default.Name
+	}
+	if g := findGuard(ta, tb.Name); g != nil {
+		// A is inside B's hit or miss arm (A still runs first in source
+		// order only if nested before; order was fixed by caller).
+		if b == nil {
+			return true // B's match already happened for A to run
+		}
+		if g.OnHit {
+			return true
+		}
+		return tb.Default != nil && b.Name == tb.Default.Name
+	}
+	return true
+}
+
+func findGuard(t *ir.Table, outer string) *ir.HitMissGuard {
+	for i := range t.GuardedByHitMiss {
+		if t.GuardedByHitMiss[i].Table == outer {
+			return &t.GuardedByHitMiss[i]
+		}
+	}
+	return nil
+}
+
+// LongestPaths returns every maximal-length path (by node count) through
+// the dependency graph, each as a sequence of table names.
+func (g *Graph) LongestPaths() [][]string {
+	succ := map[string][]string{}
+	for _, e := range g.Edges {
+		succ[e.From] = append(succ[e.From], e.To)
+	}
+	// Nodes are already topologically ordered (edges go forward in
+	// control order), so a reverse scan computes longest chains.
+	depth := map[string]int{}
+	next := map[string][]string{} // successors continuing a longest path
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		n := g.Nodes[i]
+		best := 0
+		for _, s := range succ[n] {
+			if depth[s] > best {
+				best = depth[s]
+			}
+		}
+		for _, s := range succ[n] {
+			if depth[s] == best {
+				next[n] = append(next[n], s)
+			}
+		}
+		depth[n] = best + 1
+	}
+	max := 0
+	for _, n := range g.Nodes {
+		if depth[n] > max {
+			max = depth[n]
+		}
+	}
+	var out [][]string
+	var walk func(n string, acc []string)
+	walk = func(n string, acc []string) {
+		acc = append(acc, n)
+		if len(next[n]) == 0 {
+			out = append(out, append([]string(nil), acc...))
+			return
+		}
+		for _, s := range next[n] {
+			walk(s, acc)
+		}
+	}
+	for _, n := range g.Nodes {
+		if depth[n] == max {
+			walk(n, nil)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i], ",") < strings.Join(out[j], ",")
+	})
+	return out
+}
+
+// LongestPathEdges returns the edges that lie on at least one longest path,
+// ordered by (from, to) control order. These are Phase 2's removal
+// candidates: "only those have the potential to shorten the pipeline".
+func (g *Graph) LongestPathEdges() []*Edge {
+	seen := map[*Edge]bool{}
+	var out []*Edge
+	for _, path := range g.LongestPaths() {
+		for i := 0; i+1 < len(path); i++ {
+			if e := g.Edge(path[i], path[i+1]); e != nil && !seen[e] {
+				seen[e] = true
+				out = append(out, e)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		oa, ob := g.Prog.Tables[a.From].Order, g.Prog.Tables[b.From].Order
+		if oa != ob {
+			return oa < ob
+		}
+		return g.Prog.Tables[a.To].Order < g.Prog.Tables[b.To].Order
+	})
+	return out
+}
+
+// Dot renders the dependency graph in Graphviz format, in the style of the
+// paper's Fig. 1: solid violet edges for write-after-write (action)
+// dependencies, dashed blue edges for read-after-write, and diamond nodes
+// for control statements with black edges to the tables they guard.
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph deps {\n    rankdir=TB;\n    node [shape=box];\n")
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "    %q;\n", n)
+	}
+	condID := 0
+	condNodes := map[string]string{} // cond text -> node id
+	for _, e := range g.Edges {
+		kinds := e.Kinds()
+		for _, k := range kinds {
+			switch k {
+			case KindWriteAfterWrite:
+				fmt.Fprintf(&b, "    %q -> %q [style=dotted color=violet label=\"action\"];\n", e.From, e.To)
+			case KindReadAfterWrite:
+				fmt.Fprintf(&b, "    %q -> %q [style=dashed color=blue label=\"match\"];\n", e.From, e.To)
+			case KindControl:
+				// Render through a diamond condition node.
+				cond := guardText(g.Prog, e.From, e.To)
+				id, ok := condNodes[cond]
+				if !ok {
+					id = fmt.Sprintf("cond%d", condID)
+					condID++
+					condNodes[cond] = id
+					fmt.Fprintf(&b, "    %s [shape=diamond label=%q];\n", id, cond)
+				}
+				fmt.Fprintf(&b, "    %q -> %s [style=dashed color=blue];\n", e.From, id)
+				fmt.Fprintf(&b, "    %s -> %q [color=black];\n", id, e.To)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// guardText finds the source text of the condition on `to` that reads a
+// field written by `from`, for Fig. 1 rendering.
+func guardText(prog *ir.Program, from, to string) string {
+	ft := prog.Tables[from]
+	writes := ft.ActionWrites()
+	var found string
+	p4.WalkStmts(prog.Ingress.Body, func(s p4.Stmt) bool {
+		ifs, ok := s.(*p4.IfStmt)
+		if !ok {
+			return true
+		}
+		reads := CondReads(ifs.Cond)
+		if !reads.Intersects(writes) {
+			return true
+		}
+		// Does this if guard `to`?
+		guards := false
+		p4.WalkStmts(ifs.Then, func(inner p4.Stmt) bool {
+			if ap, ok := inner.(*p4.ApplyStmt); ok && ap.Table == to {
+				guards = true
+				return false
+			}
+			return true
+		})
+		if !guards {
+			p4.WalkStmts(ifs.Else, func(inner p4.Stmt) bool {
+				if ap, ok := inner.(*p4.ApplyStmt); ok && ap.Table == to {
+					guards = true
+					return false
+				}
+				return true
+			})
+		}
+		if guards {
+			found = p4.BoolExprString(ifs.Cond)
+			return false
+		}
+		return true
+	})
+	if found == "" {
+		return "guard"
+	}
+	return found
+}
+
+// CondReads collects the field keys a boolean expression reads.
+func CondReads(e p4.BoolExpr) ir.FieldSet {
+	out := ir.FieldSet{}
+	var visit func(p4.BoolExpr)
+	visit = func(e p4.BoolExpr) {
+		switch v := e.(type) {
+		case *p4.CompareExpr:
+			for _, side := range []p4.Expr{v.Left, v.Right} {
+				if ref, ok := side.(p4.FieldRef); ok && ref.Field != "" {
+					out.Add(ir.Key(ref))
+				}
+			}
+		case *p4.BinaryBoolExpr:
+			visit(v.Left)
+			visit(v.Right)
+		case *p4.NotExpr:
+			visit(v.X)
+		}
+	}
+	visit(e)
+	return out
+}

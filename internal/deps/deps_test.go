@@ -1,0 +1,357 @@
+package deps
+
+import (
+	"strings"
+	"testing"
+
+	"p2go/internal/ir"
+	"p2go/internal/p4"
+)
+
+// firewall is a distilled version of the paper's Example 1 control flow:
+// an IPv4 forwarding table, two ACLs whose drop actions conflict on the
+// egress spec, a two-row Count-Min Sketch, a min table, and a drop table
+// guarded by a threshold condition.
+const firewall = `
+header_type ipv4_t {
+    fields { srcAddr : 32; dstAddr : 32; protocol : 8; }
+}
+header_type udp_t {
+    fields { srcPort : 16; dstPort : 16; }
+}
+header_type meta_t {
+    fields { idx1 : 16; idx2 : 16; count1 : 32; count2 : 32; sketch_count : 32; }
+}
+header ipv4_t ipv4;
+header udp_t udp;
+metadata meta_t meta;
+
+register cms_r1 { width : 32; instance_count : 1024; }
+register cms_r2 { width : 32; instance_count : 1024; }
+
+field_list flow { ipv4.srcAddr; ipv4.dstAddr; }
+field_list_calculation cms_h1 {
+    input { flow; }
+    algorithm : crc16;
+    output_width : 16;
+}
+field_list_calculation cms_h2 {
+    input { flow; }
+    algorithm : crc32;
+    output_width : 16;
+}
+
+parser start { extract(ipv4); return ingress; }
+
+action set_nhop(port) { modify_field(standard_metadata.egress_spec, port); }
+action ipv4_drop() { drop(); }
+action acl_drop() { drop(); }
+action dhcp_drop() { drop(); }
+action sketch1_count() {
+    modify_field_with_hash_based_offset(meta.idx1, 0, cms_h1, 1024);
+    register_read(meta.count1, cms_r1, meta.idx1);
+    add_to_field(meta.count1, 1);
+    register_write(cms_r1, meta.idx1, meta.count1);
+}
+action sketch2_count() {
+    modify_field_with_hash_based_offset(meta.idx2, 0, cms_h2, 1024);
+    register_read(meta.count2, cms_r2, meta.idx2);
+    add_to_field(meta.count2, 1);
+    register_write(cms_r2, meta.idx2, meta.count2);
+}
+action take_min() { min(meta.sketch_count, meta.count1, meta.count2); }
+action dns_dropper() { drop(); }
+
+table IPv4 {
+    reads { ipv4.dstAddr : lpm; }
+    actions { set_nhop; ipv4_drop; }
+    size : 128;
+    default_action : ipv4_drop;
+}
+table ACL_UDP {
+    reads { udp.dstPort : exact; }
+    actions { acl_drop; }
+    size : 16;
+}
+table ACL_DHCP {
+    reads { standard_metadata.ingress_port : exact; }
+    actions { dhcp_drop; }
+    size : 16;
+}
+table Sketch_1 { actions { sketch1_count; } default_action : sketch1_count; }
+table Sketch_2 { actions { sketch2_count; } default_action : sketch2_count; }
+table Sketch_Min { actions { take_min; } default_action : take_min; }
+table DNS_Drop { actions { dns_dropper; } default_action : dns_dropper; }
+
+control ingress {
+    apply(IPv4);
+    if (valid(udp)) {
+        apply(ACL_UDP);
+    }
+    if (udp.dstPort == 67) {
+        apply(ACL_DHCP);
+    }
+    if (udp.dstPort == 53) {
+        apply(Sketch_1);
+        apply(Sketch_2);
+        apply(Sketch_Min);
+        if (meta.sketch_count >= 128) {
+            apply(DNS_Drop);
+        }
+    }
+}
+`
+
+func buildFirewall(t *testing.T) *Graph {
+	t.Helper()
+	ast := p4.MustParse(firewall)
+	if err := p4.Check(ast); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	prog, err := ir.Build(ast)
+	if err != nil {
+		t.Fatalf("ir: %v", err)
+	}
+	return Build(prog)
+}
+
+func TestFirewallEdges(t *testing.T) {
+	g := buildFirewall(t)
+	wantEdges := [][2]string{
+		{"IPv4", "ACL_UDP"},     // both write egress_spec
+		{"IPv4", "ACL_DHCP"},    // both write egress_spec
+		{"ACL_UDP", "ACL_DHCP"}, // both write egress_spec
+		{"IPv4", "DNS_Drop"},
+		{"Sketch_1", "Sketch_Min"}, // min reads count1
+		{"Sketch_2", "Sketch_Min"}, // min reads count2
+		{"Sketch_Min", "DNS_Drop"}, // threshold condition reads sketch_count
+	}
+	for _, w := range wantEdges {
+		if g.Edge(w[0], w[1]) == nil {
+			t.Errorf("missing edge %s -> %s", w[0], w[1])
+		}
+	}
+	// Sketches are independent of one another and of the ACLs.
+	for _, none := range [][2]string{
+		{"Sketch_1", "Sketch_2"},
+		{"ACL_UDP", "Sketch_1"},
+		{"ACL_DHCP", "Sketch_2"},
+		{"IPv4", "Sketch_1"},
+	} {
+		if e := g.Edge(none[0], none[1]); e != nil {
+			t.Errorf("unexpected edge %s -> %s: %v", none[0], none[1], e.Pairs)
+		}
+	}
+}
+
+func TestFirewallEdgeKinds(t *testing.T) {
+	g := buildFirewall(t)
+	e := g.Edge("ACL_UDP", "ACL_DHCP")
+	if e == nil {
+		t.Fatal("missing ACL edge")
+	}
+	kinds := e.Kinds()
+	if len(kinds) != 1 || kinds[0] != KindWriteAfterWrite {
+		t.Errorf("ACL edge kinds = %v, want [write-after-write]", kinds)
+	}
+	if len(e.Pairs) != 1 || e.Pairs[0].FromAction != "acl_drop" || e.Pairs[0].ToAction != "dhcp_drop" {
+		t.Errorf("ACL edge pairs = %v", e.Pairs)
+	}
+	cd := g.Edge("Sketch_Min", "DNS_Drop")
+	if cd == nil {
+		t.Fatal("missing control edge")
+	}
+	found := false
+	for _, p := range cd.Pairs {
+		if p.Kind == KindControl && p.ToAction == "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Sketch_Min -> DNS_Drop pairs = %v, want a control pair", cd.Pairs)
+	}
+	raw := g.Edge("Sketch_1", "Sketch_Min")
+	if raw == nil {
+		t.Fatal("missing RAW edge")
+	}
+	if ks := raw.Kinds(); len(ks) != 1 || ks[0] != KindReadAfterWrite {
+		t.Errorf("Sketch_1 -> Sketch_Min kinds = %v", ks)
+	}
+}
+
+func TestLongestPath(t *testing.T) {
+	g := buildFirewall(t)
+	paths := g.LongestPaths()
+	if len(paths) == 0 {
+		t.Fatal("no longest paths")
+	}
+	// IPv4 -> ACL_UDP -> ACL_DHCP -> DNS_Drop is length 4; so is
+	// IPv4 -> Sketch? No: IPv4 has no edge to the sketches. The sketch
+	// chain Sketch_1 -> Sketch_Min -> DNS_Drop is length 3.
+	for _, p := range paths {
+		if len(p) != 4 {
+			t.Errorf("longest path %v has %d nodes, want 4", p, len(p))
+		}
+	}
+	joined := make([]string, len(paths))
+	for i, p := range paths {
+		joined[i] = strings.Join(p, ">")
+	}
+	all := strings.Join(joined, " ")
+	if !strings.Contains(all, "IPv4>ACL_UDP>ACL_DHCP>DNS_Drop") {
+		t.Errorf("longest paths = %v, want to include the ACL chain", joined)
+	}
+}
+
+func TestLongestPathEdgesAreCandidates(t *testing.T) {
+	g := buildFirewall(t)
+	edges := g.LongestPathEdges()
+	has := func(from, to string) bool {
+		for _, e := range edges {
+			if e.From == from && e.To == to {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("ACL_UDP", "ACL_DHCP") {
+		t.Errorf("candidates %v missing ACL_UDP -> ACL_DHCP", edges)
+	}
+	if has("Sketch_1", "Sketch_Min") {
+		t.Errorf("Sketch_1 -> Sketch_Min is not on the longest path, got %v", edges)
+	}
+	// Candidates must be ordered by control order.
+	for i := 1; i < len(edges); i++ {
+		a := g.Prog.Tables[edges[i-1].From].Order
+		b := g.Prog.Tables[edges[i].From].Order
+		if a > b {
+			t.Errorf("candidates out of order: %v", edges)
+		}
+	}
+}
+
+func TestHitMissArmPruning(t *testing.T) {
+	// After the Phase 2 rewrite, ACL_DHCP lives in ACL_UDP's miss arm, so
+	// acl_drop (hit-only) and dhcp_drop cannot co-occur and the edge
+	// disappears; this is the static fact the compiler exploits.
+	src := `
+header_type udp_t { fields { dstPort : 16; } }
+header udp_t udp;
+action acl_drop() { drop(); }
+action dhcp_drop() { drop(); }
+table ACL_UDP {
+    reads { udp.dstPort : exact; }
+    actions { acl_drop; }
+    size : 16;
+}
+table ACL_DHCP {
+    reads { standard_metadata.ingress_port : exact; }
+    actions { dhcp_drop; }
+    size : 16;
+}
+control ingress {
+    apply(ACL_UDP) {
+        miss {
+            apply(ACL_DHCP);
+        }
+    }
+}
+`
+	ast := p4.MustParse(src)
+	if err := p4.Check(ast); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Build(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(prog)
+	if e := g.Edge("ACL_UDP", "ACL_DHCP"); e != nil {
+		t.Errorf("miss-arm placement should remove the dependency, got pairs %v", e.Pairs)
+	}
+}
+
+func TestMissArmKeepsDefaultConflict(t *testing.T) {
+	// If the outer table's *default* action conflicts, the miss arm does
+	// not help: the default runs exactly when the inner table runs.
+	src := `
+header_type udp_t { fields { dstPort : 16; } }
+header udp_t udp;
+action drop_a() { drop(); }
+action drop_b() { drop(); }
+table outer {
+    reads { udp.dstPort : exact; }
+    actions { drop_a; }
+    size : 16;
+    default_action : drop_a;
+}
+table inner {
+    actions { drop_b; }
+    default_action : drop_b;
+}
+control ingress {
+    apply(outer) {
+        miss {
+            apply(inner);
+        }
+    }
+}
+`
+	ast := p4.MustParse(src)
+	if err := p4.Check(ast); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Build(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(prog)
+	if e := g.Edge("outer", "inner"); e == nil {
+		t.Error("conflicting default action in miss arm must keep the dependency")
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	g := buildFirewall(t)
+	dot := g.Dot()
+	for _, want := range []string{
+		"digraph deps",
+		`"ACL_UDP" -> "ACL_DHCP"`,
+		"diamond",
+		"meta.sketch_count >= 128",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot() missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestMutuallyExclusiveBranchesHaveNoEdge(t *testing.T) {
+	src := `
+header_type m_t { fields { x : 8; } }
+metadata m_t m;
+action d1() { drop(); }
+action d2() { drop(); }
+table t1 { actions { d1; } }
+table t2 { actions { d2; } }
+control ingress {
+    if (m.x == 1) {
+        apply(t1);
+    } else {
+        apply(t2);
+    }
+}
+`
+	ast := p4.MustParse(src)
+	if err := p4.Check(ast); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Build(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(prog)
+	if len(g.Edges) != 0 {
+		t.Errorf("exclusive branches should yield no edges, got %v", g.Edges)
+	}
+}

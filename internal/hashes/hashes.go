@@ -1,0 +1,184 @@
+// Package hashes implements the hash algorithms available to P4
+// field_list_calculations: crc16 (CRC-16/ARC), crc32 (IEEE), and identity.
+// The simulator, the traffic generator, and the software controller all use
+// this package, so the data plane and its software twins agree bit-for-bit.
+package hashes
+
+import "fmt"
+
+// Algorithm is a field-list hash algorithm.
+type Algorithm int
+
+// Supported algorithms.
+const (
+	CRC16 Algorithm = iota
+	CRC32
+	Identity
+	// Csum16 is the RFC 1071 ones-complement checksum, used by
+	// calculated_field updates (e.g. the IPv4 header checksum).
+	Csum16
+)
+
+// FromName resolves a P4 algorithm name.
+func FromName(name string) (Algorithm, error) {
+	switch name {
+	case "crc16":
+		return CRC16, nil
+	case "crc32":
+		return CRC32, nil
+	case "identity":
+		return Identity, nil
+	case "csum16":
+		return Csum16, nil
+	}
+	return 0, fmt.Errorf("hashes: unknown algorithm %q", name)
+}
+
+func (a Algorithm) String() string {
+	switch a {
+	case CRC16:
+		return "crc16"
+	case CRC32:
+		return "crc32"
+	case Identity:
+		return "identity"
+	case Csum16:
+		return "csum16"
+	}
+	return fmt.Sprintf("algorithm(%d)", int(a))
+}
+
+// crc16Table is the CRC-16/ARC table (poly 0x8005, reflected 0xA001).
+var crc16Table = makeCRC16Table()
+
+func makeCRC16Table() [256]uint16 {
+	var t [256]uint16
+	for i := 0; i < 256; i++ {
+		crc := uint16(i)
+		for j := 0; j < 8; j++ {
+			if crc&1 != 0 {
+				crc = (crc >> 1) ^ 0xA001
+			} else {
+				crc >>= 1
+			}
+		}
+		t[i] = crc
+	}
+	return t
+}
+
+// Sum16 computes CRC-16/ARC over data.
+func Sum16(data []byte) uint16 {
+	var crc uint16
+	for _, b := range data {
+		crc = (crc >> 8) ^ crc16Table[byte(crc)^b]
+	}
+	return crc
+}
+
+// crc32Table is the IEEE CRC-32 table (reflected poly 0xEDB88320).
+var crc32Table = makeCRC32Table()
+
+func makeCRC32Table() [256]uint32 {
+	var t [256]uint32
+	for i := 0; i < 256; i++ {
+		crc := uint32(i)
+		for j := 0; j < 8; j++ {
+			if crc&1 != 0 {
+				crc = (crc >> 1) ^ 0xEDB88320
+			} else {
+				crc >>= 1
+			}
+		}
+		t[i] = crc
+	}
+	return t
+}
+
+// Sum32 computes IEEE CRC-32 over data.
+func Sum32(data []byte) uint32 {
+	crc := ^uint32(0)
+	for _, b := range data {
+		crc = (crc >> 8) ^ crc32Table[byte(crc)^b]
+	}
+	return ^crc
+}
+
+// Compute hashes the serialized field-list bytes with the algorithm and
+// truncates the result to outputWidth bits (1..64).
+func Compute(alg Algorithm, data []byte, outputWidth int) uint64 {
+	var v uint64
+	switch alg {
+	case CRC16:
+		v = uint64(Sum16(data))
+	case CRC32:
+		v = uint64(Sum32(data))
+	case Identity:
+		// Low outputWidth bits of the big-endian byte string.
+		for _, b := range data {
+			v = v<<8 | uint64(b)
+		}
+	case Csum16:
+		v = uint64(ChecksumRFC1071(data))
+	}
+	if outputWidth < 64 {
+		v &= (1 << uint(outputWidth)) - 1
+	}
+	return v
+}
+
+// SerializeValues packs field values into bytes for hashing: each value is
+// written big-endian using the field's width rounded up to whole bytes,
+// matching how hardware serializes field lists.
+func SerializeValues(values []uint64, widths []int) []byte {
+	var out []byte
+	for i, v := range values {
+		nbytes := (widths[i] + 7) / 8
+		for b := nbytes - 1; b >= 0; b-- {
+			out = append(out, byte(v>>(8*uint(b))))
+		}
+	}
+	return out
+}
+
+// PackBits packs field values at their exact bit widths, big-endian, the
+// way headers lay out on the wire. The final partial byte, if any, is
+// zero-padded in its low bits. For byte-aligned widths the result equals
+// SerializeValues.
+func PackBits(values []uint64, widths []int) []byte {
+	var out []byte
+	var acc uint64
+	accBits := 0
+	for i, v := range values {
+		w := widths[i]
+		if w < 64 {
+			v &= 1<<uint(w) - 1
+		}
+		acc = acc<<uint(w) | v
+		accBits += w
+		for accBits >= 8 {
+			out = append(out, byte(acc>>uint(accBits-8)))
+			accBits -= 8
+			acc &= 1<<uint(accBits) - 1
+		}
+	}
+	if accBits > 0 {
+		out = append(out, byte(acc<<uint(8-accBits)))
+	}
+	return out
+}
+
+// ChecksumRFC1071 computes the ones-complement checksum over data.
+func ChecksumRFC1071(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,100 @@
+package hashes
+
+import (
+	"hash/crc32"
+	"testing"
+	"testing/quick"
+)
+
+func TestCRC16KnownVectors(t *testing.T) {
+	// CRC-16/ARC check value for "123456789" is 0xBB3D.
+	if got := Sum16([]byte("123456789")); got != 0xBB3D {
+		t.Errorf("Sum16(123456789) = %#x, want 0xBB3D", got)
+	}
+	if got := Sum16(nil); got != 0 {
+		t.Errorf("Sum16(nil) = %#x, want 0", got)
+	}
+}
+
+func TestCRC32MatchesStdlib(t *testing.T) {
+	cases := [][]byte{nil, {0}, []byte("123456789"), []byte("p2go"), make([]byte, 1000)}
+	for _, c := range cases {
+		if got, want := Sum32(c), crc32.ChecksumIEEE(c); got != want {
+			t.Errorf("Sum32(%q) = %#x, want %#x", c, got, want)
+		}
+	}
+}
+
+func TestCRC32PropertyMatchesStdlib(t *testing.T) {
+	f := func(data []byte) bool {
+		return Sum32(data) == crc32.ChecksumIEEE(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	v := Compute(Identity, []byte{0x12, 0x34, 0x56}, 16)
+	if v != 0x3456 {
+		t.Errorf("identity low 16 bits = %#x, want 0x3456", v)
+	}
+	v = Compute(Identity, []byte{0x12, 0x34}, 16)
+	if v != 0x1234 {
+		t.Errorf("identity = %#x, want 0x1234", v)
+	}
+}
+
+func TestComputeTruncates(t *testing.T) {
+	data := []byte("hello world")
+	for _, w := range []int{1, 4, 8, 13, 16, 31, 32, 64} {
+		for _, alg := range []Algorithm{CRC16, CRC32, Identity} {
+			v := Compute(alg, data, w)
+			if w < 64 && v >= 1<<uint(w) {
+				t.Errorf("Compute(%v, w=%d) = %#x exceeds width", alg, w, v)
+			}
+		}
+	}
+}
+
+func TestFromName(t *testing.T) {
+	for name, want := range map[string]Algorithm{"crc16": CRC16, "crc32": CRC32, "identity": Identity} {
+		got, err := FromName(name)
+		if err != nil || got != want {
+			t.Errorf("FromName(%s) = %v, %v", name, got, err)
+		}
+		if got.String() != name {
+			t.Errorf("%v.String() = %s, want %s", got, got.String(), name)
+		}
+	}
+	if _, err := FromName("md5"); err == nil {
+		t.Error("FromName(md5) should fail")
+	}
+}
+
+func TestSerializeValues(t *testing.T) {
+	got := SerializeValues([]uint64{0x1234, 0xAB}, []int{16, 8})
+	want := []byte{0x12, 0x34, 0xAB}
+	if len(got) != len(want) {
+		t.Fatalf("SerializeValues = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SerializeValues = %v, want %v", got, want)
+		}
+	}
+	// 9-bit value occupies two bytes.
+	got = SerializeValues([]uint64{0x1FF}, []int{9})
+	if len(got) != 2 || got[0] != 0x01 || got[1] != 0xFF {
+		t.Errorf("9-bit serialize = %v, want [1 255]", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	for i := 0; i < 3; i++ {
+		if Compute(CRC16, data, 16) != Compute(CRC16, data, 16) {
+			t.Fatal("crc16 not deterministic")
+		}
+	}
+}

@@ -1,0 +1,475 @@
+// Package ir lowers a checked P4 AST into the intermediate representation
+// the rest of the toolchain works on: per-action and per-table field
+// read/write sets, register usage, control-flow ordering, mutual-exclusion
+// facts, and the control graph (all execution paths), which are exactly the
+// compiler artifacts the P2GO paper relies on.
+package ir
+
+import (
+	"fmt"
+	"sort"
+
+	"p2go/internal/p4"
+)
+
+// FieldKey identifies a field as "instance.field".
+type FieldKey string
+
+// Key builds a FieldKey from a p4 field reference.
+func Key(ref p4.FieldRef) FieldKey { return FieldKey(ref.String()) }
+
+// FieldSet is a set of field keys.
+type FieldSet map[FieldKey]struct{}
+
+// Add inserts k.
+func (s FieldSet) Add(k FieldKey) { s[k] = struct{}{} }
+
+// Has reports membership.
+func (s FieldSet) Has(k FieldKey) bool { _, ok := s[k]; return ok }
+
+// Intersects reports whether s and t share any element.
+func (s FieldSet) Intersects(t FieldSet) bool {
+	if len(t) < len(s) {
+		s, t = t, s
+	}
+	for k := range s {
+		if t.Has(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// Intersection returns the sorted common elements of s and t.
+func (s FieldSet) Intersection(t FieldSet) []FieldKey {
+	var out []FieldKey
+	for k := range s {
+		if t.Has(k) {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Sorted returns the elements in sorted order.
+func (s FieldSet) Sorted() []FieldKey {
+	out := make([]FieldKey, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Union returns a new set with all elements of s and t.
+func (s FieldSet) Union(t FieldSet) FieldSet {
+	out := FieldSet{}
+	for k := range s {
+		out.Add(k)
+	}
+	for k := range t {
+		out.Add(k)
+	}
+	return out
+}
+
+// Action is an analyzed action: its declaration plus the fields it reads and
+// writes and the registers it touches. Reads include hash-calculation input
+// fields; a drop() primitive counts as a write to
+// standard_metadata.egress_spec, mirroring how the paper's example explains
+// the IPv4/ACL dependency ("their respective drop actions must set the
+// egress port to a special 'drop' value").
+type Action struct {
+	Name      string
+	Decl      *p4.ActionDecl
+	Reads     FieldSet
+	Writes    FieldSet
+	RegReads  []string
+	RegWrites []string
+	// Counters updated by the action (count primitive).
+	Counters []string
+	Drops    bool
+}
+
+// Table is an analyzed table.
+type Table struct {
+	Name       string
+	Decl       *p4.TableDecl
+	MatchReads FieldSet  // fields the match key reads
+	Actions    []*Action // resolved actions, in declaration order
+	Default    *Action   // resolved default action; nil when none declared
+	Registers  []string  // registers touched by any action, sorted
+	Counters   []string  // counters updated by any action, sorted
+	// Order is the position of the table's apply statement in a
+	// depth-first walk of the controls, ingress first (0-based). The
+	// stage allocator uses it to orient action dependencies.
+	Order int
+	// Pipeline is the control the table is applied in: p4.IngressControl
+	// or p4.EgressControl.
+	Pipeline string
+	// GuardReads is the union of fields read by the conditions (if
+	// predicates) guarding this table's apply statement. A table depends
+	// on whatever wrote those fields ("a table can also depend on a
+	// control statement", Fig. 1).
+	GuardReads FieldSet
+	// GuardedByHitMiss lists the tables whose hit/miss outcome guards this
+	// table (one entry per enclosing hit/miss arm, outermost first).
+	GuardedByHitMiss []HitMissGuard
+	// position encodes the apply statement's location in the control
+	// tree for mutual-exclusion queries.
+	position []armStep
+}
+
+// ActionByName returns the table's action with the given name, or nil.
+func (t *Table) ActionByName(name string) *Action {
+	for _, a := range t.Actions {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// ActionWrites returns the union of the write sets of all actions.
+func (t *Table) ActionWrites() FieldSet {
+	out := FieldSet{}
+	for _, a := range t.Actions {
+		for k := range a.Writes {
+			out.Add(k)
+		}
+	}
+	return out
+}
+
+// ActionReads returns the union of the read sets of all actions.
+func (t *Table) ActionReads() FieldSet {
+	out := FieldSet{}
+	for _, a := range t.Actions {
+		for k := range a.Reads {
+			out.Add(k)
+		}
+	}
+	return out
+}
+
+// HitMissGuard records that a table sits inside the hit or miss arm of
+// another table's apply statement.
+type HitMissGuard struct {
+	Table string
+	OnHit bool // true: inside the hit arm; false: inside the miss arm
+}
+
+// armStep is one step of a control-tree position: the statement (identified
+// by pointer) and which arm of it we descended into.
+type armStep struct {
+	stmt p4.Stmt
+	arm  int // armSeq for plain block order; armThen/armElse/armHit/armMiss otherwise
+}
+
+const (
+	armThen = 1
+	armElse = 2
+	armHit  = 3
+	armMiss = 4
+)
+
+// Program is the analyzed program.
+type Program struct {
+	AST     *p4.Program
+	Tables  map[string]*Table
+	Ordered []*Table // tables in control-flow (walk) order, ingress first
+	Actions map[string]*Action
+	Ingress *p4.ControlDecl
+	// Egress is the optional egress control (nil when absent). Egress
+	// tables compile into their own stage pipeline and never contend
+	// with ingress tables.
+	Egress *p4.ControlDecl
+}
+
+// Build analyzes a checked program. It assumes p4.Check passed.
+func Build(ast *p4.Program) (*Program, error) {
+	prog := &Program{
+		AST:     ast,
+		Tables:  map[string]*Table{},
+		Actions: map[string]*Action{},
+		Ingress: ast.Control(p4.IngressControl),
+		Egress:  ast.Control(p4.EgressControl),
+	}
+	if prog.Ingress == nil {
+		return nil, fmt.Errorf("ir: program has no ingress control")
+	}
+	for _, decl := range ast.Actions {
+		a, err := analyzeAction(ast, decl)
+		if err != nil {
+			return nil, err
+		}
+		prog.Actions[a.Name] = a
+	}
+	for _, decl := range ast.Tables {
+		t := &Table{
+			Name:       decl.Name,
+			Decl:       decl,
+			MatchReads: FieldSet{},
+			GuardReads: FieldSet{},
+			Order:      -1,
+		}
+		for _, r := range decl.Reads {
+			if r.Kind == p4.MatchValid {
+				continue // validity bits are parser outputs, not table writes
+			}
+			t.MatchReads.Add(Key(r.Field))
+		}
+		regs := map[string]bool{}
+		ctrs := map[string]bool{}
+		for _, an := range decl.ActionNames {
+			a := prog.Actions[an]
+			if a == nil {
+				return nil, fmt.Errorf("ir: table %s references unknown action %s", decl.Name, an)
+			}
+			t.Actions = append(t.Actions, a)
+			for _, r := range a.RegReads {
+				regs[r] = true
+			}
+			for _, r := range a.RegWrites {
+				regs[r] = true
+			}
+			for _, c := range a.Counters {
+				ctrs[c] = true
+			}
+		}
+		if decl.DefaultAction != "" {
+			t.Default = prog.Actions[decl.DefaultAction]
+		}
+		for r := range regs {
+			t.Registers = append(t.Registers, r)
+		}
+		sort.Strings(t.Registers)
+		for c := range ctrs {
+			t.Counters = append(t.Counters, c)
+		}
+		sort.Strings(t.Counters)
+		prog.Tables[decl.Name] = t
+	}
+	if err := prog.walkControl(); err != nil {
+		return nil, err
+	}
+	if err := prog.validateRegisters(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// walkControl assigns Order, GuardReads, GuardedByHitMiss, and position to
+// every applied table.
+func (p *Program) walkControl() error {
+	order := 0
+	pipeline := p4.IngressControl
+	var walk func(b *p4.BlockStmt, guards FieldSet, hitMiss []HitMissGuard, pos []armStep) error
+	walk = func(b *p4.BlockStmt, guards FieldSet, hitMiss []HitMissGuard, pos []armStep) error {
+		if b == nil {
+			return nil
+		}
+		for _, s := range b.Stmts {
+			switch v := s.(type) {
+			case *p4.ApplyStmt:
+				t := p.Tables[v.Table]
+				if t == nil {
+					return fmt.Errorf("ir: apply of unknown table %s", v.Table)
+				}
+				if t.Order >= 0 {
+					return fmt.Errorf("ir: table %s applied more than once", v.Table)
+				}
+				t.Order = order
+				order++
+				t.Pipeline = pipeline
+				t.GuardReads = guards.Union(nil)
+				t.GuardedByHitMiss = append([]HitMissGuard(nil), hitMiss...)
+				t.position = append(append([]armStep(nil), pos...), armStep{stmt: s, arm: 0})
+				hitHM := append(append([]HitMissGuard(nil), hitMiss...), HitMissGuard{Table: v.Table, OnHit: true})
+				missHM := append(append([]HitMissGuard(nil), hitMiss...), HitMissGuard{Table: v.Table, OnHit: false})
+				if err := walk(v.Hit, guards, hitHM, append(pos, armStep{stmt: s, arm: armHit})); err != nil {
+					return err
+				}
+				if err := walk(v.Miss, guards, missHM, append(pos, armStep{stmt: s, arm: armMiss})); err != nil {
+					return err
+				}
+			case *p4.IfStmt:
+				condReads := boolExprReads(v.Cond)
+				childGuards := guards.Union(condReads)
+				if err := walk(v.Then, childGuards, hitMiss, append(pos, armStep{stmt: s, arm: armThen})); err != nil {
+					return err
+				}
+				if err := walk(v.Else, childGuards, hitMiss, append(pos, armStep{stmt: s, arm: armElse})); err != nil {
+					return err
+				}
+			case *p4.BlockStmt:
+				if err := walk(v, guards, hitMiss, pos); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(p.Ingress.Body, FieldSet{}, nil, nil); err != nil {
+		return err
+	}
+	if p.Egress != nil {
+		pipeline = p4.EgressControl
+		if err := walk(p.Egress.Body, FieldSet{}, nil, nil); err != nil {
+			return err
+		}
+	}
+	for _, t := range p.Tables {
+		if t.Order >= 0 {
+			p.Ordered = append(p.Ordered, t)
+		}
+	}
+	sort.Slice(p.Ordered, func(i, j int) bool { return p.Ordered[i].Order < p.Ordered[j].Order })
+	return nil
+}
+
+// validateRegisters enforces the RMT constraint that a register array or
+// counter is accessed by a single table (stateful memory lives in exactly
+// one stage).
+func (p *Program) validateRegisters() error {
+	owner := map[string]string{}
+	for _, t := range p.Ordered {
+		for _, r := range t.Registers {
+			if prev, ok := owner[r]; ok && prev != t.Name {
+				return fmt.Errorf("ir: register %s accessed by both %s and %s; a register must be local to one table", r, prev, t.Name)
+			}
+			owner[r] = t.Name
+		}
+		for _, c := range t.Counters {
+			key := "counter:" + c
+			if prev, ok := owner[key]; ok && prev != t.Name {
+				return fmt.Errorf("ir: counter %s accessed by both %s and %s; a counter must be local to one table", c, prev, t.Name)
+			}
+			owner[key] = t.Name
+		}
+	}
+	return nil
+}
+
+// MutuallyExclusive reports whether tables a and b can never both be applied
+// to the same packet, determined structurally: their apply statements sit in
+// different arms of the same if/else or hit/miss statement.
+func (p *Program) MutuallyExclusive(a, b string) bool {
+	ta, tb := p.Tables[a], p.Tables[b]
+	if ta == nil || tb == nil || ta.Order < 0 || tb.Order < 0 {
+		return false
+	}
+	pa, pb := ta.position, tb.position
+	n := len(pa)
+	if len(pb) < n {
+		n = len(pb)
+	}
+	for i := 0; i < n; i++ {
+		if pa[i].stmt != pb[i].stmt {
+			return false // diverged at different statements of the same block: both can run
+		}
+		if pa[i].arm != pb[i].arm {
+			// Same statement, different arms. then/else and hit/miss
+			// arms are exclusive; arm 0 (the apply itself) vs the hit
+			// arm means the hit block runs in addition to the apply.
+			ea := pa[i].arm
+			eb := pb[i].arm
+			exclusivePair := (ea == armThen && eb == armElse) || (ea == armElse && eb == armThen) ||
+				(ea == armHit && eb == armMiss) || (ea == armMiss && eb == armHit)
+			return exclusivePair
+		}
+	}
+	return false
+}
+
+func analyzeAction(ast *p4.Program, decl *p4.ActionDecl) (*Action, error) {
+	a := &Action{Name: decl.Name, Decl: decl, Reads: FieldSet{}, Writes: FieldSet{}}
+	addRead := func(e p4.Expr) {
+		if ref, ok := e.(p4.FieldRef); ok && ref.Field != "" {
+			a.Reads.Add(Key(ref))
+		}
+	}
+	addWrite := func(e p4.Expr) {
+		if ref, ok := e.(p4.FieldRef); ok && ref.Field != "" {
+			a.Writes.Add(Key(ref))
+		}
+	}
+	for _, call := range decl.Body {
+		switch call.Name {
+		case p4.PrimModifyField:
+			addWrite(call.Args[0])
+			addRead(call.Args[1])
+		case p4.PrimAddToField, p4.PrimSubFromField:
+			addWrite(call.Args[0])
+			addRead(call.Args[0]) // read-modify-write
+			addRead(call.Args[1])
+		case p4.PrimBitAnd, p4.PrimBitOr, p4.PrimBitXor, p4.PrimMin, p4.PrimMax:
+			addWrite(call.Args[0])
+			addRead(call.Args[1])
+			addRead(call.Args[2])
+		case p4.PrimDrop:
+			a.Drops = true
+			a.Writes.Add(FieldKey(p4.StandardMetadataName + "." + p4.FieldEgressSpec))
+		case p4.PrimNoOp:
+		case p4.PrimRegisterRead:
+			addWrite(call.Args[0])
+			reg := call.Args[1].(p4.FieldRef).Instance
+			a.RegReads = append(a.RegReads, reg)
+			addRead(call.Args[2])
+		case p4.PrimRegisterWrite:
+			reg := call.Args[0].(p4.FieldRef).Instance
+			a.RegWrites = append(a.RegWrites, reg)
+			addRead(call.Args[1])
+			addRead(call.Args[2])
+		case p4.PrimCount:
+			ctr := call.Args[0].(p4.FieldRef).Instance
+			a.Counters = append(a.Counters, ctr)
+			addRead(call.Args[1])
+		case p4.PrimHashOffset:
+			addWrite(call.Args[0])
+			addRead(call.Args[1])
+			calcName := call.Args[2].(p4.FieldRef).Instance
+			calc := ast.Calculation(calcName)
+			if calc == nil {
+				return nil, fmt.Errorf("ir: action %s: unknown calculation %s", decl.Name, calcName)
+			}
+			fl := ast.FieldList(calc.Input)
+			if fl == nil {
+				return nil, fmt.Errorf("ir: action %s: calculation %s has unknown field list %s", decl.Name, calcName, calc.Input)
+			}
+			for _, f := range fl.Fields {
+				a.Reads.Add(Key(f))
+			}
+			addRead(call.Args[3])
+		default:
+			return nil, fmt.Errorf("ir: action %s: unknown primitive %s", decl.Name, call.Name)
+		}
+	}
+	return a, nil
+}
+
+// boolExprReads collects the fields a boolean expression reads.
+func boolExprReads(e p4.BoolExpr) FieldSet {
+	out := FieldSet{}
+	var visit func(p4.BoolExpr)
+	visit = func(e p4.BoolExpr) {
+		switch v := e.(type) {
+		case *p4.CompareExpr:
+			for _, side := range []p4.Expr{v.Left, v.Right} {
+				if ref, ok := side.(p4.FieldRef); ok && ref.Field != "" {
+					out.Add(Key(ref))
+				}
+			}
+		case *p4.BinaryBoolExpr:
+			visit(v.Left)
+			visit(v.Right)
+		case *p4.NotExpr:
+			visit(v.X)
+		case *p4.ValidExpr:
+			// Validity is set by the parser, not by tables: no field read.
+		}
+	}
+	visit(e)
+	return out
+}

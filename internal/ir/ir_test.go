@@ -1,0 +1,353 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"p2go/internal/p4"
+)
+
+const testProgram = `
+header_type ipv4_t {
+    fields {
+        srcAddr : 32;
+        dstAddr : 32;
+        proto : 8;
+    }
+}
+header_type udp_t {
+    fields {
+        srcPort : 16;
+        dstPort : 16;
+    }
+}
+header_type meta_t {
+    fields {
+        idx1 : 16;
+        count1 : 32;
+        sketch_count : 32;
+    }
+}
+header ipv4_t ipv4;
+header udp_t udp;
+metadata meta_t meta;
+
+register r1 {
+    width : 32;
+    instance_count : 256;
+}
+
+field_list flow {
+    ipv4.srcAddr;
+    ipv4.dstAddr;
+}
+field_list_calculation h1 {
+    input { flow; }
+    algorithm : crc16;
+    output_width : 16;
+}
+
+parser start {
+    extract(ipv4);
+    return ingress;
+}
+
+action set_port(port) {
+    modify_field(standard_metadata.egress_spec, port);
+}
+action do_drop() {
+    drop();
+}
+action sketch_update() {
+    modify_field_with_hash_based_offset(meta.idx1, 0, h1, 256);
+    register_read(meta.count1, r1, meta.idx1);
+    add_to_field(meta.count1, 1);
+    register_write(r1, meta.idx1, meta.count1);
+    min(meta.sketch_count, meta.count1, meta.count1);
+}
+action alarm() {
+    drop();
+}
+
+table fwd {
+    reads { ipv4.dstAddr : lpm; }
+    actions { set_port; do_drop; }
+    size : 16;
+    default_action : do_drop;
+}
+table acl_udp {
+    reads { udp.dstPort : exact; }
+    actions { do_drop; }
+    size : 8;
+}
+table sketch {
+    actions { sketch_update; }
+    default_action : sketch_update;
+}
+table dns_drop {
+    actions { alarm; }
+    default_action : alarm;
+}
+table t_then {
+    actions { set_port; }
+}
+table t_else {
+    actions { set_port; }
+}
+
+control ingress {
+    apply(fwd);
+    if (valid(udp)) {
+        apply(acl_udp);
+        apply(sketch);
+        if (meta.sketch_count >= 128) {
+            apply(dns_drop);
+        }
+    }
+    if (ipv4.proto == 6) {
+        apply(t_then);
+    } else {
+        apply(t_else);
+    }
+}
+`
+
+func buildTest(t *testing.T) *Program {
+	t.Helper()
+	ast, err := p4.Parse(testProgram)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := p4.Check(ast); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	prog, err := Build(ast)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return prog
+}
+
+func TestActionReadWriteSets(t *testing.T) {
+	prog := buildTest(t)
+	su := prog.Actions["sketch_update"]
+	for _, want := range []FieldKey{"ipv4.srcAddr", "ipv4.dstAddr", "meta.idx1", "meta.count1"} {
+		if !su.Reads.Has(want) {
+			t.Errorf("sketch_update reads missing %s (got %v)", want, su.Reads.Sorted())
+		}
+	}
+	for _, want := range []FieldKey{"meta.idx1", "meta.count1", "meta.sketch_count"} {
+		if !su.Writes.Has(want) {
+			t.Errorf("sketch_update writes missing %s (got %v)", want, su.Writes.Sorted())
+		}
+	}
+	if len(su.RegReads) != 1 || su.RegReads[0] != "r1" {
+		t.Errorf("RegReads = %v, want [r1]", su.RegReads)
+	}
+	if len(su.RegWrites) != 1 || su.RegWrites[0] != "r1" {
+		t.Errorf("RegWrites = %v, want [r1]", su.RegWrites)
+	}
+	dd := prog.Actions["do_drop"]
+	if !dd.Drops {
+		t.Error("do_drop.Drops = false")
+	}
+	if !dd.Writes.Has("standard_metadata.egress_spec") {
+		t.Error("drop() should write standard_metadata.egress_spec")
+	}
+}
+
+func TestTableAnalysis(t *testing.T) {
+	prog := buildTest(t)
+	fwd := prog.Tables["fwd"]
+	if !fwd.MatchReads.Has("ipv4.dstAddr") {
+		t.Errorf("fwd match reads = %v", fwd.MatchReads.Sorted())
+	}
+	if fwd.Default == nil || fwd.Default.Name != "do_drop" {
+		t.Errorf("fwd default = %v", fwd.Default)
+	}
+	sk := prog.Tables["sketch"]
+	if len(sk.Registers) != 1 || sk.Registers[0] != "r1" {
+		t.Errorf("sketch registers = %v", sk.Registers)
+	}
+	if !sk.ActionWrites().Has("meta.sketch_count") {
+		t.Error("sketch ActionWrites missing meta.sketch_count")
+	}
+}
+
+func TestControlOrderAndGuards(t *testing.T) {
+	prog := buildTest(t)
+	var names []string
+	for _, tbl := range prog.Ordered {
+		names = append(names, tbl.Name)
+	}
+	want := "fwd,acl_udp,sketch,dns_drop,t_then,t_else"
+	if got := strings.Join(names, ","); got != want {
+		t.Fatalf("order = %s, want %s", got, want)
+	}
+	dd := prog.Tables["dns_drop"]
+	if !dd.GuardReads.Has("meta.sketch_count") {
+		t.Errorf("dns_drop guard reads = %v, want to include meta.sketch_count", dd.GuardReads.Sorted())
+	}
+	if prog.Tables["acl_udp"].GuardReads.Has("meta.sketch_count") {
+		t.Error("acl_udp should not be guarded by the sketch_count condition")
+	}
+	tt := prog.Tables["t_then"]
+	if !tt.GuardReads.Has("ipv4.proto") {
+		t.Errorf("t_then guard reads = %v", tt.GuardReads.Sorted())
+	}
+}
+
+func TestMutualExclusion(t *testing.T) {
+	prog := buildTest(t)
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"t_then", "t_else", true},
+		{"fwd", "acl_udp", false},
+		{"acl_udp", "sketch", false},
+		{"dns_drop", "t_then", false},
+		{"fwd", "t_else", false},
+	}
+	for _, c := range cases {
+		if got := prog.MutuallyExclusive(c.a, c.b); got != c.want {
+			t.Errorf("MutuallyExclusive(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := prog.MutuallyExclusive(c.b, c.a); got != c.want {
+			t.Errorf("MutuallyExclusive(%s, %s) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestMutualExclusionHitMiss(t *testing.T) {
+	src := `
+action a() { no_op(); }
+table t0 { actions { a; } }
+table t_hit { actions { a; } }
+table t_miss { actions { a; } }
+control ingress {
+    apply(t0) {
+        hit { apply(t_hit); }
+        miss { apply(t_miss); }
+    }
+}
+`
+	ast := p4.MustParse(src)
+	if err := p4.Check(ast); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Build(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.MutuallyExclusive("t_hit", "t_miss") {
+		t.Error("hit and miss arms should be mutually exclusive")
+	}
+	if prog.MutuallyExclusive("t0", "t_hit") {
+		t.Error("a table and its hit arm are not mutually exclusive")
+	}
+	hm := prog.Tables["t_hit"].GuardedByHitMiss
+	if len(hm) != 1 || hm[0].Table != "t0" || !hm[0].OnHit {
+		t.Errorf("t_hit GuardedByHitMiss = %v, want [{t0 true}]", hm)
+	}
+	hmMiss := prog.Tables["t_miss"].GuardedByHitMiss
+	if len(hmMiss) != 1 || hmMiss[0].Table != "t0" || hmMiss[0].OnHit {
+		t.Errorf("t_miss GuardedByHitMiss = %v, want [{t0 false}]", hmMiss)
+	}
+}
+
+func TestEnumeratePaths(t *testing.T) {
+	src := `
+header_type m_t { fields { x : 8; } }
+metadata m_t m;
+action a() { no_op(); }
+table t1 { actions { a; } }
+table t2 { actions { a; } }
+control ingress {
+    apply(t1);
+    if (m.x == 1) {
+        apply(t2);
+    }
+}
+`
+	ast := p4.MustParse(src)
+	if err := p4.Check(ast); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Build(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := prog.EnumeratePaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t1 hit/miss x (t2 applied hit/miss, or skipped) = 2 * 3 = 6 paths.
+	if len(paths) != 6 {
+		var got []string
+		for _, p := range paths {
+			got = append(got, p.String())
+		}
+		t.Fatalf("paths = %d, want 6:\n%s", len(paths), strings.Join(got, "\n"))
+	}
+}
+
+func TestEnumeratePathsHitMissArms(t *testing.T) {
+	prog := buildTest(t)
+	paths, err := prog.EnumeratePaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every path contains fwd and exactly one of t_then/t_else.
+	for _, p := range paths {
+		tables := strings.Join(p.Tables(), ",")
+		if !strings.Contains(tables, "fwd") {
+			t.Errorf("path %s missing fwd", p)
+		}
+		hasThen := strings.Contains(tables, "t_then")
+		hasElse := strings.Contains(tables, "t_else")
+		if hasThen == hasElse {
+			t.Errorf("path %s should contain exactly one of t_then/t_else", p)
+		}
+	}
+}
+
+func TestRegisterSharedByTwoTablesRejected(t *testing.T) {
+	src := `
+header_type m_t { fields { i : 16; v : 32; } }
+metadata m_t m;
+register r { width : 32; instance_count : 16; }
+action rd() { register_read(m.v, r, m.i); }
+action wr() { register_write(r, m.i, m.v); }
+table t1 { actions { rd; } }
+table t2 { actions { wr; } }
+control ingress { apply(t1); apply(t2); }
+`
+	ast := p4.MustParse(src)
+	if err := p4.Check(ast); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(ast); err == nil {
+		t.Error("expected error for register shared across tables")
+	}
+}
+
+func TestFieldSetOps(t *testing.T) {
+	a := FieldSet{"x.a": {}, "x.b": {}}
+	b := FieldSet{"x.b": {}, "x.c": {}}
+	if !a.Intersects(b) {
+		t.Error("Intersects = false, want true")
+	}
+	inter := a.Intersection(b)
+	if len(inter) != 1 || inter[0] != "x.b" {
+		t.Errorf("Intersection = %v", inter)
+	}
+	u := a.Union(b)
+	if len(u) != 3 {
+		t.Errorf("Union size = %d, want 3", len(u))
+	}
+	empty := FieldSet{}
+	if empty.Intersects(a) || a.Intersects(empty) {
+		t.Error("empty set should not intersect")
+	}
+}

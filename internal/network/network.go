@@ -1,0 +1,264 @@
+// Package network is a demonstrator for the paper's third future-work
+// direction (§6, "Network-wide compilation"): several programmable
+// switches connected by links, a network-level traffic injection, and
+// per-device trace collection feeding per-device P2GO runs.
+//
+// The paper notes that "for individual devices, these inputs can be
+// recorded with relative ease" and poses network-wide optimization as an
+// open research question; this package implements the per-device baseline
+// that question starts from: replay a network trace through the topology,
+// record what each device actually sees, and optimize every device with
+// its own representative trace.
+package network
+
+import (
+	"fmt"
+	"sort"
+
+	"p2go/internal/core"
+	"p2go/internal/ir"
+	"p2go/internal/p4"
+	"p2go/internal/rt"
+	"p2go/internal/sim"
+	"p2go/internal/trafficgen"
+)
+
+// Hop identifies an attachment point: a device and one of its ports.
+type Hop struct {
+	Device string
+	Port   uint64
+}
+
+// Device is one programmable switch.
+type Device struct {
+	Name    string
+	Program *p4.Program
+	Config  *rt.Config
+
+	sw *sim.Switch
+}
+
+// Topology is a set of devices plus unidirectional links from a device's
+// egress port to another device's ingress port. An egress port with no
+// link leaves the network.
+type Topology struct {
+	devices map[string]*Device
+	links   map[Hop]Hop
+}
+
+// NewTopology builds an empty topology.
+func NewTopology() *Topology {
+	return &Topology{devices: map[string]*Device{}, links: map[Hop]Hop{}}
+}
+
+// AddDevice boots a device's data plane and registers it.
+func (t *Topology) AddDevice(name string, prog *p4.Program, cfg *rt.Config) error {
+	if _, ok := t.devices[name]; ok {
+		return fmt.Errorf("network: duplicate device %q", name)
+	}
+	ast := p4.Clone(prog)
+	if err := p4.Check(ast); err != nil {
+		return fmt.Errorf("network: device %s: %w", name, err)
+	}
+	built, err := ir.Build(ast)
+	if err != nil {
+		return fmt.Errorf("network: device %s: %w", name, err)
+	}
+	sw, err := sim.New(built, cfg, sim.Options{})
+	if err != nil {
+		return fmt.Errorf("network: device %s: %w", name, err)
+	}
+	t.devices[name] = &Device{Name: name, Program: prog, Config: cfg, sw: sw}
+	return nil
+}
+
+// Link wires an egress port of one device to an ingress port of another.
+func (t *Topology) Link(from Hop, to Hop) error {
+	if _, ok := t.devices[from.Device]; !ok {
+		return fmt.Errorf("network: unknown device %q", from.Device)
+	}
+	if _, ok := t.devices[to.Device]; !ok {
+		return fmt.Errorf("network: unknown device %q", to.Device)
+	}
+	if _, dup := t.links[from]; dup {
+		return fmt.Errorf("network: port %d of %s already linked", from.Port, from.Device)
+	}
+	t.links[from] = to
+	return nil
+}
+
+// Devices lists the registered device names, sorted.
+func (t *Topology) Devices() []string {
+	var out []string
+	for n := range t.devices {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// maxHops bounds forwarding loops.
+const maxHops = 16
+
+// Step is one device traversal of a packet's journey.
+type Step struct {
+	Device  string
+	Ingress uint64
+	Egress  uint64
+	Dropped bool
+	ToCPU   bool
+}
+
+// Journey is the full path of one injected packet.
+type Journey struct {
+	Steps []Step
+	// Final reports how the packet left the network.
+	Dropped bool
+	ToCPU   bool
+	Exit    *Hop // nil when dropped/redirected; else the egress attachment
+}
+
+// Inject sends one packet into the network at the given attachment point
+// and follows it across links until it exits, is dropped, or is redirected
+// to a controller.
+func (t *Topology) Inject(at Hop, data []byte) (*Journey, error) {
+	j := &Journey{}
+	cur := at
+	payload := append([]byte(nil), data...)
+	for hop := 0; ; hop++ {
+		if hop >= maxHops {
+			return nil, fmt.Errorf("network: packet exceeded %d hops (forwarding loop?)", maxHops)
+		}
+		dev, ok := t.devices[cur.Device]
+		if !ok {
+			return nil, fmt.Errorf("network: unknown device %q", cur.Device)
+		}
+		out, err := dev.sw.Process(sim.Input{Port: cur.Port, Data: payload})
+		if err != nil {
+			return nil, fmt.Errorf("network: device %s: %w", cur.Device, err)
+		}
+		step := Step{Device: cur.Device, Ingress: cur.Port, Egress: out.Port,
+			Dropped: out.Dropped, ToCPU: out.ToCPU}
+		j.Steps = append(j.Steps, step)
+		if out.Dropped {
+			j.Dropped = true
+			return j, nil
+		}
+		if out.ToCPU {
+			j.ToCPU = true
+			return j, nil
+		}
+		payload = out.Data
+		next, linked := t.links[Hop{Device: cur.Device, Port: out.Port}]
+		if !linked {
+			exit := Hop{Device: cur.Device, Port: out.Port}
+			j.Exit = &exit
+			return j, nil
+		}
+		cur = next
+	}
+}
+
+// Injection is one packet entering the network.
+type Injection struct {
+	At   Hop
+	Data []byte
+}
+
+// CollectDeviceTraces replays the injections through the topology and
+// records, per device, the traffic it actually saw — the representative
+// per-device traces P2GO needs ("the network programmer has access to the
+// device of interest").
+func (t *Topology) CollectDeviceTraces(injections []Injection) (map[string]*trafficgen.Trace, error) {
+	// Fresh switch state so collection is reproducible.
+	for _, d := range t.devices {
+		d.sw.Reset()
+	}
+	traces := map[string]*trafficgen.Trace{}
+	for name := range t.devices {
+		traces[name] = &trafficgen.Trace{}
+	}
+	for i, inj := range injections {
+		cur := inj.At
+		payload := append([]byte(nil), inj.Data...)
+		for hop := 0; ; hop++ {
+			if hop >= maxHops {
+				return nil, fmt.Errorf("network: injection %d exceeded %d hops", i, maxHops)
+			}
+			dev := t.devices[cur.Device]
+			if dev == nil {
+				return nil, fmt.Errorf("network: unknown device %q", cur.Device)
+			}
+			traces[cur.Device].Packets = append(traces[cur.Device].Packets,
+				trafficgen.Packet{Port: cur.Port, Data: append([]byte(nil), payload...)})
+			out, err := dev.sw.Process(sim.Input{Port: cur.Port, Data: payload})
+			if err != nil {
+				return nil, err
+			}
+			if out.Dropped || out.ToCPU {
+				break
+			}
+			payload = out.Data
+			next, linked := t.links[Hop{Device: cur.Device, Port: out.Port}]
+			if !linked {
+				break
+			}
+			cur = next
+		}
+	}
+	return traces, nil
+}
+
+// DeviceResult is one device's optimization outcome.
+type DeviceResult struct {
+	Device string
+	Result *core.Result
+}
+
+// FleetReport aggregates per-device optimizations.
+type FleetReport struct {
+	Results []DeviceResult
+}
+
+// TotalStagesBefore sums the fleet's initial stage counts.
+func (f *FleetReport) TotalStagesBefore() int {
+	n := 0
+	for _, r := range f.Results {
+		n += r.Result.StagesBefore()
+	}
+	return n
+}
+
+// TotalStagesAfter sums the fleet's optimized stage counts.
+func (f *FleetReport) TotalStagesAfter() int {
+	n := 0
+	for _, r := range f.Results {
+		n += r.Result.StagesAfter()
+	}
+	return n
+}
+
+// OptimizeAll runs P2GO independently on every device using its collected
+// trace — the per-device baseline the paper's network-wide research
+// question starts from. Devices whose trace is empty are skipped (P2GO
+// needs a representative trace).
+func (t *Topology) OptimizeAll(injections []Injection, opts core.Options) (*FleetReport, error) {
+	traces, err := t.CollectDeviceTraces(injections)
+	if err != nil {
+		return nil, err
+	}
+	report := &FleetReport{}
+	for _, name := range t.Devices() {
+		dev := t.devices[name]
+		trace := traces[name]
+		if len(trace.Packets) == 0 {
+			continue
+		}
+		res, err := core.New(opts).Optimize(dev.Program, dev.Config, trace)
+		if err != nil {
+			return nil, fmt.Errorf("network: optimizing %s: %w", name, err)
+		}
+		report.Results = append(report.Results, DeviceResult{Device: name, Result: res})
+	}
+	return report, nil
+}

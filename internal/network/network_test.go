@@ -1,0 +1,202 @@
+package network
+
+import (
+	"testing"
+
+	"p2go/internal/core"
+	"p2go/internal/p4"
+	"p2go/internal/programs"
+	"p2go/internal/rt"
+	"p2go/internal/trafficgen"
+)
+
+// coreRouter is a minimal second device: routes the enterprise prefix
+// onward and drops everything else.
+const coreRouter = `
+header_type ethernet_t {
+    fields { dstAddr : 48; srcAddr : 48; etherType : 16; }
+}
+header_type ipv4_t {
+    fields {
+        version : 4; ihl : 4; diffserv : 8; totalLen : 16;
+        identification : 16; flags : 3; fragOffset : 13;
+        ttl : 8; protocol : 8; hdrChecksum : 16;
+        srcAddr : 32; dstAddr : 32;
+    }
+}
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        0x0800 : parse_ipv4;
+        default : ingress;
+    }
+}
+parser parse_ipv4 { extract(ipv4); return ingress; }
+action fwd(p) { modify_field(standard_metadata.egress_spec, p); }
+action core_drop() { drop(); }
+table core_routes {
+    reads { ipv4.dstAddr : lpm; }
+    actions { fwd; core_drop; }
+    size : 64;
+    default_action : core_drop;
+}
+control ingress {
+    if (valid(ipv4)) {
+        apply(core_routes);
+    }
+}
+`
+
+func buildTopology(t *testing.T) *Topology {
+	t.Helper()
+	topo := NewTopology()
+	if err := topo.AddDevice("edge", p4.MustParse(programs.Ex1), programs.Ex1Config()); err != nil {
+		t.Fatal(err)
+	}
+	coreCfg, err := rt.Parse("table_add core_routes fwd 10.0.0.0/8 => 12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddDevice("corert", p4.MustParse(coreRouter), coreCfg); err != nil {
+		t.Fatal(err)
+	}
+	// The edge firewall forwards to ports 3/4/5 (its routes); all three
+	// uplinks land on the core router.
+	for _, port := range []uint64{3, 4, 5} {
+		if err := topo.Link(Hop{"edge", port}, Hop{"corert", 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return topo
+}
+
+func enterpriseInjections(t *testing.T) []Injection {
+	t.Helper()
+	trace, err := trafficgen.EnterpriseTrace(trafficgen.EnterpriseSpec{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Injection, len(trace.Packets))
+	for i, pkt := range trace.Packets {
+		out[i] = Injection{At: Hop{"edge", pkt.Port}, Data: pkt.Data}
+	}
+	return out
+}
+
+func TestInjectJourney(t *testing.T) {
+	topo := buildTopology(t)
+	inj := enterpriseInjections(t)
+	// The first packet of the trace is forwarded by the edge and then by
+	// the core (all trace destinations are in 10/8).
+	j, err := topo.Inject(inj[0].At, inj[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Dropped && len(j.Steps) == 1 {
+		// A blocked packet dies at the edge; find a forwarded one.
+		for _, x := range inj[:50] {
+			j, err = topo.Inject(x.At, x.Data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !j.Dropped {
+				break
+			}
+		}
+	}
+	if j.Dropped {
+		t.Fatal("expected a forwarded packet in the first 50")
+	}
+	if len(j.Steps) != 2 {
+		t.Fatalf("journey steps = %d, want 2 (edge then core): %+v", len(j.Steps), j.Steps)
+	}
+	if j.Steps[0].Device != "edge" || j.Steps[1].Device != "corert" {
+		t.Errorf("path = %+v", j.Steps)
+	}
+	if j.Exit == nil || j.Exit.Port != 12 {
+		t.Errorf("exit = %+v, want port 12 on the core", j.Exit)
+	}
+}
+
+func TestCollectDeviceTraces(t *testing.T) {
+	topo := buildTopology(t)
+	inj := enterpriseInjections(t)
+	traces, err := topo.CollectDeviceTraces(inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(traces["edge"].Packets); got != len(inj) {
+		t.Errorf("edge sees %d packets, want all %d", got, len(inj))
+	}
+	// The core sees only what the edge forwards: everything except the
+	// firewall's drops (8% blocked UDP + 14% rogue DHCP + 1% DNS limit).
+	coreN := len(traces["corert"].Packets)
+	wantCore := len(inj) - (1600 + 2800 + 200)
+	if coreN != wantCore {
+		t.Errorf("core sees %d packets, want %d", coreN, wantCore)
+	}
+}
+
+func TestOptimizeFleet(t *testing.T) {
+	topo := buildTopology(t)
+	inj := enterpriseInjections(t)
+	report, err := topo.OptimizeAll(inj, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 2 {
+		t.Fatalf("results = %d devices, want 2", len(report.Results))
+	}
+	// Edge: the full Ex. 1 story (8 -> 3). Core: already minimal (1).
+	if report.TotalStagesBefore() != 8+1 {
+		t.Errorf("fleet stages before = %d, want 9", report.TotalStagesBefore())
+	}
+	if report.TotalStagesAfter() != 3+1 {
+		t.Errorf("fleet stages after = %d, want 4", report.TotalStagesAfter())
+	}
+	for _, r := range report.Results {
+		if r.Device == "edge" && len(r.Result.OffloadedTables) == 0 {
+			t.Error("edge device should offload the DNS branch")
+		}
+	}
+}
+
+func TestTopologyErrors(t *testing.T) {
+	topo := NewTopology()
+	if err := topo.AddDevice("a", p4.MustParse(programs.Quickstart), programs.QuickstartConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddDevice("a", p4.MustParse(programs.Quickstart), programs.QuickstartConfig()); err == nil {
+		t.Error("duplicate device should fail")
+	}
+	if err := topo.Link(Hop{"ghost", 1}, Hop{"a", 1}); err == nil {
+		t.Error("link from unknown device should fail")
+	}
+	if err := topo.Link(Hop{"a", 1}, Hop{"ghost", 1}); err == nil {
+		t.Error("link to unknown device should fail")
+	}
+	if _, err := topo.Inject(Hop{"ghost", 1}, []byte{1}); err == nil {
+		t.Error("inject at unknown device should fail")
+	}
+}
+
+func TestForwardingLoopDetected(t *testing.T) {
+	topo := NewTopology()
+	// A device that forwards everything to port 1, linked to itself.
+	src := `
+action fwd() { modify_field(standard_metadata.egress_spec, 1); }
+table t { actions { fwd; } default_action : fwd; }
+control ingress { apply(t); }
+`
+	if err := topo.AddDevice("loop", p4.MustParse(src), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Link(Hop{"loop", 1}, Hop{"loop", 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.Inject(Hop{"loop", 1}, []byte{1}); err == nil {
+		t.Error("forwarding loop should be detected")
+	}
+}

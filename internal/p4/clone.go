@@ -1,0 +1,196 @@
+package p4
+
+// Clone returns a deep copy of the program. Optimization passes clone before
+// rewriting so the original AST stays intact for comparison and reporting.
+func Clone(p *Program) *Program {
+	out := &Program{}
+	for _, d := range p.Decls {
+		// addDecl cannot fail here: names were unique in the source program.
+		if err := out.addDecl(cloneDecl(d)); err != nil {
+			panic("p4: clone produced duplicate declaration: " + err.Error())
+		}
+	}
+	return out
+}
+
+func cloneDecl(d Decl) Decl {
+	switch v := d.(type) {
+	case *HeaderType:
+		ht := &HeaderType{Name: v.Name}
+		for _, f := range v.Fields {
+			cp := *f
+			ht.Fields = append(ht.Fields, &cp)
+		}
+		return ht
+	case *Instance:
+		cp := *v
+		return &cp
+	case *Register:
+		cp := *v
+		return &cp
+	case *Counter:
+		cp := *v
+		return &cp
+	case *FieldList:
+		fl := &FieldList{Name: v.Name}
+		fl.Fields = append(fl.Fields, v.Fields...)
+		return fl
+	case *FieldListCalc:
+		cp := *v
+		return &cp
+	case *CalculatedField:
+		cp := *v
+		return &cp
+	case *ParserState:
+		ps := &ParserState{Name: v.Name}
+		for _, s := range v.Statements {
+			ps.Statements = append(ps.Statements, cloneParserStmt(s))
+		}
+		ps.Return = cloneParserReturn(v.Return)
+		return ps
+	case *ActionDecl:
+		ad := &ActionDecl{Name: v.Name}
+		ad.Params = append(ad.Params, v.Params...)
+		for _, c := range v.Body {
+			ad.Body = append(ad.Body, clonePrimitive(c))
+		}
+		return ad
+	case *TableDecl:
+		td := &TableDecl{
+			Name:           v.Name,
+			Size:           v.Size,
+			DefaultAction:  v.DefaultAction,
+			SupportTimeout: v.SupportTimeout,
+		}
+		for _, r := range v.Reads {
+			cp := *r
+			td.Reads = append(td.Reads, &cp)
+		}
+		td.ActionNames = append(td.ActionNames, v.ActionNames...)
+		td.DefaultArgs = append(td.DefaultArgs, v.DefaultArgs...)
+		return td
+	case *ControlDecl:
+		return &ControlDecl{Name: v.Name, Body: CloneBlock(v.Body)}
+	}
+	panic("p4: unknown declaration type in clone")
+}
+
+func cloneParserStmt(s ParserStmt) ParserStmt {
+	switch v := s.(type) {
+	case *ExtractStmt:
+		cp := *v
+		return &cp
+	case *SetMetadataStmt:
+		cp := *v
+		return &cp
+	}
+	panic("p4: unknown parser statement in clone")
+}
+
+func cloneParserReturn(r ParserReturn) ParserReturn {
+	switch v := r.(type) {
+	case *ReturnState:
+		cp := *v
+		return &cp
+	case *ReturnSelect:
+		rs := &ReturnSelect{}
+		rs.On = append(rs.On, v.On...)
+		for _, c := range v.Cases {
+			cp := *c
+			rs.Cases = append(rs.Cases, &cp)
+		}
+		return rs
+	}
+	panic("p4: unknown parser return in clone")
+}
+
+func clonePrimitive(c *PrimitiveCall) *PrimitiveCall {
+	out := &PrimitiveCall{Name: c.Name}
+	out.Args = append(out.Args, c.Args...)
+	return out
+}
+
+// CloneBlock deep-copies a statement block.
+func CloneBlock(b *BlockStmt) *BlockStmt {
+	if b == nil {
+		return nil
+	}
+	out := &BlockStmt{}
+	for _, s := range b.Stmts {
+		out.Stmts = append(out.Stmts, CloneStmt(s))
+	}
+	return out
+}
+
+// CloneStmt deep-copies a control statement.
+func CloneStmt(s Stmt) Stmt {
+	switch v := s.(type) {
+	case *ApplyStmt:
+		return &ApplyStmt{Table: v.Table, Hit: CloneBlock(v.Hit), Miss: CloneBlock(v.Miss)}
+	case *IfStmt:
+		return &IfStmt{Cond: cloneBool(v.Cond), Then: CloneBlock(v.Then), Else: CloneBlock(v.Else)}
+	case *BlockStmt:
+		return CloneBlock(v)
+	}
+	panic("p4: unknown statement in clone")
+}
+
+func cloneBool(e BoolExpr) BoolExpr {
+	switch v := e.(type) {
+	case *ValidExpr:
+		cp := *v
+		return &cp
+	case *CompareExpr:
+		cp := *v
+		return &cp
+	case *BinaryBoolExpr:
+		return &BinaryBoolExpr{Op: v.Op, Left: cloneBool(v.Left), Right: cloneBool(v.Right)}
+	case *NotExpr:
+		return &NotExpr{X: cloneBool(v.X)}
+	}
+	panic("p4: unknown boolean expression in clone")
+}
+
+// WalkStmts invokes fn for every statement in the block, depth-first,
+// including statements nested in hit/miss and if branches. Returning false
+// from fn stops the walk.
+func WalkStmts(b *BlockStmt, fn func(Stmt) bool) bool {
+	if b == nil {
+		return true
+	}
+	for _, s := range b.Stmts {
+		if !fn(s) {
+			return false
+		}
+		switch v := s.(type) {
+		case *ApplyStmt:
+			if !WalkStmts(v.Hit, fn) || !WalkStmts(v.Miss, fn) {
+				return false
+			}
+		case *IfStmt:
+			if !WalkStmts(v.Then, fn) || !WalkStmts(v.Else, fn) {
+				return false
+			}
+		case *BlockStmt:
+			if !WalkStmts(v, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TablesInBlock returns the names of all tables applied anywhere in the
+// block, in source order (duplicates removed).
+func TablesInBlock(b *BlockStmt) []string {
+	var out []string
+	seen := map[string]bool{}
+	WalkStmts(b, func(s Stmt) bool {
+		if ap, ok := s.(*ApplyStmt); ok && !seen[ap.Table] {
+			seen[ap.Table] = true
+			out = append(out, ap.Table)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,234 @@
+package p4
+
+import (
+	"strconv"
+	"strings"
+)
+
+// lexer turns P4_14 source text into a token stream. It supports //- and
+// /* */-style comments, decimal and hexadecimal integer literals, and
+// P4_14 width-prefixed literals such as 8w255 (the width prefix is parsed
+// and discarded; the value is what matters to the tools built on top).
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return nil
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.src[l.pos] == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errAt(startLine, startCol, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next returns the next token from the input.
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := l.line, l.col
+	c, ok := l.peekByte()
+	if !ok {
+		return Token{Kind: TokEOF, Line: line, Col: col}, nil
+	}
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for {
+			c, ok := l.peekByte()
+			if !ok || !isIdentPart(c) {
+				break
+			}
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		kind := TokIdent
+		switch text {
+		case "and":
+			kind = TokAnd
+		case "or":
+			kind = TokOr
+		case "not":
+			kind = TokNot
+		case "default":
+			kind = TokDefault
+		}
+		return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+	case isDigit(c):
+		return l.lexNumber(line, col)
+	}
+	l.advance()
+	simple := func(k TokenKind, text string) (Token, error) {
+		return Token{Kind: k, Text: text, Line: line, Col: col}, nil
+	}
+	switch c {
+	case '{':
+		return simple(TokLBrace, "{")
+	case '}':
+		return simple(TokRBrace, "}")
+	case '(':
+		return simple(TokLParen, "(")
+	case ')':
+		return simple(TokRParen, ")")
+	case ';':
+		return simple(TokSemi, ";")
+	case ':':
+		return simple(TokColon, ":")
+	case ',':
+		return simple(TokComma, ",")
+	case '.':
+		return simple(TokDot, ".")
+	case '=':
+		if c2, ok := l.peekByte(); ok && c2 == '=' {
+			l.advance()
+			return simple(TokEq, "==")
+		}
+		return Token{}, errAt(line, col, "unexpected '='; did you mean '=='?")
+	case '!':
+		if c2, ok := l.peekByte(); ok && c2 == '=' {
+			l.advance()
+			return simple(TokNeq, "!=")
+		}
+		return Token{}, errAt(line, col, "unexpected '!'; did you mean '!='?")
+	case '<':
+		if c2, ok := l.peekByte(); ok && c2 == '=' {
+			l.advance()
+			return simple(TokLe, "<=")
+		}
+		return simple(TokLt, "<")
+	case '>':
+		if c2, ok := l.peekByte(); ok && c2 == '=' {
+			l.advance()
+			return simple(TokGe, ">=")
+		}
+		return simple(TokGt, ">")
+	case '&':
+		if strings.HasPrefix(l.src[l.pos:], "&&") {
+			l.advance()
+			l.advance()
+			return simple(TokMask, "&&&")
+		}
+		return Token{}, errAt(line, col, "unexpected '&'; only '&&&' is supported")
+	}
+	return Token{}, errAt(line, col, "unexpected character %q", string(c))
+}
+
+// lexNumber parses decimal, hexadecimal (0x...), and width-prefixed (8w255,
+// 16w0x1F) integer literals.
+func (l *lexer) lexNumber(line, col int) (Token, error) {
+	start := l.pos
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			break
+		}
+		if isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') || c == 'x' || c == 'X' || c == 'w' {
+			l.advance()
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	// Strip a P4_14 width prefix like "8w" or "16w0xff".
+	value := text
+	if i := strings.IndexByte(text, 'w'); i > 0 {
+		if _, err := strconv.ParseUint(text[:i], 10, 16); err == nil {
+			value = text[i+1:]
+		}
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(value, "0x") || strings.HasPrefix(value, "0X") {
+		v, err = strconv.ParseUint(value[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(value, 10, 64)
+	}
+	if err != nil {
+		return Token{}, errAt(line, col, "invalid integer literal %q", text)
+	}
+	return Token{Kind: TokInt, Text: text, Int: v, Line: line, Col: col}, nil
+}
+
+// Lex tokenizes src fully; mainly a convenience for tests.
+func Lex(src string) ([]Token, error) {
+	l := newLexer(src)
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

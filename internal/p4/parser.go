@@ -1,0 +1,1098 @@
+package p4
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	lex *lexer
+	tok Token // current token
+}
+
+// Parse parses a complete P4_14 program.
+func Parse(src string) (*Program, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	for p.tok.Kind != TokEOF {
+		d, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		if err := prog.addDecl(d); err != nil {
+			return nil, errAt(p.tok.Line, p.tok.Col, "%v", err)
+		}
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error. Intended for embedding known-good
+// programs in tests and examples.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errHere(format string, args ...any) error {
+	return errAt(p.tok.Line, p.tok.Col, format, args...)
+}
+
+// expect consumes a token of the given kind or fails.
+func (p *parser) expect(kind TokenKind) (Token, error) {
+	if p.tok.Kind != kind {
+		return Token{}, p.errHere("expected %s, found %s", kind, p.tok)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return Token{}, err
+	}
+	return t, nil
+}
+
+// expectIdent consumes an identifier and returns its text.
+func (p *parser) expectIdent() (string, error) {
+	t, err := p.expect(TokIdent)
+	if err != nil {
+		return "", err
+	}
+	return t.Text, nil
+}
+
+// expectKeyword consumes the identifier kw.
+func (p *parser) expectKeyword(kw string) error {
+	if p.tok.Kind != TokIdent || p.tok.Text != kw {
+		return p.errHere("expected %q, found %s", kw, p.tok)
+	}
+	return p.advance()
+}
+
+// atKeyword reports whether the current token is the identifier kw.
+func (p *parser) atKeyword(kw string) bool {
+	return p.tok.Kind == TokIdent && p.tok.Text == kw
+}
+
+func (p *parser) expectInt() (uint64, error) {
+	t, err := p.expect(TokInt)
+	if err != nil {
+		return 0, err
+	}
+	return t.Int, nil
+}
+
+func (p *parser) parseDecl() (Decl, error) {
+	if p.tok.Kind != TokIdent {
+		return nil, p.errHere("expected declaration, found %s", p.tok)
+	}
+	switch p.tok.Text {
+	case "header_type":
+		return p.parseHeaderType()
+	case "header":
+		return p.parseInstance(false)
+	case "metadata":
+		return p.parseInstance(true)
+	case "register":
+		return p.parseRegister()
+	case "counter":
+		return p.parseCounter()
+	case "field_list":
+		return p.parseFieldList()
+	case "field_list_calculation":
+		return p.parseFieldListCalc()
+	case "calculated_field":
+		return p.parseCalculatedField()
+	case "parser":
+		return p.parseParserState()
+	case "action":
+		return p.parseAction()
+	case "table":
+		return p.parseTable()
+	case "control":
+		return p.parseControl()
+	}
+	return nil, p.errHere("unknown declaration keyword %q", p.tok.Text)
+}
+
+func (p *parser) parseHeaderType() (*HeaderType, error) {
+	if err := p.advance(); err != nil { // header_type
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("fields"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	ht := &HeaderType{Name: name}
+	for p.tok.Kind != TokRBrace {
+		fname, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		width, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		if width == 0 || width > 64 {
+			return nil, p.errHere("field %s.%s: width must be 1..64 bits, got %d", name, fname, width)
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		ht.Fields = append(ht.Fields, &FieldDecl{Name: fname, Width: int(width)})
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return ht, nil
+}
+
+func (p *parser) parseInstance(metadata bool) (*Instance, error) {
+	if err := p.advance(); err != nil { // header | metadata
+		return nil, err
+	}
+	typeName, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &Instance{TypeName: typeName, Name: name, Metadata: metadata}, nil
+}
+
+func (p *parser) parseRegister() (*Register, error) {
+	if err := p.advance(); err != nil { // register
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	reg := &Register{Name: name}
+	for p.tok.Kind != TokRBrace {
+		key, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		v, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		switch key {
+		case "width":
+			if v == 0 || v > 64 {
+				return nil, p.errHere("register %s: width must be 1..64 bits", name)
+			}
+			reg.Width = int(v)
+		case "instance_count":
+			if v == 0 {
+				return nil, p.errHere("register %s: instance_count must be positive", name)
+			}
+			reg.InstanceCount = int(v)
+		default:
+			return nil, p.errHere("register %s: unknown attribute %q", name, key)
+		}
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	if reg.Width == 0 || reg.InstanceCount == 0 {
+		return nil, p.errHere("register %s: width and instance_count are required", name)
+	}
+	return reg, nil
+}
+
+func (p *parser) parseCounter() (*Counter, error) {
+	if err := p.advance(); err != nil { // counter
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	c := &Counter{Name: name}
+	for p.tok.Kind != TokRBrace {
+		key, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		switch key {
+		case "type":
+			kind, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if kind != "packets" && kind != "bytes" {
+				return nil, p.errHere("counter %s: type must be packets or bytes", name)
+			}
+			c.Kind = kind
+		case "instance_count":
+			v, err := p.expectInt()
+			if err != nil {
+				return nil, err
+			}
+			if v == 0 {
+				return nil, p.errHere("counter %s: instance_count must be positive", name)
+			}
+			c.InstanceCount = int(v)
+		default:
+			return nil, p.errHere("counter %s: unknown attribute %q", name, key)
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	if c.Kind == "" || c.InstanceCount == 0 {
+		return nil, p.errHere("counter %s: type and instance_count are required", name)
+	}
+	return c, nil
+}
+
+func (p *parser) parseFieldList() (*FieldList, error) {
+	if err := p.advance(); err != nil { // field_list
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	fl := &FieldList{Name: name}
+	for p.tok.Kind != TokRBrace {
+		ref, err := p.parseFieldRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		fl.Fields = append(fl.Fields, ref)
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return fl, nil
+}
+
+func (p *parser) parseFieldListCalc() (*FieldListCalc, error) {
+	if err := p.advance(); err != nil { // field_list_calculation
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	calc := &FieldListCalc{Name: name}
+	for p.tok.Kind != TokRBrace {
+		key, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		switch key {
+		case "input":
+			if _, err := p.expect(TokLBrace); err != nil {
+				return nil, err
+			}
+			in, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBrace); err != nil {
+				return nil, err
+			}
+			calc.Input = in
+		case "algorithm":
+			if _, err := p.expect(TokColon); err != nil {
+				return nil, err
+			}
+			alg, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			calc.Algorithm = alg
+		case "output_width":
+			if _, err := p.expect(TokColon); err != nil {
+				return nil, err
+			}
+			w, err := p.expectInt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			calc.OutputWidth = int(w)
+		default:
+			return nil, p.errHere("field_list_calculation %s: unknown attribute %q", name, key)
+		}
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	if calc.Input == "" || calc.Algorithm == "" || calc.OutputWidth == 0 {
+		return nil, p.errHere("field_list_calculation %s: input, algorithm, output_width are required", name)
+	}
+	return calc, nil
+}
+
+func (p *parser) parseCalculatedField() (*CalculatedField, error) {
+	if err := p.advance(); err != nil { // calculated_field
+		return nil, err
+	}
+	ref, err := p.parseFieldRef()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	cf := &CalculatedField{Field: ref}
+	for p.tok.Kind != TokRBrace {
+		verb, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		calc, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		switch verb {
+		case "update":
+			cf.Update = calc
+		case "verify":
+			cf.Verify = calc
+		default:
+			return nil, p.errHere("calculated_field %s: unknown verb %q", ref, verb)
+		}
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	if cf.Update == "" && cf.Verify == "" {
+		return nil, p.errHere("calculated_field %s: needs an update or verify clause", ref)
+	}
+	return cf, nil
+}
+
+func (p *parser) parseParserState() (*ParserState, error) {
+	if err := p.advance(); err != nil { // parser
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	st := &ParserState{Name: name}
+	for {
+		if p.atKeyword("extract") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokLParen); err != nil {
+				return nil, err
+			}
+			inst, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			st.Statements = append(st.Statements, &ExtractStmt{Instance: inst})
+			continue
+		}
+		if p.atKeyword("set_metadata") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokLParen); err != nil {
+				return nil, err
+			}
+			dst, err := p.parseFieldRef()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokComma); err != nil {
+				return nil, err
+			}
+			val, err := p.parseExpr(nil)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			st.Statements = append(st.Statements, &SetMetadataStmt{Dst: dst, Value: val})
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("return"); err != nil {
+		return nil, err
+	}
+	if p.atKeyword("select") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		ret := &ReturnSelect{}
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr(nil)
+			if err != nil {
+				return nil, err
+			}
+			ret.On = append(ret.On, e)
+			if p.tok.Kind != TokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLBrace); err != nil {
+			return nil, err
+		}
+		for p.tok.Kind != TokRBrace {
+			c := &SelectCase{}
+			if p.tok.Kind == TokDefault {
+				c.IsDefault = true
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			} else {
+				v, err := p.expectInt()
+				if err != nil {
+					return nil, err
+				}
+				c.Value = v
+				if p.tok.Kind == TokMask {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+					m, err := p.expectInt()
+					if err != nil {
+						return nil, err
+					}
+					c.HasMask = true
+					c.Mask = m
+				}
+			}
+			if _, err := p.expect(TokColon); err != nil {
+				return nil, err
+			}
+			stName, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			c.State = stName
+			ret.Cases = append(ret.Cases, c)
+		}
+		if _, err := p.expect(TokRBrace); err != nil {
+			return nil, err
+		}
+		st.Return = ret
+	} else {
+		target, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		st.Return = &ReturnState{State: target}
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) parseAction() (*ActionDecl, error) {
+	if err := p.advance(); err != nil { // action
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	act := &ActionDecl{Name: name}
+	for p.tok.Kind != TokRParen {
+		param, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		act.Params = append(act.Params, param)
+		if p.tok.Kind == TokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	params := map[string]bool{}
+	for _, prm := range act.Params {
+		params[prm] = true
+	}
+	for p.tok.Kind != TokRBrace {
+		prim, err := p.parsePrimitiveCall(params)
+		if err != nil {
+			return nil, err
+		}
+		act.Body = append(act.Body, prim)
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return act, nil
+}
+
+func (p *parser) parsePrimitiveCall(params map[string]bool) (*PrimitiveCall, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	call := &PrimitiveCall{Name: name}
+	for p.tok.Kind != TokRParen {
+		e, err := p.parseExpr(params)
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, e)
+		if p.tok.Kind == TokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return call, nil
+}
+
+func (p *parser) parseTable() (*TableDecl, error) {
+	if err := p.advance(); err != nil { // table
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	tbl := &TableDecl{Name: name}
+	for p.tok.Kind != TokRBrace {
+		if p.tok.Kind != TokIdent {
+			return nil, p.errHere("table %s: expected attribute, found %s", name, p.tok)
+		}
+		switch p.tok.Text {
+		case "reads":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokLBrace); err != nil {
+				return nil, err
+			}
+			for p.tok.Kind != TokRBrace {
+				ref, err := p.parseFieldRef()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokColon); err != nil {
+					return nil, err
+				}
+				kind, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				switch kind {
+				case MatchExact, MatchLPM, MatchTernary, MatchValid, MatchRange:
+				default:
+					return nil, p.errHere("table %s: unknown match kind %q", name, kind)
+				}
+				if _, err := p.expect(TokSemi); err != nil {
+					return nil, err
+				}
+				tbl.Reads = append(tbl.Reads, &ReadEntry{Field: ref, Kind: kind})
+			}
+			if _, err := p.expect(TokRBrace); err != nil {
+				return nil, err
+			}
+		case "actions":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokLBrace); err != nil {
+				return nil, err
+			}
+			for p.tok.Kind != TokRBrace {
+				an, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokSemi); err != nil {
+					return nil, err
+				}
+				tbl.ActionNames = append(tbl.ActionNames, an)
+			}
+			if _, err := p.expect(TokRBrace); err != nil {
+				return nil, err
+			}
+		case "size":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokColon); err != nil {
+				return nil, err
+			}
+			v, err := p.expectInt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			tbl.Size = int(v)
+		case "default_action":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokColon); err != nil {
+				return nil, err
+			}
+			an, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			tbl.DefaultAction = an
+			if p.tok.Kind == TokLParen {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				for p.tok.Kind != TokRParen {
+					e, err := p.parseExpr(nil)
+					if err != nil {
+						return nil, err
+					}
+					tbl.DefaultArgs = append(tbl.DefaultArgs, e)
+					if p.tok.Kind == TokComma {
+						if err := p.advance(); err != nil {
+							return nil, err
+						}
+					}
+				}
+				if _, err := p.expect(TokRParen); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+		case "support_timeout":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokColon); err != nil {
+				return nil, err
+			}
+			v, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			tbl.SupportTimeout = v == "true"
+		default:
+			return nil, p.errHere("table %s: unknown attribute %q", name, p.tok.Text)
+		}
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	if len(tbl.ActionNames) == 0 {
+		return nil, p.errHere("table %s: actions block is required", name)
+	}
+	return tbl, nil
+}
+
+func (p *parser) parseControl() (*ControlDecl, error) {
+	if err := p.advance(); err != nil { // control
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &ControlDecl{Name: name, Body: body}, nil
+}
+
+func (p *parser) parseBlock() (*BlockStmt, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{}
+	for p.tok.Kind != TokRBrace {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return blk, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	if p.atKeyword("apply") {
+		return p.parseApply()
+	}
+	if p.atKeyword("if") {
+		return p.parseIf()
+	}
+	return nil, p.errHere("expected 'apply' or 'if', found %s", p.tok)
+}
+
+func (p *parser) parseApply() (*ApplyStmt, error) {
+	if err := p.advance(); err != nil { // apply
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	ap := &ApplyStmt{Table: table}
+	if p.tok.Kind == TokSemi {
+		return ap, p.advance()
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	for p.tok.Kind != TokRBrace {
+		if p.atKeyword("hit") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			blk, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			if ap.Hit != nil {
+				return nil, p.errHere("apply(%s): duplicate hit block", table)
+			}
+			ap.Hit = blk
+		} else if p.atKeyword("miss") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			blk, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			if ap.Miss != nil {
+				return nil, p.errHere("apply(%s): duplicate miss block", table)
+			}
+			ap.Miss = blk
+		} else {
+			return nil, p.errHere("apply(%s): expected 'hit' or 'miss' case, found %s", table, p.tok)
+		}
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return ap, nil
+}
+
+func (p *parser) parseIf() (*IfStmt, error) {
+	if err := p.advance(); err != nil { // if
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseBoolExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then}
+	if p.atKeyword("else") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.atKeyword("if") {
+			nested, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = &BlockStmt{Stmts: []Stmt{nested}}
+		} else {
+			blk, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = blk
+		}
+	}
+	return st, nil
+}
+
+// parseBoolExpr parses an or-expression (lowest precedence).
+func (p *parser) parseBoolExpr() (BoolExpr, error) {
+	left, err := p.parseAndExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokOr {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAndExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryBoolExpr{Op: "or", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAndExpr() (BoolExpr, error) {
+	left, err := p.parseBoolUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokAnd {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseBoolUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryBoolExpr{Op: "and", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseBoolUnary() (BoolExpr, error) {
+	switch {
+	case p.tok.Kind == TokNot:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseBoolUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{X: x}, nil
+	case p.tok.Kind == TokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseBoolExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case p.atKeyword("valid"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		inst, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &ValidExpr{Instance: inst}, nil
+	}
+	// Comparison: expr relop expr.
+	left, err := p.parseExpr(nil)
+	if err != nil {
+		return nil, err
+	}
+	var op string
+	switch p.tok.Kind {
+	case TokEq:
+		op = "=="
+	case TokNeq:
+		op = "!="
+	case TokLt:
+		op = "<"
+	case TokLe:
+		op = "<="
+	case TokGt:
+		op = ">"
+	case TokGe:
+		op = ">="
+	default:
+		return nil, p.errHere("expected comparison operator, found %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	right, err := p.parseExpr(nil)
+	if err != nil {
+		return nil, err
+	}
+	return &CompareExpr{Left: left, Op: op, Right: right}, nil
+}
+
+// parseExpr parses an atomic expression: integer literal, instance.field
+// reference, action parameter (when params is non-nil and contains the
+// identifier), or bare identifier (treated as an instance-only reference,
+// used for register and calculation names in primitive arguments).
+func (p *parser) parseExpr(params map[string]bool) (Expr, error) {
+	if p.tok.Kind == TokInt {
+		v := p.tok.Int
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return IntLit{Value: v}, nil
+	}
+	ref, err := p.parseFieldRef()
+	if err != nil {
+		return nil, err
+	}
+	if ref.Field == "" && params != nil && params[ref.Instance] {
+		return ParamRef{Name: ref.Instance}, nil
+	}
+	return ref, nil
+}
+
+// parseFieldRef parses ident or ident.ident.
+func (p *parser) parseFieldRef() (FieldRef, error) {
+	inst, err := p.expectIdent()
+	if err != nil {
+		return FieldRef{}, err
+	}
+	ref := FieldRef{Instance: inst}
+	if p.tok.Kind == TokDot {
+		if err := p.advance(); err != nil {
+			return FieldRef{}, err
+		}
+		f, err := p.expectIdent()
+		if err != nil {
+			return FieldRef{}, err
+		}
+		ref.Field = f
+	}
+	return ref, nil
+}

@@ -1,0 +1,107 @@
+// Package p4 implements a lexer, parser, AST, and printer for the subset of
+// the P4_14 language that P2GO operates on: header types and instances,
+// parsers, field lists and hash calculations, registers, actions built from
+// primitive calls, match-action tables, and control flow with if/else and
+// apply statements (including hit/miss blocks).
+//
+// The printer re-emits ASTs as valid source so that optimization passes can
+// rewrite programs and hand them back to the compiler, exactly as P2GO does.
+package p4
+
+import "fmt"
+
+// TokenKind enumerates lexical token classes.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokInt
+	TokLBrace  // {
+	TokRBrace  // }
+	TokLParen  // (
+	TokRParen  // )
+	TokSemi    // ;
+	TokColon   // :
+	TokComma   // ,
+	TokDot     // .
+	TokEq      // ==
+	TokNeq     // !=
+	TokLt      // <
+	TokLe      // <=
+	TokGt      // >
+	TokGe      // >=
+	TokAnd     // and
+	TokOr      // or
+	TokNot     // not
+	TokDefault // default
+	TokMask    // &&& (ternary select mask)
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF:     "end of input",
+	TokIdent:   "identifier",
+	TokInt:     "integer",
+	TokLBrace:  "'{'",
+	TokRBrace:  "'}'",
+	TokLParen:  "'('",
+	TokRParen:  "')'",
+	TokSemi:    "';'",
+	TokColon:   "':'",
+	TokComma:   "','",
+	TokDot:     "'.'",
+	TokEq:      "'=='",
+	TokNeq:     "'!='",
+	TokLt:      "'<'",
+	TokLe:      "'<='",
+	TokGt:      "'>'",
+	TokGe:      "'>='",
+	TokAnd:     "'and'",
+	TokOr:      "'or'",
+	TokNot:     "'not'",
+	TokDefault: "'default'",
+	TokMask:    "'&&&'",
+}
+
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Int  uint64 // valid when Kind == TokInt
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case TokInt:
+		return fmt.Sprintf("integer %d", t.Int)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a lexical or syntactic error with source position information.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

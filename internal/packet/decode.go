@@ -1,0 +1,140 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// View is a decoded packet: nil layer pointers mean the layer was absent.
+// Decoding is tolerant: it stops at the first layer it cannot parse and
+// leaves the remainder in Payload.
+type View struct {
+	Ethernet *Ethernet
+	IPv4     *IPv4
+	UDP      *UDP
+	TCP      *TCP
+	GRE      *GRE
+	DHCP     *DHCP
+	DNS      *DNS
+	// InnerIPv4 is set for GRE-encapsulated IPv4-in-IPv4.
+	InnerIPv4 *IPv4
+	Payload   []byte
+}
+
+// Decode parses an Ethernet frame into a View.
+func Decode(data []byte) (*View, error) {
+	v := &View{}
+	if len(data) < 14 {
+		return nil, fmt.Errorf("packet: frame too short (%d bytes)", len(data))
+	}
+	eth := &Ethernet{EtherType: binary.BigEndian.Uint16(data[12:14])}
+	copy(eth.Dst[:], data[0:6])
+	copy(eth.Src[:], data[6:12])
+	v.Ethernet = eth
+	rest := data[14:]
+	if eth.EtherType != EtherTypeIPv4 {
+		v.Payload = rest
+		return v, nil
+	}
+	ip, rest, err := decodeIPv4(rest)
+	if err != nil {
+		v.Payload = rest
+		return v, nil
+	}
+	v.IPv4 = ip
+	switch ip.Protocol {
+	case ProtoUDP:
+		if len(rest) < 8 {
+			v.Payload = rest
+			return v, nil
+		}
+		udp := &UDP{
+			SrcPort: binary.BigEndian.Uint16(rest[0:2]),
+			DstPort: binary.BigEndian.Uint16(rest[2:4]),
+		}
+		v.UDP = udp
+		rest = rest[8:]
+		switch udp.DstPort {
+		case PortDHCPServer, PortDHCPClient:
+			if len(rest) >= 8 {
+				v.DHCP = &DHCP{
+					Op: rest[0], HType: rest[1], HLen: rest[2], Hops: rest[3],
+					XID: binary.BigEndian.Uint32(rest[4:8]),
+				}
+				rest = rest[8:]
+			}
+		case PortDNS:
+			if len(rest) >= 12 {
+				v.DNS = &DNS{
+					ID:      binary.BigEndian.Uint16(rest[0:2]),
+					Flags:   binary.BigEndian.Uint16(rest[2:4]),
+					QDCount: binary.BigEndian.Uint16(rest[4:6]),
+					ANCount: binary.BigEndian.Uint16(rest[6:8]),
+					NSCount: binary.BigEndian.Uint16(rest[8:10]),
+					ARCount: binary.BigEndian.Uint16(rest[10:12]),
+				}
+				rest = rest[12:]
+			}
+		}
+		v.Payload = rest
+	case ProtoTCP:
+		if len(rest) < 20 {
+			v.Payload = rest
+			return v, nil
+		}
+		v.TCP = &TCP{
+			SrcPort: binary.BigEndian.Uint16(rest[0:2]),
+			DstPort: binary.BigEndian.Uint16(rest[2:4]),
+			Seq:     binary.BigEndian.Uint32(rest[4:8]),
+			Ack:     binary.BigEndian.Uint32(rest[8:12]),
+			Flags:   rest[13],
+			Window:  binary.BigEndian.Uint16(rest[14:16]),
+		}
+		off := int(rest[12]>>4) * 4
+		if off < 20 || off > len(rest) {
+			off = 20
+		}
+		v.Payload = rest[off:]
+	case ProtoGRE:
+		if len(rest) < 4 {
+			v.Payload = rest
+			return v, nil
+		}
+		v.GRE = &GRE{Protocol: binary.BigEndian.Uint16(rest[2:4])}
+		rest = rest[4:]
+		if v.GRE.Protocol == EtherTypeIPv4 {
+			if inner, more, err := decodeIPv4(rest); err == nil {
+				v.InnerIPv4 = inner
+				rest = more
+			}
+		}
+		v.Payload = rest
+	default:
+		v.Payload = rest
+	}
+	return v, nil
+}
+
+func decodeIPv4(data []byte) (*IPv4, []byte, error) {
+	if len(data) < 20 {
+		return nil, data, fmt.Errorf("packet: ipv4 header too short")
+	}
+	if data[0]>>4 != 4 {
+		return nil, data, fmt.Errorf("packet: not ipv4")
+	}
+	ihl := int(data[0]&0x0F) * 4
+	if ihl < 20 || ihl > len(data) {
+		return nil, data, fmt.Errorf("packet: bad ihl")
+	}
+	ip := &IPv4{
+		TOS:      data[1],
+		ID:       binary.BigEndian.Uint16(data[4:6]),
+		Flags:    data[6] >> 5,
+		FragOff:  binary.BigEndian.Uint16(data[6:8]) & 0x1FFF,
+		TTL:      data[8],
+		Protocol: data[9],
+		Src:      binary.BigEndian.Uint32(data[12:16]),
+		Dst:      binary.BigEndian.Uint32(data[16:20]),
+	}
+	return ip, data[ihl:], nil
+}

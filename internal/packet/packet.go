@@ -1,0 +1,309 @@
+// Package packet provides serialization and decoding for the protocol
+// layers the examples use: Ethernet, IPv4, UDP, TCP, GRE, DHCP, and DNS,
+// plus raw payloads. The design follows gopacket: each layer serializes
+// itself, and Serialize composes a stack outside-in, fixing up lengths and
+// checksums.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EtherType values.
+const (
+	EtherTypeIPv4 = 0x0800
+	EtherTypeARP  = 0x0806
+)
+
+// IP protocol numbers.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+	ProtoGRE  = 47
+)
+
+// Well-known UDP ports used by the examples.
+const (
+	PortDNS        = 53
+	PortDHCPServer = 67
+	PortDHCPClient = 68
+)
+
+// Layer is a protocol layer that can serialize itself. Bytes must return a
+// fresh slice; Serialize stitches layers together and lets outer layers fix
+// lengths/checksums over their payloads.
+type Layer interface {
+	// LayerName identifies the layer for diagnostics.
+	LayerName() string
+	// Bytes returns the wire encoding of the header (without payload).
+	Bytes() []byte
+	// FixUp is called with the serialized payload that follows this
+	// layer, letting the layer patch lengths and checksums into hdr,
+	// which is its own previously returned encoding.
+	FixUp(hdr, payload []byte)
+}
+
+// Serialize encodes a layer stack outside-in (Ethernet first).
+func Serialize(layers ...Layer) []byte {
+	headers := make([][]byte, len(layers))
+	total := 0
+	for i, l := range layers {
+		headers[i] = l.Bytes()
+		total += len(headers[i])
+	}
+	out := make([]byte, 0, total)
+	offsets := make([]int, len(layers))
+	for i, h := range headers {
+		offsets[i] = len(out)
+		out = append(out, h...)
+	}
+	// Fix up inside-out so outer checksums see final inner bytes.
+	for i := len(layers) - 1; i >= 0; i-- {
+		hdrStart := offsets[i]
+		hdrEnd := hdrStart + len(headers[i])
+		layers[i].FixUp(out[hdrStart:hdrEnd], out[hdrEnd:])
+	}
+	return out
+}
+
+// Ethernet is the 14-byte Ethernet II header.
+type Ethernet struct {
+	Dst       [6]byte
+	Src       [6]byte
+	EtherType uint16
+}
+
+// LayerName implements Layer.
+func (e *Ethernet) LayerName() string { return "ethernet" }
+
+// Bytes implements Layer.
+func (e *Ethernet) Bytes() []byte {
+	b := make([]byte, 14)
+	copy(b[0:6], e.Dst[:])
+	copy(b[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], e.EtherType)
+	return b
+}
+
+// FixUp implements Layer.
+func (e *Ethernet) FixUp(hdr, payload []byte) {}
+
+// IPv4 is the 20-byte (no options) IPv4 header.
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	Flags    uint8 // 3 bits
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Src      uint32
+	Dst      uint32
+}
+
+// LayerName implements Layer.
+func (ip *IPv4) LayerName() string { return "ipv4" }
+
+// Bytes implements Layer.
+func (ip *IPv4) Bytes() []byte {
+	b := make([]byte, 20)
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = ip.TOS
+	binary.BigEndian.PutUint16(b[4:6], ip.ID)
+	binary.BigEndian.PutUint16(b[6:8], uint16(ip.Flags)<<13|ip.FragOff&0x1FFF)
+	ttl := ip.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	b[8] = ttl
+	b[9] = ip.Protocol
+	binary.BigEndian.PutUint32(b[12:16], ip.Src)
+	binary.BigEndian.PutUint32(b[16:20], ip.Dst)
+	return b
+}
+
+// FixUp implements Layer: totalLen and header checksum.
+func (ip *IPv4) FixUp(hdr, payload []byte) {
+	binary.BigEndian.PutUint16(hdr[2:4], uint16(len(hdr)+len(payload)))
+	binary.BigEndian.PutUint16(hdr[10:12], 0)
+	binary.BigEndian.PutUint16(hdr[10:12], Checksum(hdr))
+}
+
+// Checksum computes the RFC 1071 ones-complement sum over data.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// UDP is the 8-byte UDP header. Length is filled during FixUp; the checksum
+// is left zero (legal for IPv4).
+type UDP struct {
+	SrcPort uint16
+	DstPort uint16
+}
+
+// LayerName implements Layer.
+func (u *UDP) LayerName() string { return "udp" }
+
+// Bytes implements Layer.
+func (u *UDP) Bytes() []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
+	return b
+}
+
+// FixUp implements Layer.
+func (u *UDP) FixUp(hdr, payload []byte) {
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(len(hdr)+len(payload)))
+}
+
+// TCP is a 20-byte (no options) TCP header.
+type TCP struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8 // FIN=1 SYN=2 RST=4 PSH=8 ACK=16
+	Window  uint16
+}
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+)
+
+// LayerName implements Layer.
+func (t *TCP) LayerName() string { return "tcp" }
+
+// Bytes implements Layer.
+func (t *TCP) Bytes() []byte {
+	b := make([]byte, 20)
+	binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], t.Seq)
+	binary.BigEndian.PutUint32(b[8:12], t.Ack)
+	b[12] = 5 << 4 // data offset
+	b[13] = t.Flags
+	win := t.Window
+	if win == 0 {
+		win = 65535
+	}
+	binary.BigEndian.PutUint16(b[14:16], win)
+	return b
+}
+
+// FixUp implements Layer (checksum left zero: the simulator ignores it).
+func (t *TCP) FixUp(hdr, payload []byte) {}
+
+// GRE is the basic 4-byte GRE header (no optional fields).
+type GRE struct {
+	Protocol uint16 // EtherType of the encapsulated protocol
+}
+
+// LayerName implements Layer.
+func (g *GRE) LayerName() string { return "gre" }
+
+// Bytes implements Layer.
+func (g *GRE) Bytes() []byte {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint16(b[2:4], g.Protocol)
+	return b
+}
+
+// FixUp implements Layer.
+func (g *GRE) FixUp(hdr, payload []byte) {}
+
+// DHCP is the fixed 8-byte prefix of a BOOTP/DHCP message (enough for the
+// snooping examples: op, htype, hlen, hops, xid).
+type DHCP struct {
+	Op    uint8 // 1 request, 2 reply
+	HType uint8
+	HLen  uint8
+	Hops  uint8
+	XID   uint32
+}
+
+// LayerName implements Layer.
+func (d *DHCP) LayerName() string { return "dhcp" }
+
+// Bytes implements Layer.
+func (d *DHCP) Bytes() []byte {
+	b := make([]byte, 8)
+	b[0] = d.Op
+	b[1] = d.HType
+	b[2] = d.HLen
+	b[3] = d.Hops
+	binary.BigEndian.PutUint32(b[4:8], d.XID)
+	return b
+}
+
+// FixUp implements Layer.
+func (d *DHCP) FixUp(hdr, payload []byte) {}
+
+// DNS is the 12-byte DNS message header.
+type DNS struct {
+	ID      uint16
+	Flags   uint16
+	QDCount uint16
+	ANCount uint16
+	NSCount uint16
+	ARCount uint16
+}
+
+// LayerName implements Layer.
+func (d *DNS) LayerName() string { return "dns" }
+
+// Bytes implements Layer.
+func (d *DNS) Bytes() []byte {
+	b := make([]byte, 12)
+	binary.BigEndian.PutUint16(b[0:2], d.ID)
+	binary.BigEndian.PutUint16(b[2:4], d.Flags)
+	binary.BigEndian.PutUint16(b[4:6], d.QDCount)
+	binary.BigEndian.PutUint16(b[6:8], d.ANCount)
+	binary.BigEndian.PutUint16(b[8:10], d.NSCount)
+	binary.BigEndian.PutUint16(b[10:12], d.ARCount)
+	return b
+}
+
+// FixUp implements Layer.
+func (d *DNS) FixUp(hdr, payload []byte) {}
+
+// Raw is an opaque payload.
+type Raw []byte
+
+// LayerName implements Layer.
+func (r Raw) LayerName() string { return "raw" }
+
+// Bytes implements Layer.
+func (r Raw) Bytes() []byte { return append([]byte(nil), r...) }
+
+// FixUp implements Layer.
+func (r Raw) FixUp(hdr, payload []byte) {}
+
+// MAC builds a MAC address from six bytes.
+func MAC(a, b, c, d, e, f byte) [6]byte { return [6]byte{a, b, c, d, e, f} }
+
+// IP builds an IPv4 address from dotted components.
+func IP(a, b, c, d byte) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}
+
+// IPString formats an IPv4 address.
+func IPString(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}

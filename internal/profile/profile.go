@@ -1,0 +1,404 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"p2go/internal/ir"
+	"p2go/internal/p4"
+	"p2go/internal/rt"
+	"p2go/internal/sim"
+	"p2go/internal/trafficgen"
+)
+
+// Profile is the result of profiling a program on a trace: "(i) the
+// fraction of packets that match each table (hit rate); and (ii) the sets
+// of actions that are applied on the same packet(s) (non-exclusive
+// actions)" (§3.1).
+type Profile struct {
+	TotalPackets int
+	// Hits counts, per table, the packets that matched it. A read-less
+	// table counts as matched whenever it is applied.
+	Hits map[string]int
+	// Applied counts, per table, the packets that were applied to it at
+	// all (hit or miss).
+	Applied map[string]int
+	// ActionCounts counts executions per "table.action" (including
+	// default actions and synthesized miss markers).
+	ActionCounts map[string]int
+	// Sets counts, per canonical execution set, the packets that executed
+	// exactly that set of (table, action) pairs. Keys are
+	// "table.action|table.action|..." sorted lexicographically.
+	Sets map[string]int
+	// Drops counts packets a drop primitive fired on.
+	Drops int
+	// ToCPU counts packets redirected to the controller.
+	ToCPU int
+}
+
+// HitRate returns the fraction of packets that matched the table.
+func (p *Profile) HitRate(table string) float64 {
+	if p.TotalPackets == 0 {
+		return 0
+	}
+	return float64(p.Hits[table]) / float64(p.TotalPackets)
+}
+
+// SetKey canonicalizes an execution set.
+func SetKey(entries []string) string {
+	sorted := append([]string(nil), entries...)
+	sort.Strings(sorted)
+	return strings.Join(sorted, "|")
+}
+
+// NonExclusiveSets returns the distinct observed sets of non-exclusive hit
+// actions with at least minSize members, sorted by descending count — the
+// paper's Table 1. Miss markers and default-on-miss executions are
+// filtered: the table lists actions applied to packets, and a miss applies
+// no rule action.
+type SetCount struct {
+	Members []string // "table.action", sorted
+	Count   int
+}
+
+// NonExclusiveSets lists observed hit-action sets of at least minSize.
+func (p *Profile) NonExclusiveSets(minSize int) []SetCount {
+	agg := map[string]int{}
+	for key, count := range p.Sets {
+		members := strings.Split(key, "|")
+		var hits []string
+		for _, m := range members {
+			if p.isHitEntry(m) {
+				hits = append(hits, m)
+			}
+		}
+		if len(hits) < minSize {
+			continue
+		}
+		agg[SetKey(hits)] += count
+	}
+	var out []SetCount
+	for key, count := range agg {
+		out = append(out, SetCount{Members: strings.Split(key, "|"), Count: count})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return SetKey(out[i].Members) < SetKey(out[j].Members)
+	})
+	return out
+}
+
+// isHitEntry reports whether a set entry represents a rule hit rather than
+// a miss/default execution. Entries are tagged at collection time with a
+// "!" suffix for miss/default executions.
+func (p *Profile) isHitEntry(entry string) bool {
+	return !strings.HasSuffix(entry, missTag)
+}
+
+// missTag marks miss/default-action executions inside set keys.
+const missTag = "!miss"
+
+// CoOccurred reports whether any packet executed both (tableA, actionA) and
+// (tableB, actionB). An empty actionB means "tableB was applied at all"
+// (hit or miss). This is Phase 2's manifestation test for action-level
+// conflicts and control dependencies.
+func (p *Profile) CoOccurred(tableA, actionA, tableB, actionB string) bool {
+	return p.coOccur(tableA, actionA, tableB, actionB, false)
+}
+
+// CoHit reports whether any packet executed (tableA, actionA) while tableB
+// *matched* (hit a rule, or executed its always-on default for a read-less
+// table). Read-after-write dependencies into a match key manifest only on
+// hits: a lookup that misses shows no observable influence of the written
+// value, which is precisely the observation Phase 2 reports to the
+// programmer.
+func (p *Profile) CoHit(tableA, actionA, tableB string) bool {
+	return p.coOccur(tableA, actionA, tableB, "", true)
+}
+
+func (p *Profile) coOccur(tableA, actionA, tableB, actionB string, requireHit bool) bool {
+	needleA := tableA + "." + actionA
+	for key, count := range p.Sets {
+		if count == 0 {
+			continue
+		}
+		members := strings.Split(key, "|")
+		hasA, hasB := false, false
+		for _, m := range members {
+			isMiss := strings.HasSuffix(m, missTag)
+			base := strings.TrimSuffix(m, missTag)
+			if base == needleA {
+				hasA = true
+			}
+			switch {
+			case actionB == "":
+				if strings.HasPrefix(base, tableB+".") && (!requireHit || !isMiss) {
+					hasB = true
+				}
+			case base == tableB+"."+actionB:
+				hasB = true
+			}
+		}
+		if hasA && hasB {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether two profiles are identical: same totals, same hit
+// counts, same execution sets. Phase 3 uses this to verify that a memory
+// reduction "does not change the program profile".
+func (p *Profile) Equal(other *Profile) bool {
+	return p.Diff(other) == ""
+}
+
+// Diff describes the first differences between two profiles, or "".
+func (p *Profile) Diff(other *Profile) string {
+	var out []string
+	if p.TotalPackets != other.TotalPackets {
+		out = append(out, fmt.Sprintf("total packets %d vs %d", p.TotalPackets, other.TotalPackets))
+	}
+	tables := map[string]bool{}
+	for t := range p.Hits {
+		tables[t] = true
+	}
+	for t := range other.Hits {
+		tables[t] = true
+	}
+	var names []string
+	for t := range tables {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	for _, t := range names {
+		if p.Hits[t] != other.Hits[t] {
+			out = append(out, fmt.Sprintf("table %s: %d vs %d hits", t, p.Hits[t], other.Hits[t]))
+		}
+	}
+	keys := map[string]bool{}
+	for k := range p.Sets {
+		keys[k] = true
+	}
+	for k := range other.Sets {
+		keys[k] = true
+	}
+	var setNames []string
+	for k := range keys {
+		setNames = append(setNames, k)
+	}
+	sort.Strings(setNames)
+	for _, k := range setNames {
+		if p.Sets[k] != other.Sets[k] {
+			out = append(out, fmt.Sprintf("set {%s}: %d vs %d packets", k, p.Sets[k], other.Sets[k]))
+		}
+	}
+	if p.Drops != other.Drops {
+		out = append(out, fmt.Sprintf("drops %d vs %d", p.Drops, other.Drops))
+	}
+	return strings.Join(out, "; ")
+}
+
+// BehaviorEqual reports whether two profiles describe the same observable
+// behavior: identical hit counts per table, identical per-packet hit-action
+// sets, and identical drop/redirect totals. Unlike Equal it ignores miss
+// markers — Phase 2's rewrite intentionally skips applying a table whose
+// outcome was always a no-op miss, which changes which tables are applied
+// but not what happens to any packet.
+func (p *Profile) BehaviorEqual(other *Profile) bool {
+	return p.BehaviorDiff(other) == ""
+}
+
+// BehaviorDiff describes behavioral differences between two profiles.
+func (p *Profile) BehaviorDiff(other *Profile) string {
+	var out []string
+	if p.TotalPackets != other.TotalPackets {
+		out = append(out, fmt.Sprintf("total packets %d vs %d", p.TotalPackets, other.TotalPackets))
+	}
+	tables := map[string]bool{}
+	for t := range p.Hits {
+		tables[t] = true
+	}
+	for t := range other.Hits {
+		tables[t] = true
+	}
+	var names []string
+	for t := range tables {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	for _, t := range names {
+		if p.Hits[t] != other.Hits[t] {
+			out = append(out, fmt.Sprintf("table %s: %d vs %d hits", t, p.Hits[t], other.Hits[t]))
+		}
+	}
+	a, b := p.hitSets(), other.hitSets()
+	keys := map[string]bool{}
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	var setNames []string
+	for k := range keys {
+		setNames = append(setNames, k)
+	}
+	sort.Strings(setNames)
+	for _, k := range setNames {
+		if a[k] != b[k] {
+			out = append(out, fmt.Sprintf("hit set {%s}: %d vs %d packets", k, a[k], b[k]))
+		}
+	}
+	if p.Drops != other.Drops {
+		out = append(out, fmt.Sprintf("drops %d vs %d", p.Drops, other.Drops))
+	}
+	if p.ToCPU != other.ToCPU {
+		out = append(out, fmt.Sprintf("to-cpu %d vs %d", p.ToCPU, other.ToCPU))
+	}
+	return strings.Join(out, "; ")
+}
+
+// hitSets aggregates the execution sets down to their hit entries.
+func (p *Profile) hitSets() map[string]int {
+	agg := map[string]int{}
+	for key, count := range p.Sets {
+		var hits []string
+		for _, m := range strings.Split(key, "|") {
+			if p.isHitEntry(m) {
+				hits = append(hits, m)
+			}
+		}
+		agg[SetKey(hits)] += count
+	}
+	return agg
+}
+
+// Render formats the profile like the paper's Ex. 1 annotation plus
+// Table 1.
+func (p *Profile) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile over %d packets\n", p.TotalPackets)
+	var tables []string
+	for t := range p.Applied {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	b.WriteString("hit rates:\n")
+	for _, t := range tables {
+		fmt.Fprintf(&b, "  %-12s %6.2f%%\n", t, 100*p.HitRate(t))
+	}
+	b.WriteString("non-exclusive action sets (>= 2 members):\n")
+	for _, s := range p.NonExclusiveSets(2) {
+		fmt.Fprintf(&b, "  {%s}  x%d\n", strings.Join(s.Members, ", "), s.Count)
+	}
+	return b.String()
+}
+
+// Profiler replays traces through an instrumented program.
+type Profiler struct {
+	Ins    *Instrumented
+	Switch *sim.Switch
+	source *p4.Program
+	cfg    *rt.Config
+}
+
+// NewProfiler instruments the program and boots a simulator with the given
+// runtime configuration. Drops are neutralized so the collector observes
+// every packet (the instrumented program is only used for profiling and
+// never deployed, §3.1).
+func NewProfiler(ast *p4.Program, cfg *rt.Config) (*Profiler, error) {
+	ins, err := Instrument(ast)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := ir.Build(ins.AST)
+	if err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	sw, err := sim.New(prog, cfg, sim.Options{Trailer: TrailerName, NeutralizeDrops: true})
+	if err != nil {
+		return nil, err
+	}
+	return &Profiler{Ins: ins, Switch: sw, source: ast, cfg: cfg}, nil
+}
+
+// Run replays the trace and builds the profile. Register state is reset
+// first so repeated runs are reproducible.
+func (p *Profiler) Run(trace *trafficgen.Trace) (*Profile, error) {
+	p.Switch.Reset()
+	prof := &Profile{
+		Hits:         map[string]int{},
+		Applied:      map[string]int{},
+		ActionCounts: map[string]int{},
+		Sets:         map[string]int{},
+	}
+	for i, pkt := range trace.Packets {
+		out, err := p.Switch.Process(sim.Input{Port: pkt.Port, Data: pkt.Data})
+		if err != nil {
+			return nil, fmt.Errorf("profile: packet %d: %w", i, err)
+		}
+		executed, err := p.Ins.ParseTrailer(out.Data)
+		if err != nil {
+			return nil, fmt.Errorf("profile: packet %d: %w", i, err)
+		}
+		prof.TotalPackets++
+		if out.WouldDrop {
+			prof.Drops++
+		}
+		if out.ToCPU {
+			prof.ToCPU++
+		}
+		var entries []string
+		seenTable := map[string]bool{}
+		for _, info := range executed {
+			entry := info.Table + "." + info.Action
+			isMiss := info.Miss || p.isDefaultOnReadsTable(info.Table, info.Action)
+			if isMiss {
+				entry += missTag
+			} else {
+				prof.Hits[info.Table]++
+			}
+			if !seenTable[info.Table] {
+				seenTable[info.Table] = true
+				prof.Applied[info.Table]++
+			}
+			prof.ActionCounts[info.Table+"."+info.Action]++
+			entries = append(entries, entry)
+		}
+		if len(entries) > 0 {
+			prof.Sets[SetKey(entries)]++
+		}
+	}
+	return prof, nil
+}
+
+// isDefaultOnReadsTable classifies an execution as a (probable) miss: the
+// action is the effective default — a runtime table_set_default override,
+// or the declared default — of a table that has a reads block. A rule
+// installing the default-named action is misclassified as a miss; the
+// standard profiling approximation, irrelevant to the example programs.
+func (p *Profiler) isDefaultOnReadsTable(table, action string) bool {
+	t := p.Ins.AST.Table(table)
+	if t == nil || len(t.Reads) == 0 {
+		return false
+	}
+	if p.cfg != nil {
+		if d := p.cfg.DefaultFor(table); d != nil {
+			return d.Action == action
+		}
+	}
+	return t.DefaultAction == action
+}
+
+// Run profiles a program on a trace in one call.
+func Run(ast *p4.Program, cfg *rt.Config, trace *trafficgen.Trace) (*Profile, error) {
+	p, err := NewProfiler(ast, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(trace)
+}

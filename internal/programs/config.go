@@ -1,0 +1,47 @@
+package programs
+
+import (
+	"fmt"
+
+	"p2go/internal/rt"
+)
+
+// Ingress ports used by the example traces.
+const (
+	// TrustedPort is where ordinary enterprise traffic arrives.
+	TrustedPort = 1
+	// UntrustedPort carries the rogue DHCP traffic Ex. 1's ACL drops.
+	UntrustedPort = 2
+	// ForwardPort is the next hop set_nhop installs for forwarded
+	// packets.
+	ForwardPort = 3
+)
+
+// UDP ports the Ex. 1 ACL blocks.
+var Ex1BlockedUDPPorts = []uint64{6666, 4444}
+
+// Ex1RulesText is the runtime configuration of the Example 1 firewall in
+// the text format: a default /8 route plus two more-specific prefixes, the
+// blocked UDP ports, and the untrusted ingress port for DHCP snooping.
+const Ex1RulesText = `
+# IPv4 forwarding: the whole enterprise range plus two more-specific pods.
+table_add IPv4 set_nhop 10.0.0.0/8 => 3
+table_add IPv4 set_nhop 10.1.0.0/16 => 4
+table_add IPv4 set_nhop 10.2.0.0/16 => 5
+
+# Drop UDP traffic to blocked ports.
+table_add ACL_UDP acl_udp_drop 6666
+table_add ACL_UDP acl_udp_drop 4444
+
+# Drop DHCP arriving on the untrusted ingress port.
+table_add ACL_DHCP acl_dhcp_drop 2
+`
+
+// Ex1Config parses the Example 1 runtime configuration.
+func Ex1Config() *rt.Config {
+	cfg, err := rt.Parse(Ex1RulesText)
+	if err != nil {
+		panic(fmt.Sprintf("programs: Ex1RulesText does not parse: %v", err))
+	}
+	return cfg
+}

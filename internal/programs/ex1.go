@@ -1,0 +1,275 @@
+// Package programs embeds the P4_14 programs, runtime configurations, and
+// traffic calibration constants for every example in the paper: the
+// Example 1 enterprise firewall, NAT & GRE, Sourceguard, and Failure
+// Detection, plus a quickstart router and an oversized stress program.
+//
+// Table and register sizes are calibrated against the tofino.DefaultTarget
+// memory model so that each program's initial stage mapping matches the
+// paper (DESIGN.md §3): Example 1 occupies 8 stages with IPv4 spanning two.
+package programs
+
+// Ex1 calibration constants (see DESIGN.md §3 and the tofino memory model).
+const (
+	// Ex1IPv4Size makes the IPv4 LPM table span two stages: 10240 entries
+	// x 4 key bytes x 2 (key+mask) = 80 KiB of TCAM > the 64 KiB stage
+	// budget.
+	Ex1IPv4Size = 10240
+	// Ex1IPv4ReducedSize is the largest IPv4 size that fits one stage
+	// (64 KiB / 8 B per entry); Phase 3's binary search must land here.
+	Ex1IPv4ReducedSize = 8192
+	// Ex1SketchCells sizes each Count-Min Sketch row: 64000 cells x 4 B =
+	// 250 KiB, which fits a 256 KiB stage alone but not together with
+	// anything else.
+	Ex1SketchCells = 64000
+	// Ex1ReducedSketchCells is the largest Sketch_1 row that co-locates
+	// with the two ACLs after Phase 2 (237568 free bytes, minus the
+	// 64-byte table minimum, over 4 bytes per cell); Phase 3's binary
+	// search must land here.
+	Ex1ReducedSketchCells = 59376
+	// Ex1ACLSize sizes each ACL at 2048 entries x 6 B = 12 KiB so that a
+	// full sketch row cannot share a stage with an ACL.
+	Ex1ACLSize = 2048
+	// Ex1DNSThreshold is the query-count threshold of the DNS limiter.
+	Ex1DNSThreshold = 128
+	// CPUPort is the egress port that redirects a packet to the
+	// controller (To_Ctl's target and the failure-detection alarms').
+	CPUPort = 255
+	// DropPort is the egress_spec value the drop() primitive installs.
+	DropPort = 511
+)
+
+// Ex1 is the paper's Example 1: an enterprise IP router turned stateful
+// firewall, with an IPv4 LPM table, a UDP port ACL, a DHCP snooping ACL,
+// and a DNS query limiter built from a two-row Count-Min Sketch.
+const Ex1 = `
+// Example 1: enterprise firewall (paper Ex. 1).
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        diffserv : 8;
+        totalLen : 16;
+        identification : 16;
+        flags : 3;
+        fragOffset : 13;
+        ttl : 8;
+        protocol : 8;
+        hdrChecksum : 16;
+        srcAddr : 32;
+        dstAddr : 32;
+    }
+}
+header_type udp_t {
+    fields {
+        srcPort : 16;
+        dstPort : 16;
+        length_ : 16;
+        checksum : 16;
+    }
+}
+header_type dhcp_t {
+    fields {
+        op : 8;
+        htype : 8;
+        hlen : 8;
+        hops : 8;
+        xid : 32;
+    }
+}
+header_type dns_t {
+    fields {
+        id : 16;
+        flags : 16;
+        qdcount : 16;
+        ancount : 16;
+        nscount : 16;
+        arcount : 16;
+    }
+}
+header_type fw_meta_t {
+    fields {
+        idx1 : 16;
+        idx2 : 16;
+        count1 : 32;
+        count2 : 32;
+        sketch_count : 32;
+    }
+}
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+header udp_t udp;
+header dhcp_t dhcp;
+header dns_t dns;
+metadata fw_meta_t fw_meta;
+
+register cms_r1 {
+    width : 32;
+    instance_count : 64000;
+}
+register cms_r2 {
+    width : 32;
+    instance_count : 64000;
+}
+
+field_list cms_src_fl {
+    ipv4.srcAddr;
+}
+field_list cms_flow_fl {
+    ipv4.srcAddr;
+    ipv4.dstAddr;
+}
+field_list_calculation cms_h1 {
+    input { cms_src_fl; }
+    algorithm : identity;
+    output_width : 16;
+}
+field_list_calculation cms_h2 {
+    input { cms_flow_fl; }
+    algorithm : crc16;
+    output_width : 16;
+}
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        0x0800 : parse_ipv4;
+        default : ingress;
+    }
+}
+parser parse_ipv4 {
+    extract(ipv4);
+    return select(ipv4.protocol) {
+        17 : parse_udp;
+        default : ingress;
+    }
+}
+parser parse_udp {
+    extract(udp);
+    return select(udp.dstPort) {
+        67 : parse_dhcp;
+        68 : parse_dhcp;
+        53 : parse_dns;
+        default : ingress;
+    }
+}
+parser parse_dhcp {
+    extract(dhcp);
+    return ingress;
+}
+parser parse_dns {
+    extract(dns);
+    return ingress;
+}
+
+action set_nhop(port) {
+    modify_field(standard_metadata.egress_spec, port);
+}
+action ipv4_miss_drop() {
+    drop();
+}
+action acl_udp_drop() {
+    drop();
+}
+action acl_dhcp_drop() {
+    drop();
+}
+action sketch1_count() {
+    modify_field_with_hash_based_offset(fw_meta.idx1, 0, cms_h1, 64000);
+    register_read(fw_meta.count1, cms_r1, fw_meta.idx1);
+    add_to_field(fw_meta.count1, 1);
+    register_write(cms_r1, fw_meta.idx1, fw_meta.count1);
+}
+action sketch2_count() {
+    modify_field_with_hash_based_offset(fw_meta.idx2, 0, cms_h2, 64000);
+    register_read(fw_meta.count2, cms_r2, fw_meta.idx2);
+    add_to_field(fw_meta.count2, 1);
+    register_write(cms_r2, fw_meta.idx2, fw_meta.count2);
+}
+action sketch_take_min() {
+    min(fw_meta.sketch_count, fw_meta.count1, fw_meta.count2);
+}
+action dns_limit_drop() {
+    drop();
+}
+
+table IPv4 {
+    reads {
+        ipv4.dstAddr : lpm;
+    }
+    actions {
+        set_nhop;
+        ipv4_miss_drop;
+    }
+    size : 10240;
+    default_action : ipv4_miss_drop;
+}
+table ACL_UDP {
+    reads {
+        udp.dstPort : exact;
+    }
+    actions {
+        acl_udp_drop;
+    }
+    size : 2048;
+}
+table ACL_DHCP {
+    reads {
+        standard_metadata.ingress_port : exact;
+    }
+    actions {
+        acl_dhcp_drop;
+    }
+    size : 2048;
+}
+table Sketch_1 {
+    actions {
+        sketch1_count;
+    }
+    default_action : sketch1_count;
+}
+table Sketch_2 {
+    actions {
+        sketch2_count;
+    }
+    default_action : sketch2_count;
+}
+table Sketch_Min {
+    actions {
+        sketch_take_min;
+    }
+    default_action : sketch_take_min;
+}
+table DNS_Drop {
+    actions {
+        dns_limit_drop;
+    }
+    default_action : dns_limit_drop;
+}
+
+control ingress {
+    if (valid(ipv4)) {
+        apply(IPv4);
+        if (valid(udp)) {
+            apply(ACL_UDP);
+        }
+        if (valid(dhcp)) {
+            apply(ACL_DHCP);
+        }
+        if (valid(dns)) {
+            apply(Sketch_1);
+            apply(Sketch_2);
+            apply(Sketch_Min);
+            if (fw_meta.sketch_count >= 128) {
+                apply(DNS_Drop);
+            }
+        }
+    }
+}
+`

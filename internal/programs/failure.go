@@ -1,0 +1,239 @@
+package programs
+
+import (
+	"fmt"
+
+	"p2go/internal/rt"
+)
+
+// Failure-detection calibration constants (Table 3, row 3).
+const (
+	// FailureBFCells sizes the retransmission Bloom filter so it shares
+	// stage 1 with the forwarding table (240000 + 64 + fwd's 8 KiB fits
+	// the 256 KiB stage).
+	FailureBFCells = 240000
+	// FailureCMSCells sizes each Count-Min Sketch row at 250 KiB: a row
+	// fills a stage on its own.
+	FailureCMSCells = 64000
+	// FailureAlarmThreshold is the per-prefix retransmission count that
+	// triggers a controller notification.
+	FailureAlarmThreshold = 32
+)
+
+// FailureDetection is the paper's third evaluation example, inspired by
+// Blink: the switch notifies the controller when prefixes see more TCP
+// retransmissions than a threshold. A Bloom filter over the 5-tuple+seq
+// detects retransmitted packets, a two-row Count-Min Sketch counts
+// retransmissions per destination, and FailureAlarm pushes notifications
+// to the controller (modeled as a redirect to the CPU port).
+//
+// Profiling shows only a few packets use the CMS and even fewer match the
+// alarm, so P2GO offloads the CMS branch to the controller, freeing two
+// stages: 4 -> 2 (Table 3, row 3).
+const FailureDetection = `
+// Failure detection (Blink-inspired; Table 3, row 3).
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        diffserv : 8;
+        totalLen : 16;
+        identification : 16;
+        flags : 3;
+        fragOffset : 13;
+        ttl : 8;
+        protocol : 8;
+        hdrChecksum : 16;
+        srcAddr : 32;
+        dstAddr : 32;
+    }
+}
+header_type tcp_t {
+    fields {
+        srcPort : 16;
+        dstPort : 16;
+        seqNo : 32;
+        ackNo : 32;
+        dataOffset : 4;
+        res : 4;
+        flags : 8;
+        window : 16;
+        checksum : 16;
+        urgentPtr : 16;
+    }
+}
+header_type fd_meta_t {
+    fields {
+        bf_idx : 32;
+        seen : 8;
+        idx1 : 16;
+        idx2 : 16;
+        count1 : 32;
+        count2 : 32;
+    }
+}
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+header tcp_t tcp;
+metadata fd_meta_t fd_meta;
+
+register retrans_bf {
+    width : 8;
+    instance_count : 240000;
+}
+register retrans_cms1 {
+    width : 32;
+    instance_count : 64000;
+}
+register retrans_cms2 {
+    width : 32;
+    instance_count : 64000;
+}
+
+field_list flow_sig_fl {
+    ipv4.srcAddr;
+    ipv4.dstAddr;
+    tcp.srcPort;
+    tcp.dstPort;
+    tcp.seqNo;
+}
+field_list dst_fl {
+    ipv4.dstAddr;
+}
+field_list_calculation bf_hash {
+    input { flow_sig_fl; }
+    algorithm : crc32;
+    output_width : 32;
+}
+field_list_calculation cms_hash1 {
+    input { dst_fl; }
+    algorithm : crc16;
+    output_width : 16;
+}
+field_list_calculation cms_hash2 {
+    input { dst_fl; }
+    algorithm : crc32;
+    output_width : 16;
+}
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        0x0800 : parse_ipv4;
+        default : ingress;
+    }
+}
+parser parse_ipv4 {
+    extract(ipv4);
+    return select(ipv4.protocol) {
+        6 : parse_tcp;
+        default : ingress;
+    }
+}
+parser parse_tcp {
+    extract(tcp);
+    return ingress;
+}
+
+action set_nhop(port) {
+    modify_field(standard_metadata.egress_spec, port);
+}
+action fwd_miss_drop() {
+    drop();
+}
+action bf_check_set() {
+    modify_field_with_hash_based_offset(fd_meta.bf_idx, 0, bf_hash, 240000);
+    register_read(fd_meta.seen, retrans_bf, fd_meta.bf_idx);
+    register_write(retrans_bf, fd_meta.bf_idx, 1);
+}
+action cms1_count() {
+    modify_field_with_hash_based_offset(fd_meta.idx1, 0, cms_hash1, 64000);
+    register_read(fd_meta.count1, retrans_cms1, fd_meta.idx1);
+    add_to_field(fd_meta.count1, 1);
+    register_write(retrans_cms1, fd_meta.idx1, fd_meta.count1);
+}
+action cms2_count() {
+    modify_field_with_hash_based_offset(fd_meta.idx2, 0, cms_hash2, 64000);
+    register_read(fd_meta.count2, retrans_cms2, fd_meta.idx2);
+    add_to_field(fd_meta.count2, 1);
+    register_write(retrans_cms2, fd_meta.idx2, fd_meta.count2);
+}
+action notify_controller() {
+    modify_field(standard_metadata.egress_spec, 255);
+}
+
+table fd_fwd {
+    reads {
+        ipv4.dstAddr : lpm;
+    }
+    actions {
+        set_nhop;
+        fwd_miss_drop;
+    }
+    size : 512;
+    default_action : fwd_miss_drop;
+}
+table retrans_detect {
+    actions {
+        bf_check_set;
+    }
+    default_action : bf_check_set;
+}
+table retrans_cms_1 {
+    actions {
+        cms1_count;
+    }
+    default_action : cms1_count;
+}
+table retrans_cms_2 {
+    actions {
+        cms2_count;
+    }
+    default_action : cms2_count;
+}
+table FailureAlarm {
+    actions {
+        notify_controller;
+    }
+    default_action : notify_controller;
+}
+
+control ingress {
+    if (valid(ipv4)) {
+        apply(fd_fwd);
+        if (valid(tcp)) {
+            apply(retrans_detect);
+            if (fd_meta.seen == 1) {
+                apply(retrans_cms_1);
+                apply(retrans_cms_2);
+                if (fd_meta.count1 >= 32 and fd_meta.count2 >= 32) {
+                    apply(FailureAlarm);
+                }
+            }
+        }
+    }
+}
+`
+
+// FailureRulesText: routes only — the detection tables are default-action
+// driven.
+const FailureRulesText = `
+table_add fd_fwd set_nhop 10.0.0.0/8 => 2
+table_add fd_fwd set_nhop 198.51.100.0/24 => 6
+`
+
+// FailureConfig parses the failure-detection runtime configuration.
+func FailureConfig() *rt.Config {
+	cfg, err := rt.Parse(FailureRulesText)
+	if err != nil {
+		panic(fmt.Sprintf("programs: FailureRulesText does not parse: %v", err))
+	}
+	return cfg
+}

@@ -1,0 +1,176 @@
+package programs
+
+import (
+	"fmt"
+
+	"p2go/internal/rt"
+)
+
+// NATGRE models the paper's first evaluation example: the NAT and GRE
+// (tunneling) features of switch.p4, made standalone. The features are
+// dependent — both rewrite the IPv4 addresses (tunneled packets might need
+// address translation after reaching their destination) — but the traffic
+// trace contains no packet using both features simultaneously, so P2GO
+// removes the dependency and the compiler places both features in the same
+// stage: 4 stages -> 3 (Table 3, row 1).
+//
+// GRE encapsulation is modeled as an in-place rewrite (protocol 47 + outer
+// addresses): our header model cannot insert headers mid-packet, and only
+// the field-write footprint matters to the dependency analysis.
+const NATGRE = `
+// NAT & GRE: standalone switch.p4 features (Table 3, row 1).
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        diffserv : 8;
+        totalLen : 16;
+        identification : 16;
+        flags : 3;
+        fragOffset : 13;
+        ttl : 8;
+        protocol : 8;
+        hdrChecksum : 16;
+        srcAddr : 32;
+        dstAddr : 32;
+    }
+}
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+
+field_list ipv4_checksum_list {
+    ipv4.version;
+    ipv4.ihl;
+    ipv4.diffserv;
+    ipv4.totalLen;
+    ipv4.identification;
+    ipv4.flags;
+    ipv4.fragOffset;
+    ipv4.ttl;
+    ipv4.protocol;
+    ipv4.srcAddr;
+    ipv4.dstAddr;
+}
+field_list_calculation ipv4_checksum {
+    input { ipv4_checksum_list; }
+    algorithm : csum16;
+    output_width : 16;
+}
+calculated_field ipv4.hdrChecksum {
+    update ipv4_checksum;
+}
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        0x0800 : parse_ipv4;
+        default : ingress;
+    }
+}
+parser parse_ipv4 {
+    extract(ipv4);
+    return ingress;
+}
+
+action nat_translate(src, dst) {
+    modify_field(ipv4.srcAddr, src);
+    modify_field(ipv4.dstAddr, dst);
+}
+action gre_encap(outer_src, outer_dst) {
+    modify_field(ipv4.protocol, 47);
+    modify_field(ipv4.srcAddr, outer_src);
+    modify_field(ipv4.dstAddr, outer_dst);
+}
+action set_nhop(port) {
+    modify_field(standard_metadata.egress_spec, port);
+}
+action fwd_miss_drop() {
+    drop();
+}
+action egress_drop() {
+    drop();
+}
+
+table nat {
+    reads {
+        ipv4.dstAddr : exact;
+    }
+    actions {
+        nat_translate;
+    }
+    size : 1024;
+}
+table gre {
+    reads {
+        ipv4.dstAddr : exact;
+    }
+    actions {
+        gre_encap;
+    }
+    size : 1024;
+}
+table ipv4_fwd {
+    reads {
+        ipv4.dstAddr : lpm;
+    }
+    actions {
+        set_nhop;
+        fwd_miss_drop;
+    }
+    size : 2048;
+    default_action : fwd_miss_drop;
+}
+table egress_acl {
+    reads {
+        standard_metadata.egress_spec : exact;
+    }
+    actions {
+        egress_drop;
+    }
+    size : 64;
+}
+
+control ingress {
+    if (valid(ipv4)) {
+        apply(nat);
+        apply(gre);
+        apply(ipv4_fwd);
+        apply(egress_acl);
+    }
+}
+`
+
+// NATGRERulesText configures the NAT & GRE example: two NATted services,
+// two GRE tunnel endpoints, routes, and an egress port quarantine.
+const NATGRERulesText = `
+# DNAT: public service addresses rewritten to internal servers.
+table_add nat nat_translate 198.51.100.10 => 10.3.0.10 10.3.1.10
+table_add nat nat_translate 198.51.100.11 => 10.3.0.11 10.3.1.11
+
+# GRE: remote branch prefixes tunneled to the branch gateway.
+table_add gre gre_encap 10.5.0.1 => 10.0.0.1 192.0.2.1
+table_add gre gre_encap 10.5.0.2 => 10.0.0.1 192.0.2.2
+
+# Routes.
+table_add ipv4_fwd set_nhop 10.0.0.0/8 => 2
+table_add ipv4_fwd set_nhop 192.0.2.0/24 => 7
+
+# Quarantined egress port.
+table_add egress_acl egress_drop 9
+`
+
+// NATGREConfig parses the NAT & GRE runtime configuration.
+func NATGREConfig() *rt.Config {
+	cfg, err := rt.Parse(NATGRERulesText)
+	if err != nil {
+		panic(fmt.Sprintf("programs: NATGRERulesText does not parse: %v", err))
+	}
+	return cfg
+}

@@ -1,0 +1,156 @@
+package programs_test
+
+import (
+	"testing"
+
+	"p2go/internal/hashes"
+	"p2go/internal/ir"
+	"p2go/internal/p4"
+	"p2go/internal/programs"
+	"p2go/internal/tofino"
+)
+
+func compile(t *testing.T, src string) *tofino.Result {
+	t.Helper()
+	res, err := tofino.CompileSource(src, tofino.DefaultTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestInitialStageCounts pins the calibrated initial mappings that anchor
+// every experiment.
+func TestInitialStageCounts(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		stages int
+	}{
+		{"ex1", programs.Ex1, 8},
+		{"natgre", programs.NATGRE, 4},
+		{"sourceguard", programs.Sourceguard, 5},
+		{"failure", programs.FailureDetection, 4},
+		{"stress", programs.Stress(), programs.StressChainLength},
+		{"quickstart", programs.Quickstart, 2},
+	}
+	for _, c := range cases {
+		res := compile(t, c.src)
+		if res.Mapping.StagesUsed != c.stages {
+			t.Errorf("%s: %d stages, want %d\n%s", c.name, res.Mapping.StagesUsed, c.stages, res.Mapping.Render())
+		}
+	}
+}
+
+// TestSourceguardCalibration verifies the arithmetic behind the 8.4%
+// figure against the memory model, so a model change cannot silently
+// invalidate the experiment.
+func TestSourceguardCalibration(t *testing.T) {
+	res := compile(t, programs.Sourceguard)
+	tgt := tofino.DefaultTarget()
+	acl := tofino.TableCost(res.IR, res.IR.Tables["ingress_acl"])
+	bf1 := tofino.TableCost(res.IR, res.IR.Tables["sg_bf1"])
+	// bf_r1 fills a stage exactly.
+	if bf1.SRAMBytes != tgt.StageSRAMBytes {
+		t.Errorf("sg_bf1 SRAM = %d, want exactly %d", bf1.SRAMBytes, tgt.StageSRAMBytes)
+	}
+	// The reduced size is the largest that shares a stage with the ACL.
+	maxCells := tgt.StageSRAMBytes - acl.SRAMBytes - (bf1.SRAMBytes - programs.SourceguardBFCells)
+	if maxCells != programs.SourceguardBFReducedCells {
+		t.Errorf("max co-located cells = %d, want %d", maxCells, programs.SourceguardBFReducedCells)
+	}
+	reduction := float64(programs.SourceguardBFCells-programs.SourceguardBFReducedCells) /
+		float64(programs.SourceguardBFCells)
+	if reduction < 0.0835 || reduction > 0.0845 {
+		t.Errorf("reduction = %.4f, want ~0.084", reduction)
+	}
+}
+
+// TestEx1ReducedSketchCalibration verifies the Phase 3 binary-search
+// landing spot for Sketch_1.
+func TestEx1ReducedSketchCalibration(t *testing.T) {
+	res := compile(t, programs.Ex1)
+	tgt := tofino.DefaultTarget()
+	au := tofino.TableCost(res.IR, res.IR.Tables["ACL_UDP"])
+	ad := tofino.TableCost(res.IR, res.IR.Tables["ACL_DHCP"])
+	s1 := tofino.TableCost(res.IR, res.IR.Tables["Sketch_1"])
+	overhead := s1.SRAMBytes - s1.RegisterBytes
+	free := tgt.StageSRAMBytes - au.SRAMBytes - ad.SRAMBytes - overhead
+	if free/4 != programs.Ex1ReducedSketchCells {
+		t.Errorf("max co-located sketch cells = %d, want %d", free/4, programs.Ex1ReducedSketchCells)
+	}
+}
+
+// TestEngineeredCollisionArithmetic: the identity-hash wraparound that
+// makes the reduced Sketch_1 collide.
+func TestEngineeredCollisionArithmetic(t *testing.T) {
+	heavyLow := uint64(1000)
+	engLow := heavyLow + uint64(programs.Ex1ReducedSketchCells)
+	if engLow >= 1<<16 {
+		t.Fatal("engineered low-16 bits exceed the hash space")
+	}
+	if heavyLow%uint64(programs.Ex1SketchCells) == engLow%uint64(programs.Ex1SketchCells) {
+		t.Error("flows must NOT collide at the original row size")
+	}
+	if heavyLow%uint64(programs.Ex1ReducedSketchCells) != engLow%uint64(programs.Ex1ReducedSketchCells) {
+		t.Error("flows must collide at the reduced row size")
+	}
+}
+
+// TestAllProgramsRoundTrip: print -> parse -> print is a fixed point for
+// every example program.
+func TestAllProgramsRoundTrip(t *testing.T) {
+	for name, src := range map[string]string{
+		"ex1":         programs.Ex1,
+		"natgre":      programs.NATGRE,
+		"sourceguard": programs.Sourceguard,
+		"failure":     programs.FailureDetection,
+		"stress":      programs.Stress(),
+		"quickstart":  programs.Quickstart,
+	} {
+		ast, err := p4.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		printed := p4.Print(ast)
+		ast2, err := p4.Parse(printed)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", name, err)
+		}
+		if p4.Print(ast2) != printed {
+			t.Errorf("%s: print is not a fixed point", name)
+		}
+	}
+}
+
+// TestEx1SketchHashesDiffer: the two CMS rows must use different hash
+// functions (identity over src vs crc16 over the flow).
+func TestEx1SketchHashesDiffer(t *testing.T) {
+	ast := p4.MustParse(programs.Ex1)
+	h1 := ast.Calculation("cms_h1")
+	h2 := ast.Calculation("cms_h2")
+	if h1.Algorithm == h2.Algorithm {
+		t.Error("CMS rows share a hash algorithm")
+	}
+	if _, err := hashes.FromName(h1.Algorithm); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRegistersOwnedBySingleTables: the RMT constraint holds in every
+// example program.
+func TestRegistersOwnedBySingleTables(t *testing.T) {
+	for name, src := range map[string]string{
+		"ex1":         programs.Ex1,
+		"sourceguard": programs.Sourceguard,
+		"failure":     programs.FailureDetection,
+	} {
+		ast := p4.MustParse(src)
+		if err := p4.Check(ast); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := ir.Build(ast); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

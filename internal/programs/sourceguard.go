@@ -1,0 +1,275 @@
+package programs
+
+import (
+	"fmt"
+
+	"p2go/internal/rt"
+)
+
+// Sourceguard calibration constants (Table 3, row 2). With the default
+// target (256 KiB SRAM per stage, 64-byte table minimum, 6 bytes per
+// ingress-ACL entry):
+//
+//   - bf_r1 initially fills a stage exactly: 262080 cells x 1 byte + 64 =
+//     262144 bytes;
+//   - the ingress ACL occupies 3669 x 6 = 22014 bytes, so the largest
+//     bf_r1 that co-locates with it is 262144-64-22014 = 240066 cells;
+//   - the minimum reduction Phase 3's binary search finds is therefore
+//     (262080-240066)/262080 = 8.4% — the figure the paper reports.
+const (
+	SourceguardBFCells        = 262080
+	SourceguardBFReducedCells = 240066
+	SourceguardACLSize        = 3669
+)
+
+// Sourceguard is the paper's second evaluation example: the switch.p4
+// Sourceguard feature made standalone, with the DHCP snooping database
+// implemented as a Bloom filter with two hash functions over register
+// arrays. Clients may only use source addresses that appear in the
+// database; the database is populated from observed DHCP traffic (each BF
+// row table selects a learn or check action by DHCP-header validity).
+//
+// P2GO observes that slightly decreasing one BF register array lets it
+// share a stage with the ingress ACL, saving a stage: 5 -> 4, with the
+// register shrunk by just 8.4%.
+const Sourceguard = `
+// Sourceguard: DHCP snooping source guard (Table 3, row 2).
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        diffserv : 8;
+        totalLen : 16;
+        identification : 16;
+        flags : 3;
+        fragOffset : 13;
+        ttl : 8;
+        protocol : 8;
+        hdrChecksum : 16;
+        srcAddr : 32;
+        dstAddr : 32;
+    }
+}
+header_type udp_t {
+    fields {
+        srcPort : 16;
+        dstPort : 16;
+        length_ : 16;
+        checksum : 16;
+    }
+}
+header_type dhcp_t {
+    fields {
+        op : 8;
+        htype : 8;
+        hlen : 8;
+        hops : 8;
+        xid : 32;
+    }
+}
+header_type sg_meta_t {
+    fields {
+        idx1 : 32;
+        idx2 : 32;
+        bf1 : 8;
+        bf2 : 8;
+    }
+}
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+header udp_t udp;
+header dhcp_t dhcp;
+metadata sg_meta_t sg_meta;
+
+register bf_r1 {
+    width : 8;
+    instance_count : 262080;
+}
+register bf_r2 {
+    width : 8;
+    instance_count : 262080;
+}
+
+field_list sg_src_fl {
+    ipv4.srcAddr;
+}
+field_list_calculation sg_h1 {
+    input { sg_src_fl; }
+    algorithm : crc16;
+    output_width : 16;
+}
+field_list_calculation sg_h2 {
+    input { sg_src_fl; }
+    algorithm : crc32;
+    output_width : 32;
+}
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        0x0800 : parse_ipv4;
+        default : ingress;
+    }
+}
+parser parse_ipv4 {
+    extract(ipv4);
+    return select(ipv4.protocol) {
+        17 : parse_udp;
+        default : ingress;
+    }
+}
+parser parse_udp {
+    extract(udp);
+    return select(udp.dstPort) {
+        67 : parse_dhcp;
+        68 : parse_dhcp;
+        default : ingress;
+    }
+}
+parser parse_dhcp {
+    extract(dhcp);
+    return ingress;
+}
+
+action port_drop() {
+    drop();
+}
+action bf1_learn() {
+    modify_field_with_hash_based_offset(sg_meta.idx1, 0, sg_h1, 262080);
+    register_write(bf_r1, sg_meta.idx1, 1);
+}
+action bf1_check() {
+    modify_field_with_hash_based_offset(sg_meta.idx1, 0, sg_h1, 262080);
+    register_read(sg_meta.bf1, bf_r1, sg_meta.idx1);
+}
+action bf2_learn() {
+    modify_field_with_hash_based_offset(sg_meta.idx2, 0, sg_h2, 262080);
+    register_write(bf_r2, sg_meta.idx2, 1);
+}
+action bf2_check() {
+    modify_field_with_hash_based_offset(sg_meta.idx2, 0, sg_h2, 262080);
+    register_read(sg_meta.bf2, bf_r2, sg_meta.idx2);
+}
+action set_nhop(port) {
+    modify_field(standard_metadata.egress_spec, port);
+}
+action fwd_miss_drop() {
+    drop();
+}
+action sg_violation_drop() {
+    drop();
+}
+action count_egress() {
+    modify_field(sg_meta.idx1, standard_metadata.egress_spec);
+}
+
+table ingress_acl {
+    reads {
+        standard_metadata.ingress_port : exact;
+    }
+    actions {
+        port_drop;
+    }
+    size : 3669;
+}
+table sg_bf1 {
+    reads {
+        dhcp : valid;
+    }
+    actions {
+        bf1_learn;
+        bf1_check;
+    }
+    size : 2;
+}
+table sg_bf2 {
+    reads {
+        dhcp : valid;
+    }
+    actions {
+        bf2_learn;
+        bf2_check;
+    }
+    size : 2;
+}
+table ipv4_fwd {
+    reads {
+        ipv4.dstAddr : lpm;
+    }
+    actions {
+        set_nhop;
+        fwd_miss_drop;
+    }
+    size : 512;
+    default_action : fwd_miss_drop;
+}
+table sg_drop {
+    actions {
+        sg_violation_drop;
+    }
+    default_action : sg_violation_drop;
+}
+table egress_monitor {
+    reads {
+        standard_metadata.egress_spec : exact;
+    }
+    actions {
+        count_egress;
+    }
+    size : 64;
+}
+
+control ingress {
+    if (valid(ipv4)) {
+        apply(ingress_acl);
+        apply(sg_bf1);
+        apply(sg_bf2);
+        if (not valid(dhcp)) {
+            if (sg_meta.bf1 == 1 and sg_meta.bf2 == 1) {
+                apply(ipv4_fwd);
+            } else {
+                apply(sg_drop);
+            }
+        }
+        apply(egress_monitor);
+    }
+}
+`
+
+// SourceguardRulesText: untrusted ingress ports, BF learn/check selection
+// by DHCP validity, routes, and monitored egress ports.
+const SourceguardRulesText = `
+# Drop traffic arriving on the two quarantined ports.
+table_add ingress_acl port_drop 30
+table_add ingress_acl port_drop 31
+
+# Bloom filter rows: learn on DHCP packets, check otherwise.
+table_add sg_bf1 bf1_learn 1
+table_add sg_bf1 bf1_check 0
+table_add sg_bf2 bf2_learn 1
+table_add sg_bf2 bf2_check 0
+
+# Routes.
+table_add ipv4_fwd set_nhop 10.0.0.0/8 => 2
+table_add ipv4_fwd set_nhop 172.16.0.0/12 => 3
+
+# Monitored egress ports.
+table_add egress_monitor count_egress 2
+table_add egress_monitor count_egress 3
+`
+
+// SourceguardConfig parses the Sourceguard runtime configuration.
+func SourceguardConfig() *rt.Config {
+	cfg, err := rt.Parse(SourceguardRulesText)
+	if err != nil {
+		panic(fmt.Sprintf("programs: SourceguardRulesText does not parse: %v", err))
+	}
+	return cfg
+}

@@ -1,0 +1,220 @@
+package programs
+
+import (
+	"fmt"
+	"strings"
+
+	"p2go/internal/rt"
+)
+
+// StressChainLength is the number of chained ACL tables in the
+// does-not-fit stress program: longer than the 12-stage target.
+const StressChainLength = 14
+
+// Stress returns a program that does NOT fit the default 12-stage target:
+// a chain of StressChainLength ACL tables whose drop actions all write the
+// egress spec, creating a full write-after-write dependency chain (one
+// table per stage). Profiling shows every packet matches at most one ACL,
+// so P2GO's Phase 2 folds the chain into nested miss arms until the whole
+// program occupies a single stage — demonstrating §2.2's "what if the
+// program does not fit?": the compiler produces the dependency graph and a
+// simulated mapping regardless of the resource overrun, so Phase 2 runs
+// before the program ever fits.
+func Stress() string {
+	var b strings.Builder
+	b.WriteString(`
+// Does-not-fit stress program: a 14-deep ACL chain.
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        diffserv : 8;
+        totalLen : 16;
+        identification : 16;
+        flags : 3;
+        fragOffset : 13;
+        ttl : 8;
+        protocol : 8;
+        hdrChecksum : 16;
+        srcAddr : 32;
+        dstAddr : 32;
+    }
+}
+header_type udp_t {
+    fields {
+        srcPort : 16;
+        dstPort : 16;
+        length_ : 16;
+        checksum : 16;
+    }
+}
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+header udp_t udp;
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        0x0800 : parse_ipv4;
+        default : ingress;
+    }
+}
+parser parse_ipv4 {
+    extract(ipv4);
+    return select(ipv4.protocol) {
+        17 : parse_udp;
+        default : ingress;
+    }
+}
+parser parse_udp {
+    extract(udp);
+    return ingress;
+}
+`)
+	for i := 1; i <= StressChainLength; i++ {
+		fmt.Fprintf(&b, `
+action drop_%d() {
+    drop();
+}
+table acl_%d {
+    reads {
+        udp.dstPort : exact;
+    }
+    actions {
+        drop_%d;
+    }
+    size : 64;
+}
+`, i, i, i)
+	}
+	b.WriteString("\ncontrol ingress {\n    if (valid(udp)) {\n")
+	for i := 1; i <= StressChainLength; i++ {
+		fmt.Fprintf(&b, "        apply(acl_%d);\n", i)
+	}
+	b.WriteString("    }\n}\n")
+	return b.String()
+}
+
+// StressConfig blocks one UDP port per ACL table: port 7000+i in acl_i.
+func StressConfig() *rt.Config {
+	var b strings.Builder
+	for i := 1; i <= StressChainLength; i++ {
+		fmt.Fprintf(&b, "table_add acl_%d drop_%d %d\n", i, i, 7000+i)
+	}
+	cfg, err := rt.Parse(b.String())
+	if err != nil {
+		panic(fmt.Sprintf("programs: stress rules do not parse: %v", err))
+	}
+	return cfg
+}
+
+// Quickstart is a minimal L3 router used by the quickstart example and the
+// documentation: an LPM route table plus a small port ACL.
+const Quickstart = `
+// Quickstart: a minimal L3 router.
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        diffserv : 8;
+        totalLen : 16;
+        identification : 16;
+        flags : 3;
+        fragOffset : 13;
+        ttl : 8;
+        protocol : 8;
+        hdrChecksum : 16;
+        srcAddr : 32;
+        dstAddr : 32;
+    }
+}
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+
+counter route_stats {
+    type : packets;
+    instance_count : 16;
+}
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        0x0800 : parse_ipv4;
+        default : ingress;
+    }
+}
+parser parse_ipv4 {
+    extract(ipv4);
+    return ingress;
+}
+
+action route(port) {
+    modify_field(standard_metadata.egress_spec, port);
+    subtract_from_field(ipv4.ttl, 1);
+    count(route_stats, port);
+}
+action no_route() {
+    drop();
+}
+action blocked() {
+    drop();
+}
+
+table routes {
+    reads {
+        ipv4.dstAddr : lpm;
+    }
+    actions {
+        route;
+        no_route;
+    }
+    size : 256;
+    default_action : no_route;
+}
+table port_acl {
+    reads {
+        standard_metadata.ingress_port : exact;
+    }
+    actions {
+        blocked;
+    }
+    size : 16;
+}
+
+control ingress {
+    if (valid(ipv4)) {
+        apply(port_acl);
+        apply(routes);
+    }
+}
+`
+
+// QuickstartRulesText routes two prefixes and blocks one ingress port.
+const QuickstartRulesText = `
+table_add routes route 10.0.0.0/8 => 1
+table_add routes route 192.168.0.0/16 => 2
+table_add port_acl blocked 4
+`
+
+// QuickstartConfig parses the quickstart runtime configuration.
+func QuickstartConfig() *rt.Config {
+	cfg, err := rt.Parse(QuickstartRulesText)
+	if err != nil {
+		panic(fmt.Sprintf("programs: QuickstartRulesText does not parse: %v", err))
+	}
+	return cfg
+}

@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"testing"
+
+	"p2go/internal/hashes"
+	"p2go/internal/ir"
+	"p2go/internal/p4"
+	"p2go/internal/packet"
+	"p2go/internal/rt"
+)
+
+// natWithChecksum is a NAT-style rewrite with a P4_14 calculated_field
+// keeping the IPv4 header checksum correct on emission.
+const natWithChecksum = `
+header_type ethernet_t {
+    fields { dstAddr : 48; srcAddr : 48; etherType : 16; }
+}
+header_type ipv4_t {
+    fields {
+        version : 4; ihl : 4; diffserv : 8; totalLen : 16;
+        identification : 16; flags : 3; fragOffset : 13;
+        ttl : 8; protocol : 8; hdrChecksum : 16;
+        srcAddr : 32; dstAddr : 32;
+    }
+}
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+
+field_list ipv4_checksum_list {
+    ipv4.version;
+    ipv4.ihl;
+    ipv4.diffserv;
+    ipv4.totalLen;
+    ipv4.identification;
+    ipv4.flags;
+    ipv4.fragOffset;
+    ipv4.ttl;
+    ipv4.protocol;
+    ipv4.srcAddr;
+    ipv4.dstAddr;
+}
+field_list_calculation ipv4_checksum {
+    input { ipv4_checksum_list; }
+    algorithm : csum16;
+    output_width : 16;
+}
+calculated_field ipv4.hdrChecksum {
+    verify ipv4_checksum;
+    update ipv4_checksum;
+}
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        0x0800 : parse_ipv4;
+        default : ingress;
+    }
+}
+parser parse_ipv4 { extract(ipv4); return ingress; }
+
+action translate(src, dst, port) {
+    modify_field(ipv4.srcAddr, src);
+    modify_field(ipv4.dstAddr, dst);
+    subtract_from_field(ipv4.ttl, 1);
+    modify_field(standard_metadata.egress_spec, port);
+}
+table nat {
+    reads { ipv4.dstAddr : exact; }
+    actions { translate; }
+    size : 16;
+}
+control ingress {
+    if (valid(ipv4)) {
+        apply(nat);
+    }
+}
+`
+
+// TestCalculatedFieldChecksum: after the NAT rewrite, the emitted packet's
+// IPv4 header checksum verifies against the wire bytes.
+func TestCalculatedFieldChecksum(t *testing.T) {
+	ast := p4.MustParse(natWithChecksum)
+	if err := p4.Check(ast); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Build(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := rt.Parse("table_add nat translate 198.51.100.10 => 10.3.0.10 10.3.1.10 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := New(prog, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := packet.Serialize(
+		&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+		&packet.IPv4{Protocol: packet.ProtoTCP, Src: packet.IP(192, 0, 2, 7), Dst: packet.IP(198, 51, 100, 10), TTL: 33},
+		&packet.TCP{SrcPort: 1, DstPort: 2},
+	)
+	out, err := sw.Process(Input{Port: 1, Data: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := packet.Decode(out.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.IPv4.Src != packet.IP(10, 3, 0, 10) || v.IPv4.Dst != packet.IP(10, 3, 1, 10) {
+		t.Fatalf("NAT did not rewrite: %+v", v.IPv4)
+	}
+	if v.IPv4.TTL != 32 {
+		t.Errorf("ttl = %d, want 32", v.IPv4.TTL)
+	}
+	// RFC 1071: summing the full header including a correct checksum
+	// yields zero.
+	ipHdr := out.Data[14 : 14+20]
+	if got := packet.Checksum(ipHdr); got != 0 {
+		t.Errorf("rewritten header checksum does not verify: residue %#x", got)
+	}
+	// A non-NATted packet keeps a valid checksum too (the update clause
+	// recomputes it regardless).
+	miss := packet.Serialize(
+		&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+		&packet.IPv4{Protocol: packet.ProtoTCP, Src: packet.IP(192, 0, 2, 7), Dst: packet.IP(203, 0, 113, 1), TTL: 9},
+		&packet.TCP{SrcPort: 1, DstPort: 2},
+	)
+	out2, err := sw.Process(Input{Port: 1, Data: miss})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := packet.Checksum(out2.Data[14 : 14+20]); got != 0 {
+		t.Errorf("untouched header checksum does not verify: residue %#x", got)
+	}
+}
+
+// TestPackBits: sub-byte fields pack exactly as on the wire.
+func TestPackBits(t *testing.T) {
+	// version=4, ihl=5 -> one byte 0x45.
+	got := hashes.PackBits([]uint64{4, 5, 0xAB}, []int{4, 4, 8})
+	if len(got) != 2 || got[0] != 0x45 || got[1] != 0xAB {
+		t.Fatalf("PackBits = %#v, want [0x45 0xAB]", got)
+	}
+	// flags=0b101 + 13-bit fragOffset 0x0123 -> 1010_0001 0010_0011.
+	got = hashes.PackBits([]uint64{5, 0x0123}, []int{3, 13})
+	if len(got) != 2 || got[0] != 0xA1 || got[1] != 0x23 {
+		t.Fatalf("PackBits = %#v, want [0xA1 0x23]", got)
+	}
+	// Trailing partial byte is zero-padded low.
+	got = hashes.PackBits([]uint64{0x3}, []int{2})
+	if len(got) != 1 || got[0] != 0xC0 {
+		t.Fatalf("PackBits = %#v, want [0xC0]", got)
+	}
+	// Byte-aligned packing equals SerializeValues.
+	vals, widths := []uint64{0x1234, 0x56}, []int{16, 8}
+	a := hashes.PackBits(vals, widths)
+	b := hashes.SerializeValues(vals, widths)
+	if len(a) != len(b) {
+		t.Fatal("byte-aligned PackBits length differs from SerializeValues")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("byte-aligned PackBits differs from SerializeValues")
+		}
+	}
+}
+
+// TestCalculatedFieldParsePrint: the declaration round-trips.
+func TestCalculatedFieldParsePrint(t *testing.T) {
+	ast := p4.MustParse(natWithChecksum)
+	if err := p4.Check(ast); err != nil {
+		t.Fatal(err)
+	}
+	if len(ast.CalcFields) != 1 || ast.CalcFields[0].Update != "ipv4_checksum" || ast.CalcFields[0].Verify != "ipv4_checksum" {
+		t.Fatalf("calc fields = %+v", ast.CalcFields)
+	}
+	printed := p4.Print(ast)
+	re, err := p4.Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+	if len(re.CalcFields) != 1 {
+		t.Fatal("calculated_field lost in round trip")
+	}
+	// Bad references fail checking.
+	bad := p4.MustParse(`
+header_type h_t { fields { f : 8; } }
+header h_t h;
+calculated_field h.f { update ghost; }
+control ingress { }
+`)
+	if err := p4.Check(bad); err == nil {
+		t.Error("unknown calculation should fail check")
+	}
+}

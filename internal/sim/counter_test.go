@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"testing"
+
+	"p2go/internal/ir"
+	"p2go/internal/p4"
+	"p2go/internal/packet"
+	"p2go/internal/programs"
+)
+
+func quickstartSwitch(t *testing.T) *Switch {
+	t.Helper()
+	ast := p4.MustParse(programs.Quickstart)
+	if err := p4.Check(ast); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Build(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := New(prog, programs.QuickstartConfig(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+// TestCounterIncrements: the quickstart router's route_stats counter counts
+// packets and bytes per egress port.
+func TestCounterIncrements(t *testing.T) {
+	sw := quickstartSwitch(t)
+	mk := func(dst uint32) []byte {
+		return packet.Serialize(
+			&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+			&packet.IPv4{Protocol: packet.ProtoTCP, Src: packet.IP(10, 1, 1, 1), Dst: dst, TTL: 9},
+			&packet.TCP{SrcPort: 1, DstPort: 2},
+		)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := sw.Process(Input{Port: 1, Data: mk(packet.IP(10, 0, 0, 5))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sw.Process(Input{Port: 1, Data: mk(packet.IP(192, 168, 1, 1))}); err != nil {
+		t.Fatal(err)
+	}
+	stats := sw.Counter("route_stats")
+	if stats == nil {
+		t.Fatal("counter missing")
+	}
+	// Port 1 = the 10/8 route; port 2 = 192.168/16.
+	if stats[1].Packets != 3 {
+		t.Errorf("route_stats[1].Packets = %d, want 3", stats[1].Packets)
+	}
+	if stats[2].Packets != 1 {
+		t.Errorf("route_stats[2].Packets = %d, want 1", stats[2].Packets)
+	}
+	pktLen := uint64(len(mk(packet.IP(10, 0, 0, 5))))
+	if stats[1].Bytes != 3*pktLen {
+		t.Errorf("route_stats[1].Bytes = %d, want %d", stats[1].Bytes, 3*pktLen)
+	}
+	// Unrouted packets (default no_route) do not count.
+	if _, err := sw.Process(Input{Port: 1, Data: mk(packet.IP(8, 8, 8, 8))}); err != nil {
+		t.Fatal(err)
+	}
+	total := uint64(0)
+	for _, c := range sw.Counter("route_stats") {
+		total += c.Packets
+	}
+	if total != 4 {
+		t.Errorf("total counted = %d, want 4", total)
+	}
+	// Reset clears counters too.
+	sw.Reset()
+	if sw.Counter("route_stats")[1].Packets != 0 {
+		t.Error("Reset did not clear counters")
+	}
+}
+
+// TestCounterOutOfRange: a count() past the array is a hard error.
+func TestCounterOutOfRange(t *testing.T) {
+	src := `
+counter c { type : packets; instance_count : 2; }
+action a() { count(c, 9); }
+table t { actions { a; } default_action : a; }
+control ingress { apply(t); }
+`
+	ast := p4.MustParse(src)
+	if err := p4.Check(ast); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Build(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := New(prog, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Process(Input{Port: 1, Data: []byte{0}}); err == nil {
+		t.Error("expected out-of-range counter error")
+	}
+}
+
+// TestCounterSharedByTwoTablesRejected mirrors the register constraint.
+func TestCounterSharedByTwoTablesRejected(t *testing.T) {
+	src := `
+counter c { type : packets; instance_count : 4; }
+action a1() { count(c, 0); }
+action a2() { count(c, 1); }
+table t1 { actions { a1; } default_action : a1; }
+table t2 { actions { a2; } default_action : a2; }
+control ingress { apply(t1); apply(t2); }
+`
+	ast := p4.MustParse(src)
+	if err := p4.Check(ast); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ir.Build(ast); err == nil {
+		t.Error("counter shared across tables should be rejected")
+	}
+}
+
+// TestCounterUnknownRejected: count() on an undeclared counter fails check.
+func TestCounterUnknownRejected(t *testing.T) {
+	src := `
+action a() { count(ghost, 0); }
+control ingress { }
+`
+	ast := p4.MustParse(src)
+	if err := p4.Check(ast); err == nil {
+		t.Error("count on unknown counter should fail check")
+	}
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"testing"
+
+	"p2go/internal/hashes"
+	"p2go/internal/ir"
+	"p2go/internal/p4"
+	"p2go/internal/packet"
+	"p2go/internal/programs"
+	"p2go/internal/sketch"
+)
+
+// TestCMSDataPlaneMatchesSoftwareOracle replays DNS traffic through the
+// Ex. 1 firewall and checks that the register-based Count-Min Sketch in the
+// data plane holds exactly the same cells as the software CMS from
+// internal/sketch fed the same keys — the agreement the offloaded
+// controller relies on.
+func TestCMSDataPlaneMatchesSoftwareOracle(t *testing.T) {
+	ast := p4.MustParse(programs.Ex1)
+	if err := p4.Check(ast); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Build(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := New(prog, programs.Ex1Config(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Software twins of the two sketch rows: identity-over-src (row 1)
+	// and crc16-over-flow (row 2), matching the program's calculations.
+	row1 := sketch.NewRow(hashes.Identity, 16, programs.Ex1SketchCells, 32)
+	row2 := sketch.NewRow(hashes.CRC16, 16, programs.Ex1SketchCells, 32)
+
+	flows := []struct {
+		src, dst uint32
+		n        int
+	}{
+		{packet.IP(10, 9, 1, 1), packet.IP(10, 0, 0, 53), 40},
+		{packet.IP(10, 9, 2, 2), packet.IP(10, 0, 0, 53), 17},
+		{packet.IP(10, 9, 3, 3), packet.IP(10, 0, 1, 9), 5},
+	}
+	for _, f := range flows {
+		data := packet.Serialize(
+			&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+			&packet.IPv4{Protocol: packet.ProtoUDP, Src: f.src, Dst: f.dst},
+			&packet.UDP{SrcPort: 5353, DstPort: packet.PortDNS},
+			&packet.DNS{ID: 1, QDCount: 1},
+		)
+		for i := 0; i < f.n; i++ {
+			if _, err := sw.Process(Input{Port: 1, Data: data}); err != nil {
+				t.Fatal(err)
+			}
+			// Software updates: row 1 keys on srcAddr, row 2 on the pair.
+			srcKey := hashes.SerializeValues([]uint64{uint64(f.src)}, []int{32})
+			flowKey := hashes.SerializeValues([]uint64{uint64(f.src), uint64(f.dst)}, []int{32, 32})
+			row1.Cells[row1.Index(srcKey)]++
+			row2.Cells[row2.Index(flowKey)]++
+		}
+	}
+
+	r1 := sw.Register("cms_r1")
+	r2 := sw.Register("cms_r2")
+	for i := range r1 {
+		if r1[i] != row1.Cells[i] {
+			t.Fatalf("cms_r1[%d] = %d, software row = %d", i, r1[i], row1.Cells[i])
+		}
+	}
+	for i := range r2 {
+		if r2[i] != row2.Cells[i] {
+			t.Fatalf("cms_r2[%d] = %d, software row = %d", i, r2[i], row2.Cells[i])
+		}
+	}
+}
+
+// TestBFDataPlaneMatchesSoftwareOracle does the same for the Sourceguard
+// Bloom filter rows after DHCP learning.
+func TestBFDataPlaneMatchesSoftwareOracle(t *testing.T) {
+	ast := p4.MustParse(programs.Sourceguard)
+	if err := p4.Check(ast); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Build(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := New(prog, programs.SourceguardConfig(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row1 := sketch.NewRow(hashes.CRC16, 16, programs.SourceguardBFCells, 8)
+	row2 := sketch.NewRow(hashes.CRC32, 32, programs.SourceguardBFCells, 8)
+	bf := sketch.NewBloom(row1, row2)
+
+	clients := []uint32{packet.IP(10, 4, 0, 1), packet.IP(10, 4, 0, 2), packet.IP(10, 4, 0, 3)}
+	for _, src := range clients {
+		dhcp := packet.Serialize(
+			&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+			&packet.IPv4{Protocol: packet.ProtoUDP, Src: src, Dst: packet.IP(10, 255, 255, 255)},
+			&packet.UDP{SrcPort: packet.PortDHCPClient, DstPort: packet.PortDHCPServer},
+			&packet.DHCP{Op: 1, HType: 1, HLen: 6, XID: 1},
+		)
+		if _, err := sw.Process(Input{Port: 1, Data: dhcp}); err != nil {
+			t.Fatal(err)
+		}
+		bf.Add(hashes.SerializeValues([]uint64{uint64(src)}, []int{32}))
+	}
+	r1 := sw.Register("bf_r1")
+	r2 := sw.Register("bf_r2")
+	for i := range r1 {
+		if (r1[i] != 0) != (row1.Cells[i] != 0) {
+			t.Fatalf("bf_r1[%d] = %d, software = %d", i, r1[i], row1.Cells[i])
+		}
+	}
+	for i := range r2 {
+		if (r2[i] != 0) != (row2.Cells[i] != 0) {
+			t.Fatalf("bf_r2[%d] = %d, software = %d", i, r2[i], row2.Cells[i])
+		}
+	}
+	// The software filter agrees on membership for learned and unlearned
+	// sources.
+	if !bf.Contains(hashes.SerializeValues([]uint64{uint64(clients[0])}, []int{32})) {
+		t.Error("software BF lost a learned client")
+	}
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"fmt"
+
+	"p2go/internal/ir"
+	"p2go/internal/p4"
+)
+
+// maxParserStates bounds parser execution to catch cyclic parser graphs.
+const maxParserStates = 64
+
+// runParser executes the parser graph on the packet. Truncated packets end
+// parsing early (bmv2 semantics: headers parsed so far stay valid and the
+// pipeline still runs).
+func (s *Switch) runParser(st *state, data []byte) error {
+	stateName := p4.StartState
+	bitPos := 0
+	totalBits := len(data) * 8
+	for steps := 0; ; steps++ {
+		if steps > maxParserStates {
+			return fmt.Errorf("sim: parser exceeded %d states (cycle?)", maxParserStates)
+		}
+		ps := s.prog.AST.ParserState(stateName)
+		if ps == nil {
+			return fmt.Errorf("sim: parser state %q not found", stateName)
+		}
+		truncated := false
+		for _, stmt := range ps.Statements {
+			switch v := stmt.(type) {
+			case *p4.ExtractStmt:
+				inst := s.prog.AST.Instance(v.Instance)
+				ht := s.prog.AST.HeaderType(inst.TypeName)
+				if bitPos+ht.Bits() > totalBits {
+					truncated = true
+					break
+				}
+				st.extents[inst.Name] = headerExtent{bitOffset: bitPos}
+				for _, f := range ht.Fields {
+					val := readBits(data, bitPos, f.Width)
+					st.fields[ir.FieldKey(inst.Name+"."+f.Name)] = val
+					bitPos += f.Width
+				}
+				st.valid[inst.Name] = true
+			case *p4.SetMetadataStmt:
+				val, err := s.evalExpr(st, v.Value, nil)
+				if err != nil {
+					return err
+				}
+				s.setField(st, ir.Key(v.Dst), val)
+			}
+		}
+		if truncated {
+			return nil
+		}
+		next := ""
+		switch ret := ps.Return.(type) {
+		case *p4.ReturnState:
+			next = ret.State
+		case *p4.ReturnSelect:
+			key := uint64(0)
+			keyWidth := 0
+			for _, on := range ret.On {
+				ref, ok := on.(p4.FieldRef)
+				if !ok {
+					return fmt.Errorf("sim: select operand must be a field")
+				}
+				w := s.widths[ir.Key(ref)]
+				key = key<<uint(w) | st.fields[ir.Key(ref)]
+				keyWidth += w
+			}
+			_ = keyWidth
+			next = selectCase(ret.Cases, key)
+			if next == "" {
+				// No default and no match: parsing stops, pipeline runs.
+				return nil
+			}
+		}
+		if next == p4.IngressControl {
+			return nil
+		}
+		stateName = next
+	}
+}
+
+// selectCase picks the first matching arm, falling back to default.
+func selectCase(cases []*p4.SelectCase, key uint64) string {
+	def := ""
+	for _, c := range cases {
+		if c.IsDefault {
+			if def == "" {
+				def = c.State
+			}
+			continue
+		}
+		if c.HasMask {
+			if key&c.Mask == c.Value&c.Mask {
+				return c.State
+			}
+		} else if key == c.Value {
+			return c.State
+		}
+	}
+	return def
+}
+
+// readBits extracts width bits starting at bit offset (big-endian bit
+// order, as on the wire).
+func readBits(data []byte, bitOffset, width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		bit := bitOffset + i
+		byteIdx := bit / 8
+		shift := uint(7 - bit%8)
+		v = v<<1 | uint64(data[byteIdx]>>shift&1)
+	}
+	return v
+}
+
+// writeBits stores width bits of v at bit offset.
+func writeBits(data []byte, bitOffset, width int, v uint64) {
+	for i := 0; i < width; i++ {
+		bit := bitOffset + i
+		byteIdx := bit / 8
+		if byteIdx >= len(data) {
+			return
+		}
+		shift := uint(7 - bit%8)
+		b := byte(v >> uint(width-1-i) & 1)
+		data[byteIdx] = data[byteIdx]&^(1<<shift) | b<<shift
+	}
+}

@@ -1,0 +1,298 @@
+// Package sim is a behavioral simulator for the P4 subset: it parses
+// packets with the program's parser, matches installed rules
+// (exact/lpm/ternary/range/valid), executes primitive actions including
+// register arrays and hash computations, and emits the possibly modified
+// packet. It stands in for the Tofino behavioral simulator P2GO profiles
+// against; drops follow RMT semantics (a drop marks the packet but the
+// rest of the pipeline still executes).
+package sim
+
+import (
+	"fmt"
+
+	"p2go/internal/ir"
+	"p2go/internal/p4"
+	"p2go/internal/rt"
+)
+
+// Port values with special meaning, mirroring internal/programs.
+const (
+	// DropPort is the egress_spec value drop() installs.
+	DropPort = 511
+	// CPUPort redirects a packet to the controller.
+	CPUPort = 255
+)
+
+// Options tunes a Switch.
+type Options struct {
+	// Trailer names a header instance that is appended to every outgoing
+	// packet (the profiler's instrumentation header). Empty means none.
+	Trailer string
+	// NeutralizeDrops rewrites drop semantics so marked packets still
+	// egress; the profiler uses this so the collector sees every packet.
+	// The drop is still recorded in Output.WouldDrop.
+	NeutralizeDrops bool
+}
+
+// Switch is an instantiated data plane: a compiled program plus installed
+// rules and register state.
+type Switch struct {
+	prog *ir.Program
+	cfg  *rt.Config
+	opts Options
+
+	widths    map[ir.FieldKey]int
+	registers map[string][]uint64
+	counters  map[string][]CounterCell
+	tables    map[string]*tableState
+}
+
+// CounterCell is one counter entry.
+type CounterCell struct {
+	Packets uint64
+	Bytes   uint64
+}
+
+// tableState holds the installed rules of one table, pre-indexed.
+type tableState struct {
+	decl  *p4.TableDecl
+	rules []rt.Rule
+	// defaultOverride is the runtime table_set_default entry, if any.
+	defaultOverride *rt.DefaultEntry
+}
+
+// effectiveDefault returns the action and argument source to run on a
+// miss: the runtime override when present, otherwise the declared default
+// (with its expression arguments).
+func (ts *tableState) effectiveDefault() (action string, argValues []uint64, argExprs []p4.Expr) {
+	if ts.defaultOverride != nil {
+		return ts.defaultOverride.Action, ts.defaultOverride.Args, nil
+	}
+	return ts.decl.DefaultAction, nil, ts.decl.DefaultArgs
+}
+
+// New builds a Switch. The configuration is validated against the program.
+func New(prog *ir.Program, cfg *rt.Config, opts Options) (*Switch, error) {
+	if cfg == nil {
+		cfg = &rt.Config{}
+	}
+	if err := rt.Validate(cfg, prog); err != nil {
+		return nil, err
+	}
+	s := &Switch{
+		prog:      prog,
+		cfg:       cfg,
+		opts:      opts,
+		widths:    map[ir.FieldKey]int{},
+		registers: map[string][]uint64{},
+		counters:  map[string][]CounterCell{},
+		tables:    map[string]*tableState{},
+	}
+	for _, inst := range prog.AST.Instances {
+		ht := prog.AST.HeaderType(inst.TypeName)
+		for _, f := range ht.Fields {
+			s.widths[ir.FieldKey(inst.Name+"."+f.Name)] = f.Width
+		}
+	}
+	if opts.Trailer != "" && prog.AST.Instance(opts.Trailer) == nil {
+		return nil, fmt.Errorf("sim: trailer instance %q not declared", opts.Trailer)
+	}
+	for _, r := range prog.AST.Registers {
+		s.registers[r.Name] = make([]uint64, r.InstanceCount)
+	}
+	for _, c := range prog.AST.Counters {
+		s.counters[c.Name] = make([]CounterCell, c.InstanceCount)
+	}
+	for _, t := range prog.AST.Tables {
+		s.tables[t.Name] = &tableState{
+			decl:            t,
+			rules:           cfg.ForTable(t.Name),
+			defaultOverride: cfg.DefaultFor(t.Name),
+		}
+	}
+	return s, nil
+}
+
+// Reset clears all register and counter state.
+func (s *Switch) Reset() {
+	for name := range s.registers {
+		for i := range s.registers[name] {
+			s.registers[name][i] = 0
+		}
+	}
+	for name := range s.counters {
+		for i := range s.counters[name] {
+			s.counters[name][i] = CounterCell{}
+		}
+	}
+}
+
+// Register returns a copy of a register array's contents (for tests and
+// the controller's equivalence checks).
+func (s *Switch) Register(name string) []uint64 {
+	r, ok := s.registers[name]
+	if !ok {
+		return nil
+	}
+	return append([]uint64(nil), r...)
+}
+
+// Counter returns a copy of a counter array's contents.
+func (s *Switch) Counter(name string) []CounterCell {
+	c, ok := s.counters[name]
+	if !ok {
+		return nil
+	}
+	return append([]CounterCell(nil), c...)
+}
+
+// Input is one packet entering the pipeline.
+type Input struct {
+	Port uint64
+	Data []byte
+}
+
+// Executed records one table application.
+type Executed struct {
+	Table  string
+	Action string
+	Hit    bool
+}
+
+// Output is the result of processing one packet.
+type Output struct {
+	// Port is the final egress_spec.
+	Port uint64
+	// Data is the serialized outgoing packet (with field modifications
+	// written back and the trailer appended, when configured).
+	Data []byte
+	// Dropped is true when the packet was dropped (egress_spec ==
+	// DropPort and drops are not neutralized).
+	Dropped bool
+	// WouldDrop is true when a drop primitive executed, even if drops
+	// are neutralized.
+	WouldDrop bool
+	// ToCPU is true when the packet was redirected to the controller.
+	ToCPU bool
+	// ForwardPort is the last egress_spec value written that was not the
+	// CPU port: the forwarding decision the pipeline made before (or
+	// independent of) a controller redirect. Real switches preserve it
+	// across copy-to-CPU; the composed deployment (optimized data plane
+	// + controller) uses it to forward packets the controller passes.
+	ForwardPort uint64
+	// Exec lists the tables applied, in order, with the chosen action.
+	Exec []Executed
+}
+
+// state is the per-packet evaluation state.
+type state struct {
+	fields    map[ir.FieldKey]uint64
+	valid     map[string]bool
+	extents   map[string]headerExtent
+	exec      []Executed
+	wouldDrop bool
+	// forwardPort tracks the last non-CPU egress_spec write.
+	forwardPort uint64
+}
+
+// headerExtent records where an extracted header lives in the packet.
+type headerExtent struct {
+	bitOffset int
+}
+
+// Process runs one packet through parser and ingress control.
+func (s *Switch) Process(in Input) (Output, error) {
+	st := &state{
+		fields:  map[ir.FieldKey]uint64{},
+		valid:   map[string]bool{},
+		extents: map[string]headerExtent{},
+	}
+	st.fields[ir.FieldKey(p4.StandardMetadataName+"."+p4.FieldIngressPort)] = in.Port
+	st.fields[ir.FieldKey(p4.StandardMetadataName+"."+p4.FieldPacketLength)] = uint64(len(in.Data))
+
+	if len(s.prog.AST.ParserStates) > 0 {
+		if err := s.runParser(st, in.Data); err != nil {
+			return Output{}, err
+		}
+	}
+	if err := s.runBlock(st, s.prog.Ingress.Body); err != nil {
+		return Output{}, err
+	}
+	// Egress pipeline: runs after ingress for packets that survive it
+	// (dropped and controller-bound packets skip egress, as on real
+	// hardware). egress_port carries the queued forwarding decision.
+	if s.prog.Egress != nil {
+		spec := st.fields[ir.FieldKey(p4.StandardMetadataName+"."+p4.FieldEgressSpec)]
+		skip := spec == CPUPort || (spec == DropPort && !s.opts.NeutralizeDrops)
+		if !skip {
+			s.setField(st, ir.FieldKey(p4.StandardMetadataName+"."+p4.FieldEgressPort), spec)
+			if err := s.runBlock(st, s.prog.Egress.Body); err != nil {
+				return Output{}, err
+			}
+		}
+	}
+
+	out := Output{Exec: st.exec, WouldDrop: st.wouldDrop, ForwardPort: st.forwardPort}
+	out.Port = st.fields[ir.FieldKey(p4.StandardMetadataName+"."+p4.FieldEgressSpec)]
+	if out.Port == DropPort && !s.opts.NeutralizeDrops {
+		out.Dropped = true
+	}
+	if out.Port == CPUPort {
+		out.ToCPU = true
+	}
+	out.Data = s.serialize(st, in.Data)
+	return out, nil
+}
+
+// serialize applies calculated-field updates (e.g. the IPv4 header
+// checksum), writes modified header fields back into a copy of the packet,
+// and appends the trailer header, if configured.
+func (s *Switch) serialize(st *state, original []byte) []byte {
+	s.applyCalculatedFields(st)
+	data := append([]byte(nil), original...)
+	for _, inst := range s.prog.AST.Instances {
+		if inst.Metadata || !st.valid[inst.Name] {
+			continue
+		}
+		ext, ok := st.extents[inst.Name]
+		if !ok {
+			continue
+		}
+		ht := s.prog.AST.HeaderType(inst.TypeName)
+		bit := ext.bitOffset
+		for _, f := range ht.Fields {
+			v := st.fields[ir.FieldKey(inst.Name+"."+f.Name)]
+			writeBits(data, bit, f.Width, v)
+			bit += f.Width
+		}
+	}
+	if s.opts.Trailer != "" {
+		inst := s.prog.AST.Instance(s.opts.Trailer)
+		ht := s.prog.AST.HeaderType(inst.TypeName)
+		trailer := make([]byte, (ht.Bits()+7)/8)
+		bit := 0
+		for _, f := range ht.Fields {
+			v := st.fields[ir.FieldKey(inst.Name+"."+f.Name)]
+			writeBits(trailer, bit, f.Width, v)
+			bit += f.Width
+		}
+		data = append(data, trailer...)
+	}
+	return data
+}
+
+// applyCalculatedFields recomputes every calculated field whose header
+// instance is valid — the deparser-side "update" clause of P4_14
+// calculated_field declarations.
+func (s *Switch) applyCalculatedFields(st *state) {
+	for _, cf := range s.prog.AST.CalcFields {
+		if cf.Update == "" || !st.valid[cf.Field.Instance] {
+			continue
+		}
+		v, err := s.computeHash(st, cf.Update)
+		if err != nil {
+			continue // checked at build time; defensive only
+		}
+		s.setField(st, ir.Key(cf.Field), v)
+	}
+}

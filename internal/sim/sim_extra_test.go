@@ -1,0 +1,336 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"p2go/internal/ir"
+	"p2go/internal/p4"
+	"p2go/internal/rt"
+)
+
+// TestBitsRoundTrip: writeBits(readBits(x)) is the identity for arbitrary
+// offsets and widths.
+func TestBitsRoundTrip(t *testing.T) {
+	f := func(data []byte, off8, width8 uint8, v uint64) bool {
+		if len(data) == 0 {
+			return true
+		}
+		width := int(width8)%64 + 1
+		maxOff := len(data)*8 - width
+		if maxOff < 0 {
+			return true
+		}
+		off := int(off8) % (maxOff + 1)
+		masked := v
+		if width < 64 {
+			masked &= 1<<uint(width) - 1
+		}
+		writeBits(data, off, width, masked)
+		return readBits(data, off, width) == masked
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWriteBitsPreservesNeighbors: writing a field leaves surrounding bits
+// untouched.
+func TestWriteBitsPreservesNeighbors(t *testing.T) {
+	data := []byte{0xFF, 0xFF, 0xFF}
+	writeBits(data, 10, 4, 0) // clear bits 10..13
+	if data[0] != 0xFF {
+		t.Errorf("byte 0 = %#x, want 0xFF", data[0])
+	}
+	// Byte 1: bits 8,9 set; 10-13 cleared; 14,15 set -> 1100_0011.
+	if data[1] != 0xC3 {
+		t.Errorf("byte 1 = %#x, want 0xC3", data[1])
+	}
+	if data[2] != 0xFF {
+		t.Errorf("byte 2 = %#x, want 0xFF", data[2])
+	}
+}
+
+func buildSwitch(t *testing.T, src string, rules string) *Switch {
+	t.Helper()
+	ast := p4.MustParse(src)
+	if err := p4.Check(ast); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Build(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg *rt.Config
+	if rules != "" {
+		cfg, err = rt.Parse(rules)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sw, err := New(prog, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+// TestSelectWithMask: masked select arms match on the masked bits.
+func TestSelectWithMask(t *testing.T) {
+	src := `
+header_type h_t { fields { tag : 8; val : 8; } }
+header_type m_t { fields { x : 8; } }
+header h_t h;
+metadata m_t m;
+parser start {
+    extract(h);
+    return select(h.tag) {
+        0x40 &&& 0xC0 : mark_a;
+        default : ingress;
+    }
+}
+parser mark_a {
+    set_metadata(m.x, 1);
+    return ingress;
+}
+action keep() { modify_field(standard_metadata.egress_spec, m.x); }
+table t { actions { keep; } default_action : keep; }
+control ingress { apply(t); }
+`
+	sw := buildSwitch(t, src, "")
+	// tag 0x55: high two bits 01 -> matches 0x40 &&& 0xC0.
+	out, err := sw.Process(Input{Port: 1, Data: []byte{0x55, 0x00}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Port != 1 {
+		t.Errorf("masked select missed: port = %d, want 1", out.Port)
+	}
+	// tag 0x85: high bits 10 -> default.
+	out2, err := sw.Process(Input{Port: 1, Data: []byte{0x85, 0x00}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Port != 0 {
+		t.Errorf("masked select matched wrongly: port = %d, want 0", out2.Port)
+	}
+}
+
+// TestSelectMultiOperand: select over two concatenated fields.
+func TestSelectMultiOperand(t *testing.T) {
+	src := `
+header_type h_t { fields { a : 8; b : 8; } }
+header_type m_t { fields { hit : 8; } }
+header h_t h;
+metadata m_t m;
+parser start {
+    extract(h);
+    return select(h.a, h.b) {
+        0x1234 : yes;
+        default : ingress;
+    }
+}
+parser yes {
+    set_metadata(m.hit, 1);
+    return ingress;
+}
+action out() { modify_field(standard_metadata.egress_spec, m.hit); }
+table t { actions { out; } default_action : out; }
+control ingress { apply(t); }
+`
+	sw := buildSwitch(t, src, "")
+	out, _ := sw.Process(Input{Port: 1, Data: []byte{0x12, 0x34}})
+	if out.Port != 1 {
+		t.Errorf("concatenated select missed: port = %d", out.Port)
+	}
+	out2, _ := sw.Process(Input{Port: 1, Data: []byte{0x34, 0x12}})
+	if out2.Port != 0 {
+		t.Errorf("concatenated select order wrong: port = %d", out2.Port)
+	}
+}
+
+// TestRegisterOutOfRange: an out-of-bounds register access is a hard error
+// (the program's hash modulus is wrong).
+func TestRegisterOutOfRange(t *testing.T) {
+	src := `
+header_type m_t { fields { v : 32; } }
+metadata m_t m;
+register r { width : 32; instance_count : 4; }
+action bad() { register_write(r, 100, 1); }
+table t { actions { bad; } default_action : bad; }
+control ingress { apply(t); }
+`
+	sw := buildSwitch(t, src, "")
+	if _, err := sw.Process(Input{Port: 1, Data: []byte{0}}); err == nil {
+		t.Error("expected out-of-range register error")
+	}
+}
+
+// TestArithmeticPrimitives: min, max, bit ops, add/sub with width wrap.
+func TestArithmeticPrimitives(t *testing.T) {
+	src := `
+header_type m_t { fields { a : 8; b : 8; mn : 8; mx : 8; o : 8; x : 8; n : 8; } }
+metadata m_t m;
+action compute() {
+    modify_field(m.a, 200);
+    modify_field(m.b, 100);
+    min(m.mn, m.a, m.b);
+    max(m.mx, m.a, m.b);
+    bit_or(m.o, m.a, m.b);
+    bit_xor(m.x, m.a, m.b);
+    bit_and(m.n, m.a, m.b);
+    add_to_field(m.a, 100);
+    subtract_from_field(m.b, 150);
+    modify_field(standard_metadata.egress_spec, m.mn);
+}
+table t { actions { compute; } default_action : compute; }
+control ingress { apply(t); }
+`
+	sw := buildSwitch(t, src, "")
+	out, err := sw.Process(Input{Port: 1, Data: []byte{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Port != 100 {
+		t.Errorf("min result = %d, want 100", out.Port)
+	}
+	// 200 + 100 wraps to 44 in 8 bits; 100 - 150 wraps to 206. Those are
+	// internal fields; just ensure no error and min was correct.
+}
+
+// TestForwardPortSurvivesRedirect: a CPU redirect preserves the earlier
+// forwarding decision in ForwardPort.
+func TestForwardPortSurvivesRedirect(t *testing.T) {
+	src := `
+header_type m_t { fields { v : 8; } }
+metadata m_t m;
+action fwd() { modify_field(standard_metadata.egress_spec, 7); }
+action to_cpu() { modify_field(standard_metadata.egress_spec, 255); }
+table t1 { actions { fwd; } default_action : fwd; }
+table t2 { actions { to_cpu; } default_action : to_cpu; }
+control ingress {
+    apply(t1);
+    apply(t2);
+}
+`
+	sw := buildSwitch(t, src, "")
+	out, err := sw.Process(Input{Port: 1, Data: []byte{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.ToCPU {
+		t.Fatal("expected CPU redirect")
+	}
+	if out.ForwardPort != 7 {
+		t.Errorf("ForwardPort = %d, want 7", out.ForwardPort)
+	}
+}
+
+// TestDefaultActionWithArgs: default_action arguments are evaluated.
+func TestDefaultActionWithArgs(t *testing.T) {
+	src := `
+header_type m_t { fields { v : 8; } }
+metadata m_t m;
+action setp(p) { modify_field(standard_metadata.egress_spec, p); }
+table t {
+    reads { m.v : exact; }
+    actions { setp; }
+    size : 4;
+    default_action : setp(42);
+}
+control ingress { apply(t); }
+`
+	sw := buildSwitch(t, src, "")
+	out, err := sw.Process(Input{Port: 1, Data: []byte{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Port != 42 {
+		t.Errorf("default action arg: port = %d, want 42", out.Port)
+	}
+}
+
+// TestValidMatchKind: a table matching on header validity.
+func TestValidMatchKind(t *testing.T) {
+	src := `
+header_type h_t { fields { x : 8; } }
+header h_t h;
+parser start {
+    return select(standard_metadata.ingress_port) {
+        1 : parse_h;
+        default : ingress;
+    }
+}
+parser parse_h { extract(h); return ingress; }
+action a1() { modify_field(standard_metadata.egress_spec, 11); }
+action a2() { modify_field(standard_metadata.egress_spec, 22); }
+table t {
+    reads { h : valid; }
+    actions { a1; a2; }
+    size : 2;
+}
+control ingress { apply(t); }
+`
+	sw := buildSwitch(t, src, "table_add t a1 1\ntable_add t a2 0\n")
+	out, _ := sw.Process(Input{Port: 1, Data: []byte{9}})
+	if out.Port != 11 {
+		t.Errorf("valid=1 port = %d, want 11", out.Port)
+	}
+	out2, _ := sw.Process(Input{Port: 2, Data: []byte{9}})
+	if out2.Port != 22 {
+		t.Errorf("valid=0 port = %d, want 22", out2.Port)
+	}
+}
+
+// TestSelectOnMetadataFromParser: set_metadata feeding a select.
+func TestParserSetMetadata(t *testing.T) {
+	src := `
+header_type h_t { fields { x : 8; } }
+header_type m_t { fields { tag : 8; } }
+header h_t h;
+metadata m_t m;
+parser start {
+    extract(h);
+    set_metadata(m.tag, 5);
+    return ingress;
+}
+action use() { modify_field(standard_metadata.egress_spec, m.tag); }
+table t { actions { use; } default_action : use; }
+control ingress { apply(t); }
+`
+	sw := buildSwitch(t, src, "")
+	out, _ := sw.Process(Input{Port: 1, Data: []byte{1}})
+	if out.Port != 5 {
+		t.Errorf("set_metadata: port = %d, want 5", out.Port)
+	}
+}
+
+// TestRuntimeDefaultOverride: table_set_default changes the miss behavior
+// without recompiling the program.
+func TestRuntimeDefaultOverride(t *testing.T) {
+	src := `
+header_type m_t { fields { v : 8; } }
+metadata m_t m;
+action setp(p) { modify_field(standard_metadata.egress_spec, p); }
+action dropper() { drop(); }
+table t {
+    reads { m.v : exact; }
+    actions { setp; dropper; }
+    size : 4;
+    default_action : dropper;
+}
+control ingress { apply(t); }
+`
+	// Declared default: miss drops.
+	sw := buildSwitch(t, src, "")
+	out, _ := sw.Process(Input{Port: 1, Data: []byte{0}})
+	if !out.Dropped {
+		t.Fatal("declared default should drop")
+	}
+	// Runtime override: miss forwards to port 9.
+	sw2 := buildSwitch(t, src, "table_set_default t setp 9")
+	out2, _ := sw2.Process(Input{Port: 1, Data: []byte{0}})
+	if out2.Dropped || out2.Port != 9 {
+		t.Fatalf("override default: dropped=%v port=%d, want forward to 9", out2.Dropped, out2.Port)
+	}
+}

@@ -1,0 +1,424 @@
+package sim
+
+import (
+	"testing"
+
+	"p2go/internal/ir"
+	"p2go/internal/p4"
+	"p2go/internal/packet"
+	"p2go/internal/programs"
+	"p2go/internal/rt"
+)
+
+func newEx1Switch(t *testing.T, opts Options) *Switch {
+	t.Helper()
+	ast := p4.MustParse(programs.Ex1)
+	if err := p4.Check(ast); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	prog, err := ir.Build(ast)
+	if err != nil {
+		t.Fatalf("ir: %v", err)
+	}
+	sw, err := New(prog, programs.Ex1Config(), opts)
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	return sw
+}
+
+func udpPacket(src, dst uint32, srcPort, dstPort uint16) []byte {
+	return packet.Serialize(
+		&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+		&packet.IPv4{Protocol: packet.ProtoUDP, Src: src, Dst: dst},
+		&packet.UDP{SrcPort: srcPort, DstPort: dstPort},
+		packet.Raw("payload"),
+	)
+}
+
+func dnsPacket(src, dst uint32) []byte {
+	return packet.Serialize(
+		&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+		&packet.IPv4{Protocol: packet.ProtoUDP, Src: src, Dst: dst},
+		&packet.UDP{SrcPort: 5353, DstPort: packet.PortDNS},
+		&packet.DNS{ID: 1, QDCount: 1},
+	)
+}
+
+func dhcpPacket(src, dst uint32) []byte {
+	return packet.Serialize(
+		&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+		&packet.IPv4{Protocol: packet.ProtoUDP, Src: src, Dst: dst},
+		&packet.UDP{SrcPort: 68, DstPort: packet.PortDHCPServer},
+		&packet.DHCP{Op: 1, HType: 1, HLen: 6, XID: 42},
+	)
+}
+
+func tcpPacket(src, dst uint32, seq uint32) []byte {
+	return packet.Serialize(
+		&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+		&packet.IPv4{Protocol: packet.ProtoTCP, Src: src, Dst: dst},
+		&packet.TCP{SrcPort: 1234, DstPort: 80, Seq: seq, Flags: packet.TCPAck},
+	)
+}
+
+func TestForwardPlainTCP(t *testing.T) {
+	sw := newEx1Switch(t, Options{})
+	out, err := sw.Process(Input{Port: programs.TrustedPort,
+		Data: tcpPacket(packet.IP(10, 9, 0, 1), packet.IP(10, 0, 0, 99), 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dropped {
+		t.Error("plain TCP packet should be forwarded")
+	}
+	if out.Port != 3 {
+		t.Errorf("egress port = %d, want 3 (the /8 route)", out.Port)
+	}
+	if len(out.Exec) != 1 || out.Exec[0].Table != "IPv4" || !out.Exec[0].Hit {
+		t.Errorf("exec = %v, want a single IPv4 hit", out.Exec)
+	}
+}
+
+func TestLPMLongestPrefixWins(t *testing.T) {
+	sw := newEx1Switch(t, Options{})
+	out, err := sw.Process(Input{Port: 1,
+		Data: tcpPacket(packet.IP(10, 9, 0, 1), packet.IP(10, 1, 2, 3), 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Port != 4 {
+		t.Errorf("egress port = %d, want 4 (the /16 route beats the /8)", out.Port)
+	}
+}
+
+func TestBlockedUDPDropped(t *testing.T) {
+	sw := newEx1Switch(t, Options{})
+	out, err := sw.Process(Input{Port: 1,
+		Data: udpPacket(packet.IP(10, 9, 0, 1), packet.IP(10, 0, 0, 99), 999, 6666)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Dropped || !out.WouldDrop {
+		t.Errorf("blocked UDP should drop: %+v", out)
+	}
+	var hits []string
+	for _, e := range out.Exec {
+		if e.Hit {
+			hits = append(hits, e.Table+"."+e.Action)
+		}
+	}
+	want := []string{"IPv4.set_nhop", "ACL_UDP.acl_udp_drop"}
+	if len(hits) != 2 || hits[0] != want[0] || hits[1] != want[1] {
+		t.Errorf("hits = %v, want %v", hits, want)
+	}
+}
+
+func TestDHCPSnooping(t *testing.T) {
+	sw := newEx1Switch(t, Options{})
+	// Untrusted ingress port: dropped.
+	out, err := sw.Process(Input{Port: programs.UntrustedPort,
+		Data: dhcpPacket(packet.IP(10, 9, 0, 1), packet.IP(10, 0, 0, 2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Dropped {
+		t.Error("rogue DHCP should be dropped")
+	}
+	// Trusted port: ACL_DHCP is applied (DHCP is valid) but misses.
+	out2, err := sw.Process(Input{Port: programs.TrustedPort,
+		Data: dhcpPacket(packet.IP(10, 9, 0, 1), packet.IP(10, 0, 0, 2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Dropped {
+		t.Error("trusted DHCP should pass")
+	}
+	foundMiss := false
+	for _, e := range out2.Exec {
+		if e.Table == "ACL_DHCP" && !e.Hit {
+			foundMiss = true
+		}
+	}
+	if !foundMiss {
+		t.Errorf("exec = %v, want an ACL_DHCP miss", out2.Exec)
+	}
+}
+
+func TestDNSSketchThreshold(t *testing.T) {
+	sw := newEx1Switch(t, Options{})
+	src := packet.IP(10, 9, 1, 1)
+	dst := packet.IP(10, 0, 0, 53)
+	var firstDrop int
+	for i := 1; i <= programs.Ex1DNSThreshold+5; i++ {
+		out, err := sw.Process(Input{Port: 1, Data: dnsPacket(src, dst)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Dropped && firstDrop == 0 {
+			firstDrop = i
+		}
+	}
+	if firstDrop != programs.Ex1DNSThreshold {
+		t.Errorf("first DNS drop at query %d, want %d", firstDrop, programs.Ex1DNSThreshold)
+	}
+	// The CMS row cell holds the query count.
+	idx := src & 0xFFFF % 64000 // identity hash over srcAddr, 16-bit output
+	reg := sw.Register("cms_r1")
+	if got := reg[idx]; got != uint64(programs.Ex1DNSThreshold+5) {
+		t.Errorf("cms_r1[%d] = %d, want %d", idx, got, programs.Ex1DNSThreshold+5)
+	}
+	// Reset clears state.
+	sw.Reset()
+	if got := sw.Register("cms_r1")[idx]; got != 0 {
+		t.Errorf("after Reset, cms_r1[%d] = %d, want 0", idx, got)
+	}
+}
+
+func TestDNSDifferentFlowsCountSeparately(t *testing.T) {
+	sw := newEx1Switch(t, Options{})
+	dst := packet.IP(10, 0, 0, 53)
+	for i := 0; i < 50; i++ {
+		if _, err := sw.Process(Input{Port: 1, Data: dnsPacket(packet.IP(10, 9, 1, 1), dst)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := sw.Process(Input{Port: 1, Data: dnsPacket(packet.IP(10, 9, 77, 77), dst)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dropped {
+		t.Error("a fresh DNS flow must not be dropped")
+	}
+}
+
+func TestNeutralizedDropsStillEgress(t *testing.T) {
+	sw := newEx1Switch(t, Options{NeutralizeDrops: true})
+	out, err := sw.Process(Input{Port: 1,
+		Data: udpPacket(packet.IP(10, 9, 0, 1), packet.IP(10, 0, 0, 99), 999, 6666)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dropped {
+		t.Error("neutralized drop must not drop")
+	}
+	if !out.WouldDrop {
+		t.Error("WouldDrop must still record the drop")
+	}
+	if out.Port != 3 {
+		t.Errorf("egress = %d, want the forwarding decision 3", out.Port)
+	}
+}
+
+func TestHeaderWriteback(t *testing.T) {
+	src := `
+header_type ethernet_t {
+    fields { dstAddr : 48; srcAddr : 48; etherType : 16; }
+}
+header_type ipv4_t {
+    fields {
+        version : 4; ihl : 4; diffserv : 8; totalLen : 16;
+        identification : 16; flags : 3; fragOffset : 13;
+        ttl : 8; protocol : 8; hdrChecksum : 16;
+        srcAddr : 32; dstAddr : 32;
+    }
+}
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        0x0800 : parse_ipv4;
+        default : ingress;
+    }
+}
+parser parse_ipv4 { extract(ipv4); return ingress; }
+action dec_ttl() {
+    subtract_from_field(ipv4.ttl, 1);
+    modify_field(standard_metadata.egress_spec, 2);
+}
+table ttl_tbl { actions { dec_ttl; } default_action : dec_ttl; }
+control ingress {
+    if (valid(ipv4)) { apply(ttl_tbl); }
+}
+`
+	ast := p4.MustParse(src)
+	if err := p4.Check(ast); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Build(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := New(prog, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tcpPacket(packet.IP(1, 2, 3, 4), packet.IP(5, 6, 7, 8), 1)
+	out, err := sw.Process(Input{Port: 1, Data: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vIn, _ := packet.Decode(in)
+	vOut, err := packet.Decode(out.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vOut.IPv4.TTL != vIn.IPv4.TTL-1 {
+		t.Errorf("ttl out = %d, want %d", vOut.IPv4.TTL, vIn.IPv4.TTL-1)
+	}
+	if vOut.IPv4.Src != vIn.IPv4.Src || vOut.IPv4.Dst != vIn.IPv4.Dst {
+		t.Error("unrelated fields changed during writeback")
+	}
+	if len(out.Data) != len(in) {
+		t.Errorf("length changed: %d -> %d", len(in), len(out.Data))
+	}
+}
+
+func TestTrailerAppended(t *testing.T) {
+	src := `
+header_type mark_t { fields { a : 8; b : 8; } }
+header mark_t mark;
+action set_marks() {
+    modify_field(mark.a, 7);
+    modify_field(mark.b, 9);
+}
+table m { actions { set_marks; } default_action : set_marks; }
+control ingress { apply(m); }
+`
+	ast := p4.MustParse(src)
+	if err := p4.Check(ast); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Build(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := New(prog, nil, Options{Trailer: "mark"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sw.Process(Input{Port: 1, Data: []byte{0xAA, 0xBB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0xAA, 0xBB, 7, 9}
+	if len(out.Data) != len(want) {
+		t.Fatalf("data = %v, want %v", out.Data, want)
+	}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("data = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestTernaryPriority(t *testing.T) {
+	src := `
+header_type m_t { fields { x : 8; } }
+header m_t h;
+parser start { extract(h); return ingress; }
+action set_port(p) { modify_field(standard_metadata.egress_spec, p); }
+table t {
+    reads { h.x : ternary; }
+    actions { set_port; }
+    size : 8;
+}
+control ingress { apply(t); }
+`
+	ast := p4.MustParse(src)
+	if err := p4.Check(ast); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Build(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := rt.Parse(`
+table_add t set_port 0&&&0 => 1 priority 1
+table_add t set_port 5&&&255 => 2 priority 10
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := New(prog, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sw.Process(Input{Port: 1, Data: []byte{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Port != 2 {
+		t.Errorf("x=5: port = %d, want 2 (higher priority)", out.Port)
+	}
+	out2, err := sw.Process(Input{Port: 1, Data: []byte{6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Port != 1 {
+		t.Errorf("x=6: port = %d, want 1 (wildcard)", out2.Port)
+	}
+}
+
+func TestParserTruncatedPacket(t *testing.T) {
+	sw := newEx1Switch(t, Options{})
+	// 14-byte Ethernet claiming IPv4, but no IPv4 header behind it.
+	data := packet.Serialize(&packet.Ethernet{EtherType: packet.EtherTypeIPv4})
+	out, err := sw.Process(Input{Port: 1, Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No IPv4 header -> no tables applied (all guarded by valid(ipv4)).
+	if len(out.Exec) != 0 {
+		t.Errorf("exec = %v, want none for truncated packet", out.Exec)
+	}
+}
+
+func TestNonIPv4Ignored(t *testing.T) {
+	sw := newEx1Switch(t, Options{})
+	data := packet.Serialize(&packet.Ethernet{EtherType: packet.EtherTypeARP}, packet.Raw("arp?"))
+	out, err := sw.Process(Input{Port: 1, Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Exec) != 0 {
+		t.Errorf("exec = %v, want none for non-IPv4", out.Exec)
+	}
+}
+
+func TestInstallRuleAtRuntime(t *testing.T) {
+	sw := newEx1Switch(t, Options{})
+	pkt := udpPacket(packet.IP(10, 9, 0, 1), packet.IP(10, 0, 0, 99), 999, 7777)
+	out, _ := sw.Process(Input{Port: 1, Data: pkt})
+	if out.Dropped {
+		t.Fatal("port 7777 not blocked yet")
+	}
+	if err := sw.InstallRule(rt.Rule{
+		Table:   "ACL_UDP",
+		Action:  "acl_udp_drop",
+		Matches: []rt.FieldMatch{{Kind: p4.MatchExact, Value: 7777}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out2, _ := sw.Process(Input{Port: 1, Data: pkt})
+	if !out2.Dropped {
+		t.Error("port 7777 should be blocked after InstallRule")
+	}
+}
+
+func TestInstallRuleValidation(t *testing.T) {
+	sw := newEx1Switch(t, Options{})
+	err := sw.InstallRule(rt.Rule{Table: "nope", Action: "x"})
+	if err == nil {
+		t.Error("expected error for unknown table")
+	}
+	err = sw.InstallRule(rt.Rule{
+		Table:   "ACL_UDP",
+		Action:  "set_nhop", // not declared on this table
+		Matches: []rt.FieldMatch{{Kind: p4.MatchExact, Value: 1}},
+	})
+	if err == nil {
+		t.Error("expected error for foreign action")
+	}
+}

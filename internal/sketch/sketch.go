@@ -1,0 +1,218 @@
+// Package sketch provides software implementations of the probabilistic
+// data structures the example programs build from register arrays: a
+// Count-Min Sketch and a Bloom filter. They use the same hash algorithms
+// as the data plane (internal/hashes), so a controller running them over
+// the same keys observes the same cells — the property the offload
+// experiments rely on, and the oracle the simulator tests compare against.
+package sketch
+
+import (
+	"fmt"
+
+	"p2go/internal/hashes"
+)
+
+// Row is one hash-indexed register row.
+type Row struct {
+	Algorithm   hashes.Algorithm
+	OutputWidth int
+	Cells       []uint64
+	// WidthBits masks stored values like the data-plane register width.
+	WidthBits int
+}
+
+// NewRow builds a row.
+func NewRow(alg hashes.Algorithm, outputWidth, cells, widthBits int) *Row {
+	return &Row{Algorithm: alg, OutputWidth: outputWidth, Cells: make([]uint64, cells), WidthBits: widthBits}
+}
+
+// Index returns the cell index for a serialized key.
+func (r *Row) Index(key []byte) int {
+	return int(hashes.Compute(r.Algorithm, key, r.OutputWidth) % uint64(len(r.Cells)))
+}
+
+// mask truncates v to the row's value width.
+func (r *Row) mask(v uint64) uint64 {
+	if r.WidthBits >= 64 {
+		return v
+	}
+	return v & (1<<uint(r.WidthBits) - 1)
+}
+
+// CountMin is a Count-Min Sketch: point updates increment one cell per
+// row; point queries return the minimum across rows, an upper bound on the
+// true count.
+type CountMin struct {
+	Rows []*Row
+	// salted prefixes each row's key with the row number; used when rows
+	// share a hash algorithm. Data-plane twins use distinct algorithms
+	// per row and MUST stay unsalted so cells match the registers.
+	salted bool
+}
+
+// NewCountMin builds a sketch from explicitly-constructed rows (typically
+// with distinct algorithms, like the P4 programs). Keys are not salted, so
+// a row indexes exactly like its data-plane register.
+func NewCountMin(rows ...*Row) *CountMin {
+	return &CountMin{Rows: rows}
+}
+
+// NewCountMin32 builds a conventional CMS: depth rows of width cells, all
+// CRC32-based with per-row salt folded into the key, 32-bit counters.
+func NewCountMin32(depth, cells int) *CountMin {
+	cms := &CountMin{salted: true}
+	for i := 0; i < depth; i++ {
+		cms.Rows = append(cms.Rows, NewRow(hashes.CRC32, 32, cells, 32))
+	}
+	return cms
+}
+
+// Update adds delta occurrences of key and returns the new estimate.
+func (c *CountMin) Update(key []byte, delta uint64) uint64 {
+	est := ^uint64(0)
+	for i, row := range c.Rows {
+		idx := row.Index(c.key(key, i))
+		row.Cells[idx] = row.mask(row.Cells[idx] + delta)
+		if row.Cells[idx] < est {
+			est = row.Cells[idx]
+		}
+	}
+	return est
+}
+
+// Estimate returns the count estimate for key (never an undercount).
+func (c *CountMin) Estimate(key []byte) uint64 {
+	est := ^uint64(0)
+	for i, row := range c.Rows {
+		idx := row.Index(c.key(key, i))
+		if row.Cells[idx] < est {
+			est = row.Cells[idx]
+		}
+	}
+	if est == ^uint64(0) {
+		return 0
+	}
+	return est
+}
+
+// Reset zeroes all rows.
+func (c *CountMin) Reset() {
+	for _, row := range c.Rows {
+		for i := range row.Cells {
+			row.Cells[i] = 0
+		}
+	}
+}
+
+// key applies the per-row salt when the sketch was built salted.
+func (c *CountMin) key(key []byte, row int) []byte {
+	if !c.salted {
+		return key
+	}
+	return saltKey(key, row)
+}
+
+// saltKey prefixes the key with the row number, decorrelating rows that
+// share a hash algorithm.
+func saltKey(key []byte, row int) []byte {
+	out := make([]byte, 0, len(key)+1)
+	out = append(out, byte(row))
+	return append(out, key...)
+}
+
+// Bloom is a Bloom filter over the same Row machinery (cells hold 0/1).
+type Bloom struct {
+	Rows []*Row
+	// salted: see CountMin.
+	salted bool
+}
+
+// NewBloom builds a filter from explicitly-constructed rows (typically
+// distinct algorithms, like the P4 programs); keys are not salted.
+func NewBloom(rows ...*Row) *Bloom {
+	return &Bloom{Rows: rows}
+}
+
+// NewBloom32 builds a conventional salted filter: depth CRC32 rows.
+func NewBloom32(depth, cells int) *Bloom {
+	bf := &Bloom{salted: true}
+	for i := 0; i < depth; i++ {
+		bf.Rows = append(bf.Rows, NewRow(hashes.CRC32, 32, cells, 8))
+	}
+	return bf
+}
+
+// key applies the per-row salt when the filter was built salted.
+func (b *Bloom) key(key []byte, row int) []byte {
+	if !b.salted {
+		return key
+	}
+	return saltKey(key, row)
+}
+
+// Add inserts the key.
+func (b *Bloom) Add(key []byte) {
+	for i, row := range b.Rows {
+		row.Cells[row.Index(b.key(key, i))] = 1
+	}
+}
+
+// Contains reports (probable) membership: false means definitely absent.
+func (b *Bloom) Contains(key []byte) bool {
+	for i, row := range b.Rows {
+		if row.Cells[row.Index(b.key(key, i))] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AddAndCheck inserts the key and reports whether it was (probably)
+// present before — the check-and-set idiom the failure-detection data
+// plane uses to flag retransmissions.
+func (b *Bloom) AddAndCheck(key []byte) bool {
+	present := true
+	for i, row := range b.Rows {
+		idx := row.Index(b.key(key, i))
+		if row.Cells[idx] == 0 {
+			present = false
+		}
+		row.Cells[idx] = 1
+	}
+	return present
+}
+
+// Reset clears the filter.
+func (b *Bloom) Reset() {
+	for _, row := range b.Rows {
+		for i := range row.Cells {
+			row.Cells[i] = 0
+		}
+	}
+}
+
+// FillRatio returns the fraction of set cells in the densest row — a load
+// indicator for resize decisions.
+func (b *Bloom) FillRatio() float64 {
+	worst := 0.0
+	for _, row := range b.Rows {
+		set := 0
+		for _, c := range row.Cells {
+			if c != 0 {
+				set++
+			}
+		}
+		if r := float64(set) / float64(len(row.Cells)); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// String summarizes the structure.
+func (c *CountMin) String() string {
+	if len(c.Rows) == 0 {
+		return "cms(empty)"
+	}
+	return fmt.Sprintf("cms(%d rows x %d cells)", len(c.Rows), len(c.Rows[0].Cells))
+}

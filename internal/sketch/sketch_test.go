@@ -1,0 +1,214 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"p2go/internal/hashes"
+)
+
+func key(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+func TestCountMinExactWhenSparse(t *testing.T) {
+	cms := NewCountMin32(2, 4096)
+	for i := 0; i < 10; i++ {
+		for j := 0; j <= i; j++ {
+			cms.Update(key(uint64(i)), 1)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if got := cms.Estimate(key(uint64(i))); got != uint64(i+1) {
+			t.Errorf("estimate(%d) = %d, want %d", i, got, i+1)
+		}
+	}
+	if got := cms.Estimate(key(999)); got != 0 {
+		t.Errorf("estimate(unseen) = %d, want 0", got)
+	}
+}
+
+// TestCountMinNeverUndercounts is the CMS core invariant.
+func TestCountMinNeverUndercounts(t *testing.T) {
+	f := func(updates []uint16) bool {
+		cms := NewCountMin32(2, 64) // small: force collisions
+		truth := map[uint16]uint64{}
+		for _, u := range updates {
+			cms.Update(key(uint64(u)), 1)
+			truth[u]++
+		}
+		for k, want := range truth {
+			if cms.Estimate(key(uint64(k))) < want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountMinUpdateReturnsEstimate(t *testing.T) {
+	cms := NewCountMin32(2, 1024)
+	for i := 1; i <= 5; i++ {
+		if got := cms.Update(key(7), 1); got != uint64(i) {
+			t.Errorf("update %d returned %d", i, got)
+		}
+	}
+}
+
+func TestCountMinShrinkOvercounts(t *testing.T) {
+	// The §3.3 phenomenon: shrinking a row increases collisions, so
+	// estimates can only grow for the same update stream.
+	stream := make([]uint64, 2000)
+	rng := rand.New(rand.NewSource(42))
+	for i := range stream {
+		stream[i] = uint64(rng.Intn(500))
+	}
+	big := NewCountMin32(2, 4096)
+	small := NewCountMin32(2, 97)
+	for _, v := range stream {
+		big.Update(key(v), 1)
+		small.Update(key(v), 1)
+	}
+	grew := false
+	for v := uint64(0); v < 500; v++ {
+		b, s := big.Estimate(key(v)), small.Estimate(key(v))
+		if s < b {
+			t.Fatalf("small sketch undercounts key %d: %d < %d", v, s, b)
+		}
+		if s > b {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Error("shrinking 4096 -> 97 cells should inflate at least one estimate")
+	}
+}
+
+func TestCountMinDistinctAlgorithmsNoSalt(t *testing.T) {
+	// The P4 examples build the CMS from rows with different algorithms;
+	// a single row means no salting and direct hash agreement.
+	row := NewRow(hashes.CRC16, 16, 64000, 32)
+	cms := NewCountMin(row)
+	k := key(12345)
+	cms.Update(k, 1)
+	idx := int(hashes.Compute(hashes.CRC16, k, 16) % 64000)
+	if row.Cells[idx] != 1 {
+		t.Error("single-row CMS must use the raw hash (data-plane agreement)")
+	}
+}
+
+func TestCountMinWidthMasking(t *testing.T) {
+	cms := NewCountMin(NewRow(hashes.CRC32, 32, 16, 8)) // 8-bit counters
+	for i := 0; i < 300; i++ {
+		cms.Update(key(1), 1)
+	}
+	if got := cms.Estimate(key(1)); got != 300%256 {
+		t.Errorf("8-bit counter wrapped to %d, want %d", got, 300%256)
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	f := func(members []uint32) bool {
+		bf := NewBloom(
+			NewRow(hashes.CRC16, 16, 512, 8),
+			NewRow(hashes.CRC32, 32, 512, 8),
+		)
+		for _, m := range members {
+			bf.Add(key(uint64(m)))
+		}
+		for _, m := range members {
+			if !bf.Contains(key(uint64(m))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBloomAbsentMostlyRejected(t *testing.T) {
+	bf := NewBloom(
+		NewRow(hashes.CRC16, 16, 4096, 8),
+		NewRow(hashes.CRC32, 32, 4096, 8),
+	)
+	for i := 0; i < 50; i++ {
+		bf.Add(key(uint64(i)))
+	}
+	fp := 0
+	for i := 1000; i < 2000; i++ {
+		if bf.Contains(key(uint64(i))) {
+			fp++
+		}
+	}
+	if fp > 5 {
+		t.Errorf("false positives = %d/1000, want near zero at this load", fp)
+	}
+}
+
+func TestBloomAddAndCheck(t *testing.T) {
+	bf := NewBloom(NewRow(hashes.CRC32, 32, 4096, 8))
+	if bf.AddAndCheck(key(1)) {
+		t.Error("first add reported present")
+	}
+	if !bf.AddAndCheck(key(1)) {
+		t.Error("second add reported absent")
+	}
+}
+
+func TestBloomResetAndFillRatio(t *testing.T) {
+	bf := NewBloom(NewRow(hashes.CRC32, 32, 100, 8))
+	if bf.FillRatio() != 0 {
+		t.Error("fresh filter fill ratio != 0")
+	}
+	for i := 0; i < 200; i++ {
+		bf.Add(key(uint64(i)))
+	}
+	if bf.FillRatio() < 0.5 {
+		t.Errorf("fill ratio = %f after 200 adds into 100 cells", bf.FillRatio())
+	}
+	bf.Reset()
+	if bf.Contains(key(1)) {
+		t.Error("Reset did not clear membership")
+	}
+}
+
+func TestCountMinReset(t *testing.T) {
+	cms := NewCountMin32(2, 64)
+	cms.Update(key(5), 10)
+	cms.Reset()
+	if cms.Estimate(key(5)) != 0 {
+		t.Error("Reset did not clear counts")
+	}
+}
+
+func TestString(t *testing.T) {
+	if NewCountMin32(2, 64).String() != "cms(2 rows x 64 cells)" {
+		t.Errorf("String = %s", NewCountMin32(2, 64).String())
+	}
+}
+
+func TestBloom32Salted(t *testing.T) {
+	bf := NewBloom32(2, 4096)
+	bf.Add(key(1))
+	if !bf.Contains(key(1)) {
+		t.Error("member missing")
+	}
+	// With salting, the two rows set different cells for the same key.
+	i0 := bf.Rows[0].Index(saltKey(key(1), 0))
+	i1 := bf.Rows[1].Index(saltKey(key(1), 1))
+	if i0 == i1 {
+		t.Skip("salted indexes coincide by chance")
+	}
+	if bf.Rows[0].Cells[i0] != 1 || bf.Rows[1].Cells[i1] != 1 {
+		t.Error("salted rows did not set their cells")
+	}
+}

@@ -1,0 +1,169 @@
+package tofino
+
+import (
+	"strings"
+	"testing"
+
+	"p2go/internal/ir"
+	"p2go/internal/p4"
+	"p2go/internal/rt"
+	"p2go/internal/sim"
+)
+
+// egressProgram has two ingress tables and two egress tables; the egress
+// tables depend on each other but never contend with ingress stages.
+const egressProgram = `
+header_type m_t { fields { a : 8; b : 8; } }
+metadata m_t m;
+action set_port(p) { modify_field(standard_metadata.egress_spec, p); }
+action ing_drop() { drop(); }
+action mark_a() { modify_field(m.a, 1); }
+action mark_b() { modify_field(m.b, m.a); }
+table ing_fwd { reads { m.a : exact; } actions { set_port; } size : 4; default_action : set_port(2); }
+table ing_acl { actions { ing_drop; } }
+table eg_mark { actions { mark_a; } default_action : mark_a; }
+table eg_use { actions { mark_b; } default_action : mark_b; }
+control ingress {
+    apply(ing_fwd);
+    if (m.a == 99) {
+        apply(ing_acl);
+    }
+}
+control egress {
+    apply(eg_mark);
+    apply(eg_use);
+}
+`
+
+func compileEgress(t *testing.T) *Result {
+	t.Helper()
+	res, err := CompileSource(egressProgram, DefaultTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestEgressSeparatePipeline: ingress and egress stages are counted
+// independently and never share stages.
+func TestEgressSeparatePipeline(t *testing.T) {
+	res := compileEgress(t)
+	m := res.Mapping
+	// Ingress: ing_fwd writes egress_spec; ing_acl drops (also writes
+	// egress_spec): WAW -> 2 stages.
+	if m.StagesUsed != 2 {
+		t.Errorf("ingress stages = %d, want 2\n%s", m.StagesUsed, m.Render())
+	}
+	// Egress: eg_use reads m.a written by eg_mark (RAW) -> 2 stages.
+	if m.EgressStagesUsed != 2 {
+		t.Errorf("egress stages = %d, want 2\n%s", m.EgressStagesUsed, m.Render())
+	}
+	for _, tbl := range []string{"eg_mark", "eg_use"} {
+		if p := m.Placement(tbl); p.Pipeline != p4.EgressControl {
+			t.Errorf("%s pipeline = %q, want egress", tbl, p.Pipeline)
+		}
+	}
+	// eg_mark lands at egress stage 1 even though ingress stage 1 is
+	// occupied: separate resource pools.
+	if m.Placement("eg_mark").First != 1 {
+		t.Errorf("eg_mark at egress stage %d, want 1", m.Placement("eg_mark").First)
+	}
+	if got := strings.Join(m.TablesInStageOf(p4.EgressControl, 1), ","); got != "eg_mark" {
+		t.Errorf("egress stage 1 = %s, want eg_mark", got)
+	}
+	if got := m.TablesInStage(1); len(got) != 1 || got[0] != "ing_fwd" {
+		t.Errorf("ingress stage 1 = %v, want [ing_fwd]", got)
+	}
+	if !strings.Contains(m.Render(), "egress stages used: 2") {
+		t.Errorf("Render missing egress section:\n%s", m.Render())
+	}
+}
+
+// TestEgressNoCrossPipelineDeps: a WAW between an ingress and an egress
+// table produces no dependency edge.
+func TestEgressNoCrossPipelineDeps(t *testing.T) {
+	res := compileEgress(t)
+	// mark_a writes m.a; ing_fwd reads m.a (match): cross-pipeline, no
+	// edge in either direction.
+	if e := res.Deps.Edge("ing_fwd", "eg_mark"); e != nil {
+		t.Errorf("unexpected cross-pipeline edge: %v", e)
+	}
+	if e := res.Deps.Edge("eg_mark", "eg_use"); e == nil {
+		t.Error("missing intra-egress dependency edge")
+	}
+	tbl := res.IR.Tables["eg_use"]
+	if tbl.Pipeline != p4.EgressControl {
+		t.Errorf("eg_use pipeline = %q", tbl.Pipeline)
+	}
+}
+
+// TestEgressExecution: the simulator runs egress after ingress; dropped
+// packets skip it.
+func TestEgressExecution(t *testing.T) {
+	ast := p4.MustParse(egressProgram)
+	if err := p4.Check(ast); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Build(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := rt.Parse("table_add ing_fwd set_port 7 => 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := sim.New(prog, cfg, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sw.Process(sim.Input{Port: 1, Data: []byte{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tables []string
+	for _, e := range out.Exec {
+		tables = append(tables, e.Table)
+	}
+	want := "ing_fwd,eg_mark,eg_use"
+	if got := strings.Join(tables, ","); got != want {
+		t.Errorf("exec = %s, want %s", got, want)
+	}
+}
+
+// TestEgressSkippedOnDrop: a dropped packet does not traverse egress.
+func TestEgressSkippedOnDrop(t *testing.T) {
+	src := `
+header_type m_t { fields { a : 8; } }
+metadata m_t m;
+action d() { drop(); }
+action mark() { modify_field(m.a, 1); }
+table ing { actions { d; } default_action : d; }
+table eg { actions { mark; } default_action : mark; }
+control ingress { apply(ing); }
+control egress { apply(eg); }
+`
+	ast := p4.MustParse(src)
+	if err := p4.Check(ast); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Build(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := sim.New(prog, nil, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sw.Process(sim.Input{Port: 1, Data: []byte{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Dropped {
+		t.Fatal("packet should be dropped")
+	}
+	for _, e := range out.Exec {
+		if e.Table == "eg" {
+			t.Error("dropped packet traversed the egress pipeline")
+		}
+	}
+}

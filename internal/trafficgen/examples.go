@@ -1,0 +1,263 @@
+package trafficgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"p2go/internal/packet"
+	"p2go/internal/programs"
+)
+
+// NATGRESpec parameterizes the NAT & GRE workload.
+type NATGRESpec struct {
+	Total int // 0 means 10000
+	Seed  int64
+	// NATShare and GREShare are the fractions of traffic using each
+	// feature. No packet uses both — that is the profile observation
+	// Phase 2 exploits.
+	NATShare float64
+	GREShare float64
+}
+
+// NATGRETrace generates traffic where NATted destinations and GRE-tunneled
+// destinations are disjoint flows.
+func NATGRETrace(spec NATGRESpec) *Trace {
+	total := spec.Total
+	if total == 0 {
+		total = 10000
+	}
+	if spec.NATShare == 0 {
+		spec.NATShare = 0.30
+	}
+	if spec.GREShare == 0 {
+		spec.GREShare = 0.20
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	natDsts := []uint32{packet.IP(198, 51, 100, 10), packet.IP(198, 51, 100, 11)}
+	greDsts := []uint32{packet.IP(10, 5, 0, 1), packet.IP(10, 5, 0, 2)}
+	out := &Trace{}
+	for i := 0; i < total; i++ {
+		var dst uint32
+		r := rng.Float64()
+		switch {
+		case r < spec.NATShare:
+			dst = natDsts[rng.Intn(len(natDsts))]
+		case r < spec.NATShare+spec.GREShare:
+			dst = greDsts[rng.Intn(len(greDsts))]
+		default:
+			dst = packet.IP(10, 7, byte(rng.Intn(256)), byte(1+rng.Intn(254)))
+		}
+		out.Packets = append(out.Packets, Packet{
+			Port: 1,
+			Data: packet.Serialize(
+				&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+				&packet.IPv4{Protocol: packet.ProtoTCP, Src: packet.IP(10, 6, byte(rng.Intn(256)), byte(1+rng.Intn(254))), Dst: dst},
+				&packet.TCP{SrcPort: uint16(1024 + rng.Intn(60000)), DstPort: 443, Seq: rng.Uint32(), Flags: packet.TCPAck},
+			),
+		})
+	}
+	return out
+}
+
+// SourceguardSpec parameterizes the Sourceguard workload.
+type SourceguardSpec struct {
+	Total   int // 0 means 10000
+	Seed    int64
+	Clients int // learned clients; 0 means 40
+	// ViolationShare is the fraction of traffic from unlearned sources.
+	ViolationShare float64
+}
+
+// SourceguardTrace generates DHCP announcements for the learned clients
+// first (populating the Bloom filter), then a mix of legitimate traffic,
+// spoofed-source violations, and a few packets on the quarantined ingress
+// ports — including one from a learned source and one from an unlearned
+// source, so the ACL dependencies manifest in the profile.
+func SourceguardTrace(spec SourceguardSpec) *Trace {
+	total := spec.Total
+	if total == 0 {
+		total = 10000
+	}
+	clients := spec.Clients
+	if clients == 0 {
+		clients = 40
+	}
+	if spec.ViolationShare == 0 {
+		spec.ViolationShare = 0.02
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	learned := make([]uint32, clients)
+	for i := range learned {
+		learned[i] = packet.IP(10, 4, byte(i/250), byte(1+i%250))
+	}
+	out := &Trace{}
+	// DHCP announcements populate the snooping database.
+	for _, src := range learned {
+		out.Packets = append(out.Packets, Packet{
+			Port: 1,
+			Data: packet.Serialize(
+				&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+				&packet.IPv4{Protocol: packet.ProtoUDP, Src: src, Dst: packet.IP(10, 255, 255, 255)},
+				&packet.UDP{SrcPort: packet.PortDHCPClient, DstPort: packet.PortDHCPServer},
+				&packet.DHCP{Op: 1, HType: 1, HLen: 6, XID: rng.Uint32()},
+			),
+		})
+	}
+	// Two quarantined-port packets so the ingress ACL's dependencies with
+	// both the forwarding table and the violation drop manifest.
+	out.Packets = append(out.Packets,
+		Packet{Port: 30, Data: sgDataPacket(learned[0], rng)},
+		Packet{Port: 31, Data: sgDataPacket(packet.IP(172, 16, 66, 66), rng)},
+	)
+	for len(out.Packets) < total {
+		var src uint32
+		if rng.Float64() < spec.ViolationShare {
+			src = packet.IP(10, 66, byte(rng.Intn(256)), byte(1+rng.Intn(254))) // spoofed
+		} else {
+			src = learned[rng.Intn(len(learned))]
+		}
+		out.Packets = append(out.Packets, Packet{Port: 1, Data: sgDataPacket(src, rng)})
+	}
+	return out
+}
+
+func sgDataPacket(src uint32, rng *rand.Rand) []byte {
+	return packet.Serialize(
+		&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+		&packet.IPv4{Protocol: packet.ProtoTCP, Src: src, Dst: packet.IP(10, 1, byte(rng.Intn(256)), byte(1+rng.Intn(254)))},
+		&packet.TCP{SrcPort: uint16(1024 + rng.Intn(60000)), DstPort: 80, Seq: rng.Uint32(), Flags: packet.TCPAck},
+	)
+}
+
+// FailureSpec parameterizes the failure-detection workload.
+type FailureSpec struct {
+	Total int // 0 means 20000
+	Seed  int64
+	// BackgroundRetrans is the fraction of ordinary flows that
+	// retransmit one packet.
+	BackgroundRetrans float64
+	// FailureBurst is the number of retransmissions hitting the failed
+	// prefix; it must exceed programs.FailureAlarmThreshold for the
+	// alarm to fire.
+	FailureBurst int
+}
+
+// FailureTrace generates TCP traffic with sparse background
+// retransmissions plus one failure event: FailureBurst distinct flows
+// towards a single destination each retransmit one packet, driving the
+// per-destination Count-Min Sketch past the alarm threshold.
+func FailureTrace(spec FailureSpec) *Trace {
+	total := spec.Total
+	if total == 0 {
+		total = 20000
+	}
+	if spec.BackgroundRetrans == 0 {
+		spec.BackgroundRetrans = 0.01
+	}
+	if spec.FailureBurst == 0 {
+		spec.FailureBurst = programs.FailureAlarmThreshold + 8
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	failedDst := packet.IP(198, 51, 100, 7)
+	out := &Trace{}
+	mkPkt := func(src, dst uint32, sport uint16, seq uint32) []byte {
+		return packet.Serialize(
+			&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+			&packet.IPv4{Protocol: packet.ProtoTCP, Src: src, Dst: dst},
+			&packet.TCP{SrcPort: sport, DstPort: 443, Seq: seq, Flags: packet.TCPAck},
+		)
+	}
+	// Background traffic first; the failure burst goes in the middle.
+	half := total / 2
+	emitBackground := func(n int) {
+		for i := 0; i < n && len(out.Packets) < total; i++ {
+			src := packet.IP(10, 30, byte(rng.Intn(256)), byte(1+rng.Intn(254)))
+			dst := packet.IP(10, 40, byte(rng.Intn(256)), byte(1+rng.Intn(254)))
+			sport := uint16(1024 + rng.Intn(60000))
+			seq := rng.Uint32()
+			data := mkPkt(src, dst, sport, seq)
+			out.Packets = append(out.Packets, Packet{Port: 1, Data: data})
+			if rng.Float64() < spec.BackgroundRetrans && len(out.Packets) < total {
+				out.Packets = append(out.Packets, Packet{Port: 1, Data: mkPkt(src, dst, sport, seq)})
+			}
+		}
+	}
+	emitBackground(half)
+	// Failure event: distinct flows to the failed prefix retransmit.
+	for i := 0; i < spec.FailureBurst && len(out.Packets)+1 < total; i++ {
+		src := packet.IP(10, 31, byte(i/200), byte(1+i%200))
+		sport := uint16(2000 + i)
+		seq := uint32(1000 + i)
+		out.Packets = append(out.Packets,
+			Packet{Port: 1, Data: mkPkt(src, failedDst, sport, seq)},
+			Packet{Port: 1, Data: mkPkt(src, failedDst, sport, seq)}, // retransmission
+		)
+	}
+	emitBackground(total - len(out.Packets))
+	return out
+}
+
+// StressTrace exercises the does-not-fit ACL chain: every packet matches at
+// most one ACL table.
+func StressTrace(total int, seed int64) *Trace {
+	if total == 0 {
+		total = 5000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := &Trace{}
+	for i := 0; i < total; i++ {
+		var dport uint16
+		if rng.Float64() < 0.5 {
+			// Blocked by exactly one of the chained ACLs.
+			dport = uint16(7000 + 1 + rng.Intn(programs.StressChainLength))
+		} else {
+			dport = uint16(20000 + rng.Intn(1000))
+		}
+		out.Packets = append(out.Packets, Packet{
+			Port: 1,
+			Data: packet.Serialize(
+				&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+				&packet.IPv4{Protocol: packet.ProtoUDP, Src: packet.IP(10, 50, 0, byte(1+rng.Intn(254))), Dst: packet.IP(10, 51, 0, byte(1+rng.Intn(254)))},
+				&packet.UDP{SrcPort: 5000, DstPort: dport},
+				packet.Raw("stress"),
+			),
+		})
+	}
+	return out
+}
+
+// QuickstartTrace drives the quickstart router: routed, unrouted, and
+// blocked-port packets.
+func QuickstartTrace(total int, seed int64) *Trace {
+	if total == 0 {
+		total = 1000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := &Trace{}
+	for i := 0; i < total; i++ {
+		port := uint64(1)
+		dst := packet.IP(10, 1, 2, byte(1+rng.Intn(254)))
+		switch i % 10 {
+		case 7:
+			dst = packet.IP(192, 168, 3, byte(1+rng.Intn(254)))
+		case 8:
+			dst = packet.IP(8, 8, 8, 8) // unrouted
+		case 9:
+			port = 4 // blocked ingress port
+		}
+		out.Packets = append(out.Packets, Packet{
+			Port: port,
+			Data: packet.Serialize(
+				&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+				&packet.IPv4{Protocol: packet.ProtoTCP, Src: packet.IP(10, 9, 9, byte(1+rng.Intn(254))), Dst: dst, TTL: 64},
+				&packet.TCP{SrcPort: uint16(1024 + i), DstPort: 80, Seq: uint32(i), Flags: packet.TCPAck},
+			),
+		})
+	}
+	return out
+}
+
+// Describe summarizes a trace for logs.
+func (t *Trace) Describe() string {
+	return fmt.Sprintf("%d packets", len(t.Packets))
+}

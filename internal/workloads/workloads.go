@@ -1,0 +1,106 @@
+// Package workloads registers the named example workloads — program
+// source, runtime configuration, and calibrated traffic trace — used by
+// the command-line tools, the examples, and the experiment harness.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"p2go/internal/programs"
+	"p2go/internal/rt"
+	"p2go/internal/trafficgen"
+)
+
+// Workload bundles everything needed to profile or optimize one example.
+type Workload struct {
+	Name        string
+	Description string
+	Source      string
+	Config      func() *rt.Config
+	Trace       func(seed int64) (*trafficgen.Trace, error)
+	// Paper documents the expected stage reduction, for reports.
+	Paper string
+}
+
+var registry = map[string]Workload{
+	"ex1": {
+		Name:        "ex1",
+		Description: "Example 1 enterprise firewall: IPv4 + UDP/DHCP ACLs + DNS query limiter (CMS)",
+		Source:      programs.Ex1,
+		Config:      programs.Ex1Config,
+		Trace: func(seed int64) (*trafficgen.Trace, error) {
+			return trafficgen.EnterpriseTrace(trafficgen.EnterpriseSpec{Seed: seed})
+		},
+		Paper: "Table 2: 8 -> 7 -> 6 -> 3 stages",
+	},
+	"natgre": {
+		Name:        "natgre",
+		Description: "NAT & GRE features from switch.p4 (dependency removal)",
+		Source:      programs.NATGRE,
+		Config:      programs.NATGREConfig,
+		Trace: func(seed int64) (*trafficgen.Trace, error) {
+			return trafficgen.NATGRETrace(trafficgen.NATGRESpec{Seed: seed}), nil
+		},
+		Paper: "Table 3: 4 -> 3 stages (Removing Dependencies)",
+	},
+	"sourceguard": {
+		Name:        "sourceguard",
+		Description: "Sourceguard DHCP snooping with a Bloom-filter database (memory reduction)",
+		Source:      programs.Sourceguard,
+		Config:      programs.SourceguardConfig,
+		Trace: func(seed int64) (*trafficgen.Trace, error) {
+			return trafficgen.SourceguardTrace(trafficgen.SourceguardSpec{Seed: seed}), nil
+		},
+		Paper: "Table 3: 5 -> 4 stages (Reducing Memory, one register -8.4%)",
+	},
+	"failure": {
+		Name:        "failure",
+		Description: "Blink-style failure detection: retransmission BF + per-prefix CMS + alarm (offload)",
+		Source:      programs.FailureDetection,
+		Config:      programs.FailureConfig,
+		Trace: func(seed int64) (*trafficgen.Trace, error) {
+			return trafficgen.FailureTrace(trafficgen.FailureSpec{Seed: seed}), nil
+		},
+		Paper: "Table 3: 4 -> 2 stages (Offloading Code)",
+	},
+	"stress": {
+		Name:        "stress",
+		Description: "Does-not-fit 14-deep ACL chain (oversized program, folded by Phase 2)",
+		Source:      programs.Stress(),
+		Config:      programs.StressConfig,
+		Trace: func(seed int64) (*trafficgen.Trace, error) {
+			return trafficgen.StressTrace(0, seed), nil
+		},
+		Paper: "§2.2: compiles in simulation at 14 stages, fits after optimization",
+	},
+	"quickstart": {
+		Name:        "quickstart",
+		Description: "Minimal L3 router (no optimization opportunities)",
+		Source:      programs.Quickstart,
+		Config:      programs.QuickstartConfig,
+		Trace: func(seed int64) (*trafficgen.Trace, error) {
+			return trafficgen.QuickstartTrace(0, seed), nil
+		},
+		Paper: "baseline: 2 stages, unchanged",
+	},
+}
+
+// Get returns a registered workload.
+func Get(name string) (Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return Workload{}, fmt.Errorf("workloads: unknown workload %q (have: %v)", name, Names())
+	}
+	return w, nil
+}
+
+// Names lists the registered workloads, sorted.
+func Names() []string {
+	var out []string
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,66 @@
+package workloads
+
+import (
+	"testing"
+
+	"p2go/internal/ir"
+	"p2go/internal/p4"
+	"p2go/internal/rt"
+)
+
+// TestAllWorkloadsWellFormed: every registered workload parses, checks,
+// builds IR, validates its rules, and generates a trace.
+func TestAllWorkloadsWellFormed(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, err := Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w.Description == "" || w.Paper == "" {
+				t.Error("missing description or paper note")
+			}
+			ast, err := p4.Parse(w.Source)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if err := p4.Check(ast); err != nil {
+				t.Fatalf("check: %v", err)
+			}
+			prog, err := ir.Build(ast)
+			if err != nil {
+				t.Fatalf("ir: %v", err)
+			}
+			cfg := w.Config()
+			if err := rt.Validate(cfg, prog); err != nil {
+				t.Fatalf("rules: %v", err)
+			}
+			trace, err := w.Trace(1)
+			if err != nil {
+				t.Fatalf("trace: %v", err)
+			}
+			if len(trace.Packets) == 0 {
+				t.Fatal("empty trace")
+			}
+		})
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("no-such-workload"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) < 6 {
+		t.Fatalf("workloads = %d, want >= 6", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names not sorted: %v", names)
+		}
+	}
+}

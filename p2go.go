@@ -1,0 +1,176 @@
+// Package p2go is a Go implementation of P2GO ("P4 Profile-Guided
+// Optimizations", HotNets '20): a profile-guided optimizer that works
+// alongside a P4 compiler to reduce the hardware resources a P4_14 program
+// needs.
+//
+// Given a program, its runtime configuration (match-action rules), and a
+// representative traffic trace, P2GO:
+//
+//  1. profiles the program in a behavioral simulator, recording per-table
+//     hit rates and the sets of non-exclusive actions;
+//  2. removes dependencies that never manifest in the profile, letting the
+//     compiler co-locate tables;
+//  3. shrinks table and register memory by the minimum amount (found with
+//     binary search) that saves a pipeline stage, verifying the profile is
+//     unchanged;
+//  4. offloads rarely used, self-contained code segments to a controller.
+//
+// Every change is reported as an Observation carrying the profile evidence
+// behind it, so the operator can accept or reject it.
+//
+// The package is a facade over the building blocks in internal/: the P4_14
+// front end (lexer/parser/AST/printer), the RMT-style stage allocator and
+// dependency analysis standing in for the Tofino compiler, the behavioral
+// simulator, the traffic generators, the profiler, the optimizer, the P5
+// baseline, and the software controller. A typical session:
+//
+//	prog, _ := p2go.ParseProgram(src)
+//	cfg, _ := p2go.ParseRules(rules)
+//	res, _ := p2go.Optimize(prog, cfg, trace, p2go.Options{})
+//	fmt.Println(p2go.RenderHistory(res.History)) // Table 2-style report
+//	fmt.Println(p2go.PrintProgram(res.Optimized))
+package p2go
+
+import (
+	"p2go/internal/controller"
+	"p2go/internal/core"
+	"p2go/internal/online"
+	"p2go/internal/p4"
+	"p2go/internal/profile"
+	"p2go/internal/rt"
+	"p2go/internal/tofino"
+	"p2go/internal/trafficgen"
+)
+
+// Core types, re-exported for the public API.
+type (
+	// Program is a parsed P4_14 program.
+	Program = p4.Program
+	// Config is a runtime configuration: the match-action rules.
+	Config = rt.Config
+	// Rule is one installed table entry.
+	Rule = rt.Rule
+	// Trace is an ordered traffic trace (ingress port + frame bytes).
+	Trace = trafficgen.Trace
+	// TracePacket is one trace entry.
+	TracePacket = trafficgen.Packet
+	// Target describes the RMT hardware model (stages, per-stage memory).
+	Target = tofino.Target
+	// CompileResult bundles the compiler outputs P2GO consumes: stage
+	// mapping, dependency graph, and control graph.
+	CompileResult = tofino.Result
+	// Mapping is a table-to-stage allocation.
+	Mapping = tofino.Mapping
+	// Profile holds per-table hit rates and non-exclusive action sets.
+	Profile = profile.Profile
+	// Options configures an optimization run.
+	Options = core.Options
+	// Result is the outcome of an optimization run.
+	Result = core.Result
+	// Observation is one profile-guided finding with its evidence.
+	Observation = core.Observation
+	// StageSnapshot records the pipeline length after one phase.
+	StageSnapshot = core.StageSnapshot
+	// Controller executes an offloaded segment on redirected packets.
+	Controller = controller.Controller
+	// Deployment composes the optimized data plane with a controller.
+	Deployment = controller.Deployment
+	// EquivalenceReport compares original vs optimized+controller.
+	EquivalenceReport = controller.EquivalenceReport
+	// OnlineMonitor is an instrumented data plane with windowed online
+	// profiling and drift detection (§6 "Dynamic compilation").
+	OnlineMonitor = online.Monitor
+	// OnlineConfig tunes the monitor's window size, sampling rate, and
+	// drift threshold.
+	OnlineConfig = online.Config
+	// Drift reports one table whose live hit rate left the baseline band.
+	Drift = online.Drift
+)
+
+// ParseProgram parses and checks P4_14 source.
+func ParseProgram(src string) (*Program, error) {
+	prog, err := p4.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := p4.Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// PrintProgram renders a program back to P4_14 source.
+func PrintProgram(prog *Program) string { return p4.Print(prog) }
+
+// ParseRules parses a runtime configuration in the text format
+// ("table_add <table> <action> <match>... => <arg>...").
+func ParseRules(text string) (*Config, error) { return rt.Parse(text) }
+
+// FormatRules renders a configuration back to the text format.
+func FormatRules(cfg *Config) string { return rt.Format(cfg) }
+
+// DefaultTarget returns the default hardware model: 12 stages with 256 KiB
+// SRAM and 64 KiB TCAM each.
+func DefaultTarget() Target { return tofino.DefaultTarget() }
+
+// Compile maps a program onto the target, producing the stage mapping,
+// dependency graph, and control graph. Compilation succeeds even when the
+// program needs more stages than the target has (Mapping.Fits is false),
+// so oversized programs can still be profiled and optimized.
+func Compile(prog *Program, tgt Target) (*CompileResult, error) {
+	return tofino.Compile(prog, tgt)
+}
+
+// RunProfile profiles the program on the trace: it instruments the program
+// so every packet records the actions applied to it, replays the trace in
+// the behavioral simulator, and derives hit rates and non-exclusive action
+// sets (the paper's Phase 1).
+func RunProfile(prog *Program, cfg *Config, trace *Trace) (*Profile, error) {
+	return profile.Run(prog, cfg, trace)
+}
+
+// Optimize runs the full P2GO pipeline: profile, remove dependencies,
+// reduce memory, offload code. The result carries the optimized program,
+// the observations with their evidence, the per-phase stage history, and —
+// when something was offloaded — the controller program.
+func Optimize(prog *Program, cfg *Config, trace *Trace, opts Options) (*Result, error) {
+	return core.New(opts).Optimize(prog, cfg, trace)
+}
+
+// RenderHistory formats per-phase stage snapshots as a Table 2-style
+// report.
+func RenderHistory(history []StageSnapshot) string { return core.RenderHistory(history) }
+
+// NewOnlineMonitor instruments the optimized program for online profiling
+// against the baseline profile (typically Result.FinalProfile): the
+// monitor detects when live traffic drifts from the profile the
+// optimizations were derived from, and records recent packets as the fresh
+// trace for re-optimization.
+func NewOnlineMonitor(prog *Program, rules *Config, baseline *Profile, cfg OnlineConfig) (*OnlineMonitor, error) {
+	return online.NewMonitor(prog, rules, baseline, cfg)
+}
+
+// NewController builds a software controller executing an offloaded
+// segment (Result.ControllerProgram); rules for tables outside the segment
+// are filtered from cfg automatically.
+func NewController(segment *Program, cfg *Config) (*Controller, error) {
+	return controller.New(segment, cfg)
+}
+
+// NewDeployment composes the optimized data plane with a controller.
+func NewDeployment(optimized *Program, optimizedCfg *Config, segment *Program, fullCfg *Config) (*Deployment, error) {
+	return controller.NewDeployment(optimized, optimizedCfg, segment, fullCfg)
+}
+
+// VerifyEquivalence replays the trace through the original program and the
+// optimized program + controller, comparing every packet's fate. When the
+// run offloaded nothing, the controller side is an empty pass-through and
+// the check compares the two programs directly.
+func VerifyEquivalence(res *Result, cfg *Config, trace *Trace) (*EquivalenceReport, error) {
+	segment := res.ControllerProgram
+	if segment == nil {
+		segment = p4.MustParse("control ingress { }")
+	}
+	return controller.VerifyEquivalence(res.Original, cfg, res.Optimized, res.OptimizedConfig,
+		segment, trace)
+}
