@@ -1,0 +1,142 @@
+// p2god HTTP client subcommands: submit, status, jobs.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"p2go/internal/service"
+)
+
+// serverFlag registers the -server flag.
+func serverFlag(fs *flag.FlagSet) *string {
+	return fs.String("server", "http://127.0.0.1:9095", "p2god base URL")
+}
+
+// cmdSubmit posts a job to p2god; with -wait it polls until the job is
+// terminal and prints the full status (result included).
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	server := serverFlag(fs)
+	kind := fs.String("kind", "optimize", `job kind: "profile" or "optimize"`)
+	workload := fs.String("workload", "ex1", "named workload")
+	seed := fs.Int64("seed", 1, "trace generator seed")
+	noDeps := fs.Bool("no-deps", false, "disable Phase 2 (dependency removal)")
+	noMem := fs.Bool("no-mem", false, "disable Phase 3 (memory reduction)")
+	noOffload := fs.Bool("no-offload", false, "disable Phase 4 (offloading)")
+	timeout := fs.Duration("timeout", 0, "per-job timeout (0 = server default)")
+	wait := fs.Bool("wait", false, "poll until the job finishes and print the result")
+	poll := fs.Duration("poll", 200*time.Millisecond, "poll interval with -wait")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec := service.JobSpec{
+		Kind:           *kind,
+		Workload:       *workload,
+		Seed:           *seed,
+		NoDeps:         *noDeps,
+		NoMem:          *noMem,
+		NoOffload:      *noOffload,
+		TimeoutSeconds: timeout.Seconds(),
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	data, err := httpDo(http.MethodPost, *server+"/jobs", body)
+	if err != nil {
+		return err
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("bad response: %w", err)
+	}
+	if !*wait {
+		fmt.Println(string(data))
+		return nil
+	}
+	for !st.State.Terminal() {
+		time.Sleep(*poll)
+		data, err = httpDo(http.MethodGet, *server+"/jobs/"+st.ID, nil)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &st); err != nil {
+			return fmt.Errorf("bad response: %w", err)
+		}
+	}
+	fmt.Println(string(data))
+	if st.State != service.StateDone {
+		return fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+	}
+	return nil
+}
+
+// cmdStatus prints one job's status (result included once done).
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ContinueOnError)
+	server := serverFlag(fs)
+	id := fs.String("id", "", "job ID (from 'p2go submit')")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("missing -id")
+	}
+	data, err := httpDo(http.MethodGet, *server+"/jobs/"+*id, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+// cmdJobs lists the server's jobs.
+func cmdJobs(args []string) error {
+	fs := flag.NewFlagSet("jobs", flag.ContinueOnError)
+	server := serverFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	data, err := httpDo(http.MethodGet, *server+"/jobs", nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+// httpDo performs one request and returns the body, turning non-2xx
+// statuses into errors carrying the server's message.
+func httpDo(method, url string, body []byte) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		return nil, fmt.Errorf("%s %s: %s: %s", method, url, resp.Status, strings.TrimSpace(string(data)))
+	}
+	return data, nil
+}

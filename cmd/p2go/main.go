@@ -4,23 +4,32 @@
 //
 // Usage:
 //
-//	p2go profile  -workload ex1 [-seed N]
-//	p2go optimize -workload ex1 [-seed N] [-no-deps] [-no-mem] [-no-offload] [-emit out.p4]
+//	p2go profile  -workload ex1 [-seed N] [-json]
+//	p2go optimize -workload ex1 [-seed N] [-no-deps] [-no-mem] [-no-offload] [-emit out.p4] [-json]
 //	p2go optimize -program prog.p4 -rules rules.txt -workload-trace ex1
+//	p2go submit   -server http://127.0.0.1:9095 -workload ex1 [-wait]
+//	p2go status   -server http://127.0.0.1:9095 -id j-000001
+//	p2go jobs     -server http://127.0.0.1:9095
 //	p2go list
 //
 // Workloads bundle a program, rules, and a calibrated trace; -program and
 // -rules override the program/rules while borrowing a workload's trace.
+// The submit/status/jobs subcommands are clients for the p2god service;
+// -json emits the same machine-readable job-result schema p2god returns.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"p2go"
 	"p2go/internal/controller"
+	"p2go/internal/report"
 	"p2go/internal/workloads"
 )
 
@@ -37,6 +46,12 @@ func main() {
 		err = cmdOptimize(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "submit":
+		err = cmdSubmit(os.Args[2:])
+	case "status":
+		err = cmdStatus(os.Args[2:])
+	case "jobs":
+		err = cmdJobs(os.Args[2:])
 	case "list":
 		err = cmdList()
 	case "-h", "--help", "help":
@@ -54,64 +69,90 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  p2go profile  -workload <name> [-seed N]
-  p2go optimize -workload <name> [-seed N] [-no-deps] [-no-mem] [-no-offload] [-emit out.p4]
+  p2go profile  -workload <name> [-seed N] [-json]
+  p2go optimize -workload <name> [-seed N] [-no-deps] [-no-mem] [-no-offload] [-emit out.p4] [-json]
   p2go serve    -workload <name> [-listen addr]   (optimize, then run the controller over TCP)
+  p2go submit   -server <url> -workload <name> [-kind profile|optimize] [-wait]   (p2god client)
+  p2go status   -server <url> -id <job-id>
+  p2go jobs     -server <url>
   p2go list`)
 }
 
+// loaded is the resolved input set for a run.
+type loaded struct {
+	prog     *p2go.Program
+	cfg      *p2go.Config
+	trace    *p2go.Trace
+	workload string
+	seed     int64
+}
+
 // load resolves the program, rules, and trace from flags.
-func load(fs *flag.FlagSet, args []string) (*p2go.Program, *p2go.Config, *p2go.Trace, error) {
+func load(fs *flag.FlagSet, args []string) (*loaded, error) {
 	workload := fs.String("workload", "ex1", "named workload (see 'p2go list')")
 	programFile := fs.String("program", "", "P4_14 program file (overrides the workload's program)")
 	rulesFile := fs.String("rules", "", "rules file (overrides the workload's rules)")
 	seed := fs.Int64("seed", 1, "trace generator seed")
 	if err := fs.Parse(args); err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	w, err := workloads.Get(*workload)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	src := w.Source
 	if *programFile != "" {
 		data, err := os.ReadFile(*programFile)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, err
 		}
 		src = string(data)
 	}
 	prog, err := p2go.ParseProgram(src)
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("parse program: %w", err)
+		return nil, fmt.Errorf("parse program: %w", err)
 	}
 	cfg := w.Config()
 	if *rulesFile != "" {
 		data, err := os.ReadFile(*rulesFile)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, err
 		}
 		cfg, err = p2go.ParseRules(string(data))
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("parse rules: %w", err)
+			return nil, fmt.Errorf("parse rules: %w", err)
 		}
 	}
 	trace, err := w.Trace(*seed)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
-	return prog, cfg, trace, nil
+	return &loaded{prog: prog, cfg: cfg, trace: trace, workload: *workload, seed: *seed}, nil
+}
+
+// printJSON emits the shared machine-readable job-result schema.
+func printJSON(r *report.JobResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
 }
 
 func cmdProfile(args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
-	prog, cfg, trace, err := load(fs, args)
+	jsonOut := fs.Bool("json", false, "emit the machine-readable job-result schema")
+	in, err := load(fs, args)
 	if err != nil {
 		return err
 	}
-	prof, err := p2go.RunProfile(prog, cfg, trace)
+	prof, err := p2go.RunProfile(in.prog, in.cfg, in.trace)
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		return printJSON(report.FromProfile(in.workload, in.seed, prof))
 	}
 	fmt.Print(prof.Render())
 	return nil
@@ -124,11 +165,12 @@ func cmdOptimize(args []string) error {
 	noOffload := fs.Bool("no-offload", false, "disable Phase 4 (offloading)")
 	emit := fs.String("emit", "", "write the optimized program to this file")
 	emitCtl := fs.String("emit-controller", "", "write the controller program to this file")
-	prog, cfg, trace, err := load(fs, args)
+	jsonOut := fs.Bool("json", false, "emit the machine-readable job-result schema")
+	in, err := load(fs, args)
 	if err != nil {
 		return err
 	}
-	res, err := p2go.Optimize(prog, cfg, trace, p2go.Options{
+	res, err := p2go.Optimize(in.prog, in.cfg, in.trace, p2go.Options{
 		DisablePhase2: *noDeps,
 		DisablePhase3: *noMem,
 		DisablePhase4: *noOffload,
@@ -136,12 +178,20 @@ func cmdOptimize(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(res.Report())
-	report, err := p2go.VerifyEquivalence(res, cfg, trace)
+	check, err := p2go.VerifyEquivalence(res, in.cfg, in.trace)
 	if err != nil {
 		return err
 	}
-	fmt.Println("\nbehavior check:", report)
+	if *jsonOut {
+		jr := report.FromResult(in.workload, in.seed, res)
+		jr.Equivalence = check.String()
+		if err := printJSON(jr); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(res.Report())
+		fmt.Println("\nbehavior check:", check)
+	}
 	if *emit != "" {
 		if err := os.WriteFile(*emit, []byte(p2go.PrintProgram(res.Optimized)), 0o644); err != nil {
 			return err
@@ -158,15 +208,17 @@ func cmdOptimize(args []string) error {
 }
 
 // cmdServe optimizes the workload and serves the generated controller
-// program behind the TCP packet-in protocol until interrupted.
+// program behind the TCP packet-in protocol until interrupted; SIGINT and
+// SIGTERM shut it down gracefully (close the listener, drain in-flight
+// connections).
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:9099", "packet-in listen address")
-	prog, cfg, trace, err := load(fs, args)
+	in, err := load(fs, args)
 	if err != nil {
 		return err
 	}
-	res, err := p2go.Optimize(prog, cfg, trace, p2go.Options{})
+	res, err := p2go.Optimize(in.prog, in.cfg, in.trace, p2go.Options{})
 	if err != nil {
 		return err
 	}
@@ -175,7 +227,7 @@ func cmdServe(args []string) error {
 	}
 	fmt.Printf("optimized %d -> %d stages; offloaded %v\n",
 		res.StagesBefore(), res.StagesAfter(), res.OffloadedTables)
-	ctl, err := p2go.NewController(res.ControllerProgram, cfg)
+	ctl, err := p2go.NewController(res.ControllerProgram, in.cfg)
 	if err != nil {
 		return err
 	}
@@ -185,7 +237,21 @@ func cmdServe(args []string) error {
 	}
 	fmt.Printf("controller serving the offloaded segment on %s (Ctrl-C to stop)\n", l.Addr())
 	srv := controller.NewServer(ctl)
-	return srv.Serve(l)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case s := <-sig:
+			fmt.Printf("received %s; draining controller connections...\n", s)
+			srv.Close()
+		case <-done:
+		}
+	}()
+	err = srv.Serve(l)
+	signal.Stop(sig)
+	close(done)
+	return err
 }
 
 func cmdList() error {

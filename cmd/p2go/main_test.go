@@ -1,11 +1,50 @@
 package main
 
 import (
+	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"p2go/internal/report"
+	"p2go/internal/service"
 )
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- b.String()
+	}()
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if errRun != nil {
+		t.Fatal(errRun)
+	}
+	return out
+}
 
 func TestCmdList(t *testing.T) {
 	if err := cmdList(); err != nil {
@@ -49,6 +88,88 @@ func TestCmdOptimizeEmits(t *testing.T) {
 func TestCmdOptimizeDisabledPhases(t *testing.T) {
 	if err := cmdOptimize([]string{"-workload", "quickstart", "-no-deps", "-no-mem", "-no-offload"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCmdProfileJSON checks the -json flag emits the shared job-result
+// schema the p2god service returns.
+func TestCmdProfileJSON(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdProfile([]string{"-workload", "quickstart", "-json"})
+	})
+	var jr report.JobResult
+	if err := json.Unmarshal([]byte(out), &jr); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if jr.Kind != "profile" || jr.Workload != "quickstart" || jr.Seed != 1 {
+		t.Errorf("header = kind=%q workload=%q seed=%d", jr.Kind, jr.Workload, jr.Seed)
+	}
+	if jr.Profile == nil || jr.Profile.TotalPackets == 0 {
+		t.Error("missing profile payload")
+	}
+}
+
+func TestCmdOptimizeJSON(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdOptimize([]string{"-workload", "quickstart", "-json"})
+	})
+	var jr report.JobResult
+	if err := json.Unmarshal([]byte(out), &jr); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if jr.Kind != "optimize" || len(jr.History) == 0 {
+		t.Errorf("bad result: kind=%q history=%d rows", jr.Kind, len(jr.History))
+	}
+	if jr.Equivalence == "" {
+		t.Error("CLI JSON should carry the behavior-check verdict")
+	}
+	if jr.OptimizedP4 == "" {
+		t.Error("missing optimized_p4")
+	}
+}
+
+// TestClientSubcommands drives submit/status/jobs against an in-process
+// p2god instance.
+func TestClientSubcommands(t *testing.T) {
+	m := service.NewManager(service.ManagerConfig{Workers: 1, QueueDepth: 4})
+	m.Start()
+	srv := httptest.NewServer(service.NewHandler(m))
+	t.Cleanup(func() {
+		srv.Close()
+		m.Drain(5 * time.Second)
+	})
+
+	out := captureStdout(t, func() error {
+		return cmdSubmit([]string{"-server", srv.URL, "-workload", "quickstart",
+			"-kind", "profile", "-wait", "-poll", "20ms"})
+	})
+	var st service.JobStatus
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		t.Fatalf("submit output not JSON: %v\n%s", err, out)
+	}
+	if st.State != service.StateDone || len(st.Result) == 0 {
+		t.Fatalf("submit -wait = %+v", st)
+	}
+
+	out = captureStdout(t, func() error {
+		return cmdStatus([]string{"-server", srv.URL, "-id", st.ID})
+	})
+	if !strings.Contains(out, st.ID) {
+		t.Errorf("status output lacks the job ID: %s", out)
+	}
+
+	out = captureStdout(t, func() error {
+		return cmdJobs([]string{"-server", srv.URL})
+	})
+	if !strings.Contains(out, st.ID) {
+		t.Errorf("jobs output lacks the job ID: %s", out)
+	}
+
+	if err := cmdStatus([]string{"-server", srv.URL, "-id", "j-404404"}); err == nil {
+		t.Error("status of unknown job should fail")
+	}
+	if err := cmdStatus([]string{"-server", srv.URL}); err == nil {
+		t.Error("status without -id should fail")
 	}
 }
 

@@ -1,0 +1,91 @@
+// Command p2god is the resident P2GO optimization service: it accepts
+// profile/optimize jobs over HTTP, runs them on a bounded worker pool with
+// per-job timeouts and cancellation, serves repeated work from a
+// content-addressed artifact cache, and exposes Prometheus metrics.
+//
+// Usage:
+//
+//	p2god [-listen addr] [-workers N] [-queue N] [-job-timeout d]
+//	      [-cache-entries N] [-cache-dir dir] [-drain-timeout d]
+//
+// Submit with curl (or `p2go submit`):
+//
+//	curl -s -X POST localhost:9095/jobs -d '{"kind":"optimize","workload":"ex1"}'
+//	curl -s localhost:9095/jobs/j-000001
+//	curl -s localhost:9095/metrics
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, queued jobs are
+// canceled, and running jobs get -drain-timeout to finish before their
+// contexts are canceled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"p2go/internal/service"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9095", "HTTP listen address")
+	workers := flag.Int("workers", 2, "worker-pool size")
+	queue := flag.Int("queue", 16, "job queue depth (submissions beyond it get 429)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job timeout (0 = none; jobs may request their own)")
+	cacheEntries := flag.Int("cache-entries", 512, "artifact cache capacity (entries)")
+	cacheDir := flag.String("cache-dir", "", "spill byte artifacts to this directory (optional)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long running jobs may finish on shutdown")
+	flag.Parse()
+
+	if err := run(*listen, *workers, *queue, *jobTimeout, *cacheEntries, *cacheDir, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "p2god:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, workers, queue int, jobTimeout time.Duration,
+	cacheEntries int, cacheDir string, drainTimeout time.Duration) error {
+	m := service.NewManager(service.ManagerConfig{
+		Workers:    workers,
+		QueueDepth: queue,
+		JobTimeout: jobTimeout,
+		Cache:      service.NewCache(cacheEntries, cacheDir),
+	})
+	m.Start()
+
+	srv := &http.Server{Addr: listen, Handler: service.NewHandler(m)}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("p2god listening on %s (%d workers, queue %d)", listen, workers, queue)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("p2god draining (up to %s)...", drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("p2god: http shutdown: %v", err)
+	}
+	m.Drain(drainTimeout)
+	log.Printf("p2god stopped")
+	return <-errc
+}

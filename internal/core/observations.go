@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Phase identifies a P2GO phase.
@@ -76,6 +77,10 @@ type StageSnapshot struct {
 	EgressStages  int
 	Fits          bool
 	Summary       string // per-stage table layout
+	// Duration is the wall time since the previous snapshot (for the
+	// first, since the run began) — the cost of the work leading up to
+	// this row. The daemon aggregates these into per-phase metrics.
+	Duration time.Duration
 }
 
 // Report renders the artifact P2GO hands the programmer (Fig. 2): the

@@ -39,6 +39,11 @@ func (r *run) phase2Once() (bool, error) {
 	g := r.compile.Deps
 	baseStages := totalStages(r.compile.Mapping)
 	for _, edge := range g.LongestPathEdges() {
+		// Candidate failures below are swallowed (rejected candidates);
+		// cancellation must not be.
+		if err := r.interrupted(); err != nil {
+			return false, err
+		}
 		manifested, witness := r.edgeManifests(edge)
 		if manifested {
 			continue

@@ -39,6 +39,11 @@ func (r *run) phase3Once(rejected map[string]bool) (bool, error) {
 	}
 	var candidates []candidate
 	for _, t := range r.compile.IR.Ordered {
+		// Probe failures are swallowed (not a candidate); cancellation
+		// must not be.
+		if err := r.interrupted(); err != nil {
+			return false, err
+		}
 		if rejected[t.Name] {
 			continue
 		}
@@ -74,6 +79,9 @@ func (r *run) phase3Once(rejected map[string]bool) (bool, error) {
 		// (i.e. the minimum memory reduction).
 		lo, hi := c.knob.full/2, c.knob.full // stages(lo) < base, stages(hi) == base
 		for lo+1 < hi {
+			if err := r.interrupted(); err != nil {
+				return false, err
+			}
 			mid := (lo + hi) / 2
 			stages, _, err := r.stagesWithKnob(c.knob, mid)
 			if err != nil {

@@ -118,6 +118,11 @@ func (r *run) offloadCandidates() ([]CandidateReport, error) {
 	baseStages := totalStages(r.compile.Mapping)
 	var out []CandidateReport
 	for _, seg := range segs {
+		// Candidate failures below are swallowed (not viable);
+		// cancellation must not be.
+		if err := r.interrupted(); err != nil {
+			return nil, err
+		}
 		if !r.selfContained(seg) {
 			continue
 		}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"p2go/internal/p4"
 	"p2go/internal/profile"
@@ -40,6 +42,19 @@ type Options struct {
 	// path itself) are never offloaded. 0 means the default of 10%;
 	// negative disables the cap.
 	Phase4MaxRedirect float64
+	// Context, when non-nil, cancels an in-flight run: the pipeline
+	// checks it before every compile and profile (the operations that
+	// dominate cost) and aborts with the context's error.
+	Context context.Context
+	// CompileHook, when non-nil, intercepts every compile the pipeline
+	// issues — including the candidate probes inside Phase 3's binary
+	// search and Phase 4's enumeration — so a caller can serve repeats
+	// from a content-addressed cache. The returned result is treated as
+	// immutable and may be shared across runs.
+	CompileHook func(*p4.Program, tofino.Target) (*tofino.Result, error)
+	// ProfileHook likewise intercepts every trace replay. The returned
+	// profile is treated as immutable.
+	ProfileHook func(*p4.Program, *rt.Config, *trafficgen.Trace) (*profile.Profile, error)
 }
 
 // defaultPhase4MaxRedirect is the "rarely used" threshold.
@@ -136,6 +151,7 @@ type run struct {
 	offloaded  []string
 	guards     []DependencyGuard
 	ctlProgram *p4.Program
+	phaseStart time.Time
 }
 
 // Optimize profiles the program on the trace and applies the three
@@ -150,11 +166,12 @@ func (o *Optimizer) Optimize(ast *p4.Program, cfg *rt.Config, trace *trafficgen.
 		return nil, fmt.Errorf("core: a traffic trace is required for profiling")
 	}
 	r := &run{
-		opts:  o.opts,
-		tgt:   o.opts.target(),
-		cfg:   cfg,
-		trace: trace,
-		cur:   p4.Clone(ast),
+		opts:       o.opts,
+		tgt:        o.opts.target(),
+		cfg:        cfg,
+		trace:      trace,
+		cur:        p4.Clone(ast),
+		phaseStart: time.Now(),
 	}
 	if err := r.recompile(); err != nil {
 		return nil, err
@@ -207,9 +224,45 @@ func (o *Optimizer) Optimize(ast *p4.Program, cfg *rt.Config, trace *trafficgen.
 	return res, nil
 }
 
+// interrupted reports the run's context error, if a context was set and
+// has been canceled (or timed out).
+func (r *run) interrupted() error {
+	if r.opts.Context == nil {
+		return nil
+	}
+	if err := r.opts.Context.Err(); err != nil {
+		return fmt.Errorf("core: run canceled: %w", err)
+	}
+	return nil
+}
+
+// doCompile is the single funnel for every compile the pipeline issues.
+// The AST handed over is never mutated afterwards, so hook implementations
+// may key a cache on its printed source.
+func (r *run) doCompile(ast *p4.Program) (*tofino.Result, error) {
+	if err := r.interrupted(); err != nil {
+		return nil, err
+	}
+	if r.opts.CompileHook != nil {
+		return r.opts.CompileHook(ast, r.tgt)
+	}
+	return tofino.Compile(ast, r.tgt)
+}
+
+// doProfile is the single funnel for every trace replay.
+func (r *run) doProfile(ast *p4.Program, cfg *rt.Config) (*profile.Profile, error) {
+	if err := r.interrupted(); err != nil {
+		return nil, err
+	}
+	if r.opts.ProfileHook != nil {
+		return r.opts.ProfileHook(ast, cfg, r.trace)
+	}
+	return profile.Run(ast, cfg, r.trace)
+}
+
 // recompile refreshes the compiler outputs for the current program.
 func (r *run) recompile() error {
-	res, err := tofino.Compile(p4.Clone(r.cur), r.tgt)
+	res, err := r.doCompile(p4.Clone(r.cur))
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
@@ -220,7 +273,7 @@ func (r *run) recompile() error {
 // reprofile refreshes the profile for the current program. Rules whose
 // tables were optimized away are filtered first.
 func (r *run) reprofile() error {
-	prof, err := profile.Run(r.cur, filterConfig(r.cfg, r.cur), r.trace)
+	prof, err := r.doProfile(r.cur, filterConfig(r.cfg, r.cur))
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
@@ -234,6 +287,7 @@ func (r *run) snapshot(label string) {
 	if m.EgressStagesUsed > 0 {
 		summary += " egress:" + egressSummary(m)
 	}
+	now := time.Now()
 	r.history = append(r.history, StageSnapshot{
 		Label:         label,
 		Stages:        totalStages(m),
@@ -241,7 +295,9 @@ func (r *run) snapshot(label string) {
 		EgressStages:  m.EgressStagesUsed,
 		Fits:          m.Fits,
 		Summary:       summary,
+		Duration:      now.Sub(r.phaseStart),
 	})
+	r.phaseStart = now
 }
 
 // egressSummary renders the egress pipeline like Mapping.Summary.
@@ -291,11 +347,11 @@ func totalStages(m *tofino.Mapping) int { return m.StagesUsed + m.EgressStagesUs
 // compileCandidate compiles a rewritten program without touching the run
 // state.
 func (r *run) compileCandidate(ast *p4.Program) (*tofino.Result, error) {
-	return tofino.Compile(p4.Clone(ast), r.tgt)
+	return r.doCompile(p4.Clone(ast))
 }
 
 // profileCandidate profiles a rewritten program without touching the run
 // state.
 func (r *run) profileCandidate(ast *p4.Program) (*profile.Profile, error) {
-	return profile.Run(ast, filterConfig(r.cfg, ast), r.trace)
+	return r.doProfile(ast, filterConfig(r.cfg, ast))
 }

@@ -1,0 +1,153 @@
+// Package report defines the machine-readable job-result schema shared by
+// the `p2go -json` command-line flags and the p2god HTTP service: one JSON
+// shape for the outcome of a profile or optimize run, whichever surface it
+// came through.
+package report
+
+import (
+	"p2go/internal/core"
+	"p2go/internal/p4"
+	"p2go/internal/profile"
+)
+
+// JobResult is the outcome of one profile or optimize run.
+type JobResult struct {
+	Kind     string `json:"kind"` // "profile" or "optimize"
+	Workload string `json:"workload,omitempty"`
+	Seed     int64  `json:"seed"`
+
+	// Optimize fields.
+	StagesBefore       int           `json:"stages_before,omitempty"`
+	StagesAfter        int           `json:"stages_after,omitempty"`
+	History            []Stage       `json:"history,omitempty"`
+	Observations       []Observation `json:"observations,omitempty"`
+	OffloadedTables    []string      `json:"offloaded_tables,omitempty"`
+	RedirectedFraction float64       `json:"redirected_fraction,omitempty"`
+	OptimizedP4        string        `json:"optimized_p4,omitempty"`
+	ControllerP4       string        `json:"controller_p4,omitempty"`
+	FinalProfile       *Profile      `json:"final_profile,omitempty"`
+
+	// Profile is the Phase 1 profile: the whole result of a profile run,
+	// the original program's profile of an optimize run.
+	Profile *Profile `json:"profile,omitempty"`
+
+	// Equivalence is the behavior check verdict, when the caller ran one
+	// (the CLI does; the service leaves it empty).
+	Equivalence string `json:"equivalence,omitempty"`
+}
+
+// Stage is one row of the Table 2-style stage history.
+type Stage struct {
+	Label           string  `json:"label"`
+	Stages          int     `json:"stages"`
+	IngressStages   int     `json:"ingress_stages"`
+	EgressStages    int     `json:"egress_stages,omitempty"`
+	Fits            bool    `json:"fits"`
+	Summary         string  `json:"summary"`
+	DurationSeconds float64 `json:"duration_seconds"`
+}
+
+// Observation is one profile-guided finding with its evidence.
+type Observation struct {
+	Phase        string            `json:"phase"`
+	Kind         string            `json:"kind"`
+	Accepted     bool              `json:"accepted"`
+	Summary      string            `json:"summary"`
+	Evidence     string            `json:"evidence"`
+	Tables       []string          `json:"tables,omitempty"`
+	StagesBefore int               `json:"stages_before"`
+	StagesAfter  int               `json:"stages_after"`
+	Details      map[string]string `json:"details,omitempty"`
+}
+
+// Profile is the serialized form of a Phase 1 profile.
+type Profile struct {
+	TotalPackets     int                `json:"total_packets"`
+	HitRates         map[string]float64 `json:"hit_rates"`
+	Hits             map[string]int     `json:"hits"`
+	Applied          map[string]int     `json:"applied"`
+	Drops            int                `json:"drops"`
+	ToCPU            int                `json:"to_cpu"`
+	NonExclusiveSets []ActionSet        `json:"non_exclusive_sets,omitempty"`
+}
+
+// ActionSet is one observed set of non-exclusive actions (Table 1).
+type ActionSet struct {
+	Members []string `json:"members"`
+	Count   int      `json:"count"`
+}
+
+// FromProfile serializes a profile run.
+func FromProfile(workload string, seed int64, p *profile.Profile) *JobResult {
+	return &JobResult{
+		Kind:     "profile",
+		Workload: workload,
+		Seed:     seed,
+		Profile:  convertProfile(p),
+	}
+}
+
+// FromResult serializes an optimize run.
+func FromResult(workload string, seed int64, res *core.Result) *JobResult {
+	out := &JobResult{
+		Kind:               "optimize",
+		Workload:           workload,
+		Seed:               seed,
+		StagesBefore:       res.StagesBefore(),
+		StagesAfter:        res.StagesAfter(),
+		OffloadedTables:    res.OffloadedTables,
+		RedirectedFraction: res.RedirectedFraction,
+		OptimizedP4:        p4.Print(res.Optimized),
+		Profile:            convertProfile(res.Profile),
+		FinalProfile:       convertProfile(res.FinalProfile),
+	}
+	if res.ControllerProgram != nil {
+		out.ControllerP4 = p4.Print(res.ControllerProgram)
+	}
+	for _, h := range res.History {
+		out.History = append(out.History, Stage{
+			Label:           h.Label,
+			Stages:          h.Stages,
+			IngressStages:   h.IngressStages,
+			EgressStages:    h.EgressStages,
+			Fits:            h.Fits,
+			Summary:         h.Summary,
+			DurationSeconds: h.Duration.Seconds(),
+		})
+	}
+	for _, o := range res.Observations {
+		out.Observations = append(out.Observations, Observation{
+			Phase:        o.Phase.String(),
+			Kind:         o.Kind,
+			Accepted:     o.Accepted,
+			Summary:      o.Summary,
+			Evidence:     o.Evidence,
+			Tables:       o.Tables,
+			StagesBefore: o.StagesBefore,
+			StagesAfter:  o.StagesAfter,
+			Details:      o.Details,
+		})
+	}
+	return out
+}
+
+func convertProfile(p *profile.Profile) *Profile {
+	if p == nil {
+		return nil
+	}
+	out := &Profile{
+		TotalPackets: p.TotalPackets,
+		HitRates:     map[string]float64{},
+		Hits:         p.Hits,
+		Applied:      p.Applied,
+		Drops:        p.Drops,
+		ToCPU:        p.ToCPU,
+	}
+	for t := range p.Applied {
+		out.HitRates[t] = p.HitRate(t)
+	}
+	for _, s := range p.NonExclusiveSets(2) {
+		out.NonExclusiveSets = append(out.NonExclusiveSets, ActionSet{Members: s.Members, Count: s.Count})
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(4, "")
+	fills := 0
+	fill := func() (any, error) { fills++; return 42, nil }
+
+	v, hit, err := c.Do("k", fill)
+	if err != nil || hit || v.(int) != 42 {
+		t.Fatalf("first Do = %v hit=%v err=%v, want fill", v, hit, err)
+	}
+	v, hit, err = c.Do("k", fill)
+	if err != nil || !hit || v.(int) != 42 {
+		t.Fatalf("second Do = %v hit=%v err=%v, want hit", v, hit, err)
+	}
+	if fills != 1 {
+		t.Fatalf("fills = %d, want 1", fills)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache(4, "")
+	var fills atomic.Int64
+	release := make(chan struct{})
+
+	const n = 8
+	var wg sync.WaitGroup
+	hits := make([]bool, n)
+	vals := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, hit, err := c.Do("shared", func() (any, error) {
+				fills.Add(1)
+				<-release
+				return "artifact", nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			hits[i], vals[i] = hit, v
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := fills.Load(); got != 1 {
+		t.Fatalf("fills = %d, want 1 (single-flight)", got)
+	}
+	misses := 0
+	for i := 0; i < n; i++ {
+		if vals[i] != "artifact" {
+			t.Fatalf("caller %d got %v", i, vals[i])
+		}
+		if !hits[i] {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d callers filled, want exactly 1", misses)
+	}
+	st := c.Stats()
+	if st.Hits != n-1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want %d hits / 1 miss", st, n-1)
+	}
+}
+
+func TestCacheFillErrorNotStoredAndWaitersRetry(t *testing.T) {
+	c := NewCache(4, "")
+	boom := errors.New("boom")
+	if _, _, err := c.Do("k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failure must not be cached: the next call fills again.
+	v, hit, err := c.Do("k", func() (any, error) { return 7, nil })
+	if err != nil || hit || v.(int) != 7 {
+		t.Fatalf("retry = %v hit=%v err=%v, want fresh fill", v, hit, err)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2, "")
+	fill := func(v int) func() (any, error) { return func() (any, error) { return v, nil } }
+	c.Do("a", fill(1))
+	c.Do("b", fill(2))
+	c.Do("a", fill(1)) // refresh a; b is now oldest
+	c.Do("c", fill(3)) // evicts b
+	if _, hit, _ := c.Do("a", fill(1)); !hit {
+		t.Error("a should have survived eviction")
+	}
+	if _, hit, _ := c.Do("b", fill(2)); hit {
+		t.Error("b should have been evicted")
+	}
+	if st := c.Stats(); st.Entries > 2 {
+		t.Errorf("entries = %d, want <= 2", st.Entries)
+	}
+}
+
+func TestCacheDiskSpill(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(1, dir)
+	c.DoBytes("job:aa", func() ([]byte, error) { return []byte("first"), nil })
+	c.DoBytes("job:bb", func() ([]byte, error) { return []byte("second"), nil }) // evicts job:aa from memory
+
+	// The evicted artifact must come back from disk, without refilling.
+	v, hit, err := c.DoBytes("job:aa", func() ([]byte, error) {
+		return nil, errors.New("must not refill")
+	})
+	if err != nil || !hit || string(v) != "first" {
+		t.Fatalf("spill read = %q hit=%v err=%v", v, hit, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "job_bb")); err != nil {
+		t.Errorf("spill file for job:bb missing: %v", err)
+	}
+
+	// A fresh cache over the same directory sees artifacts from the
+	// previous process lifetime.
+	c2 := NewCache(4, dir)
+	v, hit, err = c2.DoBytes("job:bb", func() ([]byte, error) { return nil, errors.New("must not refill") })
+	if err != nil || !hit || string(v) != "second" {
+		t.Fatalf("restart read = %q hit=%v err=%v", v, hit, err)
+	}
+}
+
+func TestCacheConcurrentDistinctKeys(t *testing.T) {
+	c := NewCache(64, "")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i%8)
+			for j := 0; j < 20; j++ {
+				if _, _, err := c.Do(key, func() (any, error) { return i % 8, nil }); err != nil {
+					t.Errorf("Do: %v", err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestDigestDistinguishesConcatenation(t *testing.T) {
+	if Digest("ab", "c") == Digest("a", "bc") {
+		t.Fatal("length prefixing failed: ambiguous concatenation collides")
+	}
+	if Digest("x") != Digest("x") {
+		t.Fatal("digest not deterministic")
+	}
+}

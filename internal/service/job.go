@@ -1,0 +1,149 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"p2go/internal/workloads"
+)
+
+// JobSpec is a submitted unit of work: profile or optimize one workload
+// (optionally with an uploaded program and/or rules standing in for the
+// workload's own), exactly mirroring the `p2go profile` / `p2go optimize`
+// CLI inputs.
+type JobSpec struct {
+	// Kind is "profile" or "optimize". Empty defaults to "optimize".
+	Kind string `json:"kind"`
+	// Workload names the registered workload supplying the program,
+	// rules, and calibrated trace. Empty defaults to "ex1".
+	Workload string `json:"workload"`
+	// Seed drives the workload's trace generator. Zero defaults to 1.
+	Seed int64 `json:"seed"`
+	// Program, when set, is inline P4_14 source overriding the
+	// workload's program (the trace still comes from the workload).
+	Program string `json:"program,omitempty"`
+	// Rules, when set, is an inline runtime configuration overriding the
+	// workload's rules.
+	Rules string `json:"rules,omitempty"`
+	// Phase toggles, mirroring the CLI's -no-deps/-no-mem/-no-offload.
+	NoDeps    bool `json:"no_deps,omitempty"`
+	NoMem     bool `json:"no_mem,omitempty"`
+	NoOffload bool `json:"no_offload,omitempty"`
+	// TimeoutSeconds bounds the job's run; 0 uses the server default.
+	// The timeout is not part of the artifact digest: the same inputs
+	// produce the same artifact however long they were allowed to take.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+// normalize applies defaults and validates cheaply (the expensive parsing
+// happens in the worker).
+func (s *JobSpec) normalize() error {
+	if s.Kind == "" {
+		s.Kind = "optimize"
+	}
+	if s.Kind != "profile" && s.Kind != "optimize" {
+		return fmt.Errorf("unknown job kind %q (want \"profile\" or \"optimize\")", s.Kind)
+	}
+	if s.Workload == "" {
+		s.Workload = "ex1"
+	}
+	if _, err := workloads.Get(s.Workload); err != nil {
+		return err
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.TimeoutSeconds < 0 {
+		return fmt.Errorf("negative timeout_seconds")
+	}
+	return nil
+}
+
+// digest content-addresses the job: two specs with the same digest
+// produce the same artifact.
+func (s JobSpec) digest() string {
+	return Digest(s.Kind, s.Workload, fmt.Sprintf("%d", s.Seed), s.Program, s.Rules,
+		fmt.Sprintf("%t/%t/%t", s.NoDeps, s.NoMem, s.NoOffload))
+}
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is one tracked submission. All fields are guarded by the manager's
+// mutex; Spec and Digest are immutable after creation.
+type Job struct {
+	ID     string
+	Spec   JobSpec
+	Digest string
+
+	state      JobState
+	cached     bool
+	errText    string
+	result     []byte
+	createdAt  time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+	cancel     context.CancelFunc
+	canceled   bool // user requested cancellation
+}
+
+// JobStatus is the JSON view of a job.
+type JobStatus struct {
+	ID       string   `json:"id"`
+	State    JobState `json:"state"`
+	Kind     string   `json:"kind"`
+	Workload string   `json:"workload"`
+	Seed     int64    `json:"seed"`
+	Digest   string   `json:"digest"`
+	// Cached reports that the result was served from the artifact cache
+	// rather than computed by this job.
+	Cached     bool   `json:"cached,omitempty"`
+	Error      string `json:"error,omitempty"`
+	CreatedAt  string `json:"created_at"`
+	StartedAt  string `json:"started_at,omitempty"`
+	FinishedAt string `json:"finished_at,omitempty"`
+	// Result is the report.JobResult JSON, present once the job is done
+	// and the caller asked for it.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// statusLocked builds the JSON view; the manager's mutex must be held.
+func (j *Job) statusLocked(includeResult bool) JobStatus {
+	st := JobStatus{
+		ID:        j.ID,
+		State:     j.state,
+		Kind:      j.Spec.Kind,
+		Workload:  j.Spec.Workload,
+		Seed:      j.Spec.Seed,
+		Digest:    j.Digest,
+		Cached:    j.cached,
+		Error:     j.errText,
+		CreatedAt: j.createdAt.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.startedAt.IsZero() {
+		st.StartedAt = j.startedAt.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finishedAt.IsZero() {
+		st.FinishedAt = j.finishedAt.UTC().Format(time.RFC3339Nano)
+	}
+	if includeResult && j.state == StateDone {
+		st.Result = json.RawMessage(j.result)
+	}
+	return st
+}

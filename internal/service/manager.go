@@ -1,0 +1,428 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"p2go/internal/core"
+	"p2go/internal/p4"
+	"p2go/internal/profile"
+	"p2go/internal/report"
+	"p2go/internal/rt"
+	"p2go/internal/tofino"
+	"p2go/internal/trafficgen"
+	"p2go/internal/workloads"
+)
+
+// Submission errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull means the bounded queue has no room (429).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining means the manager is shutting down (503).
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+)
+
+// maxFinishedJobs bounds how many terminal jobs are retained for status
+// queries; the oldest are pruned first. Results stay available through
+// the artifact cache regardless.
+const maxFinishedJobs = 256
+
+// ManagerConfig sizes the job manager.
+type ManagerConfig struct {
+	// Workers is the worker-pool size; <=0 means 2.
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker; <=0 means 16.
+	QueueDepth int
+	// JobTimeout bounds each job's run; 0 means no server-side default
+	// (a job may still request its own).
+	JobTimeout time.Duration
+	// Cache is the artifact cache; nil means a fresh memory-only cache.
+	Cache *Cache
+	// Metrics is the registry; nil means a fresh one.
+	Metrics *Metrics
+}
+
+// Manager owns the job table, the bounded queue, and the worker pool.
+type Manager struct {
+	cfg     ManagerConfig
+	cache   *Cache
+	metrics *Metrics
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // job IDs in submission order
+	queue    chan *Job
+	queued   int
+	running  int
+	draining bool
+	seq      int
+
+	wg sync.WaitGroup
+
+	// execFn computes a job's result bytes; replaced in tests to make
+	// job behavior controllable. Production value is (*Manager).execute.
+	execFn func(ctx context.Context, job *Job) ([]byte, error)
+}
+
+// NewManager creates a manager; call Start to launch the workers.
+func NewManager(cfg ManagerConfig) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = NewCache(0, "")
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		cache:      cfg.Cache,
+		metrics:    cfg.Metrics,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       map[string]*Job{},
+		queue:      make(chan *Job, cfg.QueueDepth),
+	}
+	m.execFn = m.execute
+	return m
+}
+
+// Metrics returns the registry (for the HTTP layer).
+func (m *Manager) Metrics() *Metrics { return m.metrics }
+
+// Cache returns the artifact cache.
+func (m *Manager) Cache() *Cache { return m.cache }
+
+// Start launches the worker pool.
+func (m *Manager) Start() {
+	for i := 0; i < m.cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+}
+
+// Submit validates, registers, and enqueues a job. It returns ErrQueueFull
+// when the bounded queue has no room and ErrDraining during shutdown.
+func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
+	if err := spec.normalize(); err != nil {
+		return JobStatus{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return JobStatus{}, ErrDraining
+	}
+	m.seq++
+	job := &Job{
+		ID:        fmt.Sprintf("j-%06d", m.seq),
+		Spec:      spec,
+		Digest:    spec.digest(),
+		state:     StateQueued,
+		createdAt: time.Now(),
+	}
+	select {
+	case m.queue <- job:
+	default:
+		m.seq-- // not admitted; reuse the ID
+		m.metrics.QueueRejected()
+		return JobStatus{}, ErrQueueFull
+	}
+	m.jobs[job.ID] = job
+	m.order = append(m.order, job.ID)
+	m.queued++
+	m.pruneLocked()
+	m.metrics.JobSubmitted()
+	return job.statusLocked(false), nil
+}
+
+// Get returns a job's status; includeResult attaches the result JSON.
+func (m *Manager) Get(id string, includeResult bool) (JobStatus, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return job.statusLocked(includeResult), true
+}
+
+// List returns every tracked job in submission order, without results.
+func (m *Manager) List() []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(m.order))
+	for _, id := range m.order {
+		if job, ok := m.jobs[id]; ok {
+			out = append(out, job.statusLocked(false))
+		}
+	}
+	return out
+}
+
+// Cancel requests cancellation: a queued job is skipped when a worker
+// pops it; a running job has its context canceled and its worker slot
+// released as soon as the pipeline notices.
+func (m *Manager) Cancel(id string) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("unknown job %q", id)
+	}
+	if job.state.Terminal() {
+		return job.statusLocked(false), nil
+	}
+	job.canceled = true
+	if job.cancel != nil {
+		job.cancel()
+	}
+	return job.statusLocked(false), nil
+}
+
+// Counts reports the queue and pool occupancy.
+func (m *Manager) Counts() (queued, running int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.queued, m.running
+}
+
+// Draining reports whether shutdown has begun.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Drain shuts the pool down gracefully: stop accepting submissions, mark
+// still-queued jobs canceled (workers skip them), let running jobs finish
+// within the timeout, then cancel whatever is left and wait for the
+// workers to exit.
+func (m *Manager) Drain(timeout time.Duration) {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return
+	}
+	m.draining = true
+	for _, job := range m.jobs {
+		if job.state == StateQueued {
+			job.canceled = true
+		}
+	}
+	m.mu.Unlock()
+	close(m.queue)
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		m.baseCancel() // cancel running jobs' contexts
+		<-done
+	}
+	m.baseCancel()
+}
+
+// worker pops jobs until the queue is closed and drained.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		m.runJob(job)
+	}
+}
+
+func (m *Manager) runJob(job *Job) {
+	m.mu.Lock()
+	m.queued--
+	if job.canceled {
+		job.state = StateCanceled
+		job.errText = "canceled before start"
+		job.finishedAt = time.Now()
+		m.mu.Unlock()
+		m.metrics.JobFinished(string(StateCanceled), 0)
+		return
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	if t := m.jobTimeout(job); t > 0 {
+		ctx, cancel = context.WithTimeout(m.baseCtx, t)
+	}
+	job.cancel = cancel
+	job.state = StateRunning
+	job.startedAt = time.Now()
+	m.running++
+	m.mu.Unlock()
+	defer cancel()
+
+	out, hit, err := m.cache.DoBytes("job:"+job.Digest, func() ([]byte, error) {
+		return m.execFn(ctx, job)
+	})
+	m.metrics.Cache("job", hit)
+
+	m.mu.Lock()
+	m.running--
+	job.finishedAt = time.Now()
+	seconds := job.finishedAt.Sub(job.startedAt).Seconds()
+	switch {
+	case err == nil:
+		job.state = StateDone
+		job.cached = hit
+		job.result = out
+	case job.canceled || errors.Is(err, context.Canceled):
+		job.state = StateCanceled
+		job.errText = err.Error()
+	default:
+		job.state = StateFailed
+		job.errText = err.Error()
+	}
+	outcome := job.state
+	m.mu.Unlock()
+	m.metrics.JobFinished(string(outcome), seconds)
+}
+
+func (m *Manager) jobTimeout(job *Job) time.Duration {
+	if job.Spec.TimeoutSeconds > 0 {
+		return time.Duration(job.Spec.TimeoutSeconds * float64(time.Second))
+	}
+	return m.cfg.JobTimeout
+}
+
+// pruneLocked caps the terminal-job backlog.
+func (m *Manager) pruneLocked() {
+	finished := 0
+	for _, id := range m.order {
+		if job, ok := m.jobs[id]; ok && job.state.Terminal() {
+			finished++
+		}
+	}
+	if finished <= maxFinishedJobs {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		job, ok := m.jobs[id]
+		if ok && job.state.Terminal() && finished > maxFinishedJobs {
+			delete(m.jobs, id)
+			finished--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// execute runs one job for real: resolve the inputs, thread the artifact
+// cache through the pipeline's compile/profile hooks, and serialize the
+// shared report schema.
+func (m *Manager) execute(ctx context.Context, job *Job) ([]byte, error) {
+	spec := job.Spec
+	w, err := workloads.Get(spec.Workload)
+	if err != nil {
+		return nil, err
+	}
+	src := w.Source
+	if spec.Program != "" {
+		src = spec.Program
+	}
+	prog, err := p4.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse program: %w", err)
+	}
+	if err := p4.Check(prog); err != nil {
+		return nil, fmt.Errorf("check program: %w", err)
+	}
+	cfg := w.Config()
+	if spec.Rules != "" {
+		cfg, err = rt.Parse(spec.Rules)
+		if err != nil {
+			return nil, fmt.Errorf("parse rules: %w", err)
+		}
+	}
+	trace, err := w.Trace(spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	traceDigest := TraceDigest(trace)
+
+	if spec.Kind == "profile" {
+		prof, err := m.cachedProfile(prog, cfg, trace, traceDigest)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(report.FromProfile(spec.Workload, spec.Seed, prof))
+	}
+
+	opts := core.Options{
+		Context:       ctx,
+		DisablePhase2: spec.NoDeps,
+		DisablePhase3: spec.NoMem,
+		DisablePhase4: spec.NoOffload,
+		CompileHook:   m.compileHook(),
+		ProfileHook:   m.profileHook(traceDigest),
+	}
+	res, err := core.New(opts).Optimize(prog, cfg, trace)
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range res.History {
+		m.metrics.PhaseObserved(h.Label, h.Duration.Seconds())
+	}
+	return json.Marshal(report.FromResult(spec.Workload, spec.Seed, res))
+}
+
+// compileHook serves the pipeline's compiles from the artifact cache,
+// keyed on the printed program and the hardware model. This is what makes
+// Phase 3's binary search and Phase 4's enumeration cheap on repeats —
+// within a job and across concurrent jobs alike.
+func (m *Manager) compileHook() func(*p4.Program, tofino.Target) (*tofino.Result, error) {
+	return func(prog *p4.Program, tgt tofino.Target) (*tofino.Result, error) {
+		key := "compile:" + Digest(p4.Print(prog), targetKey(tgt))
+		v, hit, err := m.cache.Do(key, func() (any, error) {
+			return tofino.Compile(prog, tgt)
+		})
+		m.metrics.Cache("compile", hit)
+		if err != nil {
+			return nil, err
+		}
+		return v.(*tofino.Result), nil
+	}
+}
+
+// profileHook serves trace replays from the artifact cache, keyed on the
+// printed program, the rules, and the trace digest.
+func (m *Manager) profileHook(traceDigest string) func(*p4.Program, *rt.Config, *trafficgen.Trace) (*profile.Profile, error) {
+	return func(prog *p4.Program, cfg *rt.Config, trace *trafficgen.Trace) (*profile.Profile, error) {
+		return m.cachedProfile(prog, cfg, trace, traceDigest)
+	}
+}
+
+func (m *Manager) cachedProfile(prog *p4.Program, cfg *rt.Config, trace *trafficgen.Trace, traceDigest string) (*profile.Profile, error) {
+	key := "profile:" + Digest(p4.Print(prog), rt.Format(cfg), traceDigest)
+	v, hit, err := m.cache.Do(key, func() (any, error) {
+		start := time.Now()
+		prof, err := profile.Run(prog, cfg, trace)
+		if err == nil {
+			m.metrics.Replayed(prof.TotalPackets, time.Since(start).Seconds())
+		}
+		return prof, err
+	})
+	m.metrics.Cache("profile", hit)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*profile.Profile), nil
+}

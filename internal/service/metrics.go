@@ -1,0 +1,162 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Metrics is the daemon's metric registry. It is deliberately tiny — a
+// handful of counters rendered in the Prometheus text exposition format —
+// so the service stays stdlib-only.
+type Metrics struct {
+	mu sync.Mutex
+
+	jobsSubmitted int64
+	jobsFinished  map[string]int64 // by outcome: done, failed, canceled
+	rejected      int64
+
+	cacheHits   map[string]int64 // by artifact kind: job, compile, profile
+	cacheMisses map[string]int64
+
+	phaseSeconds map[string]float64 // by stage-history label
+	jobSeconds   float64
+
+	packetsReplayed int64
+	replaySeconds   float64
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		jobsFinished: map[string]int64{},
+		cacheHits:    map[string]int64{},
+		cacheMisses:  map[string]int64{},
+		phaseSeconds: map[string]float64{},
+	}
+}
+
+// JobSubmitted counts an accepted submission.
+func (m *Metrics) JobSubmitted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsSubmitted++
+}
+
+// QueueRejected counts a submission bounced on a full queue.
+func (m *Metrics) QueueRejected() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rejected++
+}
+
+// JobFinished counts a terminal job and its wall time.
+func (m *Metrics) JobFinished(outcome string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsFinished[outcome]++
+	m.jobSeconds += seconds
+}
+
+// Cache counts one artifact-cache lookup.
+func (m *Metrics) Cache(kind string, hit bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if hit {
+		m.cacheHits[kind]++
+	} else {
+		m.cacheMisses[kind]++
+	}
+}
+
+// PhaseObserved accumulates wall time for one pipeline phase.
+func (m *Metrics) PhaseObserved(phase string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.phaseSeconds[phase] += seconds
+}
+
+// Replayed accumulates simulator replay volume and time.
+func (m *Metrics) Replayed(packets int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.packetsReplayed += int64(packets)
+	m.replaySeconds += seconds
+}
+
+// WritePrometheus renders every metric, plus the caller-supplied gauges
+// (queue depth, running jobs, cache entries — values owned by the
+// manager), in the Prometheus text exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	counter := func(name, help string, rows map[string]string, values map[string]float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		var keys []string
+		for k := range values {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if rows == nil {
+				fmt.Fprintf(w, "%s %g\n", name, values[k])
+			} else {
+				fmt.Fprintf(w, "%s{%s=%q} %g\n", name, rows["label"], k, values[k])
+			}
+		}
+	}
+	toF := func(in map[string]int64) map[string]float64 {
+		out := make(map[string]float64, len(in))
+		for k, v := range in {
+			out[k] = float64(v)
+		}
+		return out
+	}
+
+	counter("p2god_jobs_submitted_total", "Jobs accepted into the queue.",
+		nil, map[string]float64{"": float64(m.jobsSubmitted)})
+	counter("p2god_jobs_finished_total", "Jobs reaching a terminal state, by outcome.",
+		map[string]string{"label": "outcome"}, toF(m.jobsFinished))
+	counter("p2god_queue_rejected_total", "Submissions bounced with 429 (queue full).",
+		nil, map[string]float64{"": float64(m.rejected)})
+	counter("p2god_cache_hits_total", "Artifact cache hits, by artifact kind.",
+		map[string]string{"label": "kind"}, toF(m.cacheHits))
+	counter("p2god_cache_misses_total", "Artifact cache misses (fills), by artifact kind.",
+		map[string]string{"label": "kind"}, toF(m.cacheMisses))
+	counter("p2god_phase_seconds_total", "Pipeline wall time, by phase.",
+		map[string]string{"label": "phase"}, m.phaseSeconds)
+	counter("p2god_job_seconds_total", "Total job wall time.",
+		nil, map[string]float64{"": m.jobSeconds})
+	counter("p2god_replayed_packets_total", "Packets replayed through the behavioral simulator.",
+		nil, map[string]float64{"": float64(m.packetsReplayed)})
+
+	var hits, misses int64
+	for _, v := range m.cacheHits {
+		hits += v
+	}
+	for _, v := range m.cacheMisses {
+		misses += v
+	}
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	fmt.Fprintf(w, "# HELP p2god_cache_hit_ratio Overall artifact cache hit ratio.\n# TYPE p2god_cache_hit_ratio gauge\np2god_cache_hit_ratio %g\n", ratio)
+
+	rate := 0.0
+	if m.replaySeconds > 0 {
+		rate = float64(m.packetsReplayed) / m.replaySeconds
+	}
+	fmt.Fprintf(w, "# HELP p2god_replay_packets_per_second Average simulator replay throughput.\n# TYPE p2god_replay_packets_per_second gauge\np2god_replay_packets_per_second %g\n", rate)
+
+	var names []string
+	for n := range gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, gauges[n])
+	}
+}

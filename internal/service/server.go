@@ -1,0 +1,119 @@
+// Package service is the p2god optimization service: a stdlib-only HTTP
+// daemon that runs profile/optimize jobs on a bounded worker pool, serves
+// repeated work from a content-addressed artifact cache (threaded through
+// the pipeline's compile/profile hooks, so even intra-job probe loops hit
+// it), and exposes job status, Prometheus metrics, health, queue-full
+// backpressure, and graceful drain.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"p2go/internal/workloads"
+)
+
+// NewHandler builds the daemon's HTTP API on a manager:
+//
+//	POST /jobs             submit a JobSpec; 202 + JobStatus, 429 when full
+//	GET  /jobs             list jobs (no results)
+//	GET  /jobs/{id}        one job; result attached once done
+//	POST /jobs/{id}/cancel request cancellation
+//	GET  /workloads        registered workload names and descriptions
+//	GET  /metrics          Prometheus text exposition
+//	GET  /healthz          liveness + queue occupancy
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
+			return
+		}
+		st, err := m.Submit(spec)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err.Error())
+		default:
+			writeJSON(w, http.StatusAccepted, st)
+		}
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.List())
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := m.Get(r.PathValue("id"), true)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /workloads", func(w http.ResponseWriter, r *http.Request) {
+		type entry struct {
+			Name        string `json:"name"`
+			Description string `json:"description"`
+			Paper       string `json:"paper"`
+		}
+		var out []entry
+		for _, name := range workloads.Names() {
+			wl, err := workloads.Get(name)
+			if err != nil {
+				continue
+			}
+			out = append(out, entry{Name: wl.Name, Description: wl.Description, Paper: wl.Paper})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		queued, running := m.Counts()
+		stats := m.Cache().Stats()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.Metrics().WritePrometheus(w, map[string]float64{
+			"p2god_jobs_queued":   float64(queued),
+			"p2god_jobs_running":  float64(running),
+			"p2god_cache_entries": float64(stats.Entries),
+			"p2god_workers":       float64(m.cfg.Workers),
+			"p2god_queue_depth":   float64(m.cfg.QueueDepth),
+		})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		queued, running := m.Counts()
+		status := "ok"
+		if m.Draining() {
+			status = "draining"
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":  status,
+			"queued":  queued,
+			"running": running,
+		})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -32,6 +32,8 @@
 package p2go
 
 import (
+	"context"
+
 	"p2go/internal/controller"
 	"p2go/internal/core"
 	"p2go/internal/online"
@@ -134,6 +136,16 @@ func RunProfile(prog *Program, cfg *Config, trace *Trace) (*Profile, error) {
 // the observations with their evidence, the per-phase stage history, and —
 // when something was offloaded — the controller program.
 func Optimize(prog *Program, cfg *Config, trace *Trace, opts Options) (*Result, error) {
+	return core.New(opts).Optimize(prog, cfg, trace)
+}
+
+// OptimizeContext is Optimize with cancellation: the pipeline checks ctx
+// before every compile and trace replay (the operations that dominate
+// cost) and aborts with ctx's error once it is done. Long-running callers
+// — the p2god service in particular — use this to enforce per-job
+// timeouts and user-requested cancellation.
+func OptimizeContext(ctx context.Context, prog *Program, cfg *Config, trace *Trace, opts Options) (*Result, error) {
+	opts.Context = ctx
 	return core.New(opts).Optimize(prog, cfg, trace)
 }
 
