@@ -19,6 +19,13 @@ func serverFlag(fs *flag.FlagSet) *string {
 	return fs.String("server", "http://127.0.0.1:9095", "p2god base URL")
 }
 
+// httpTimeoutFlag registers the -timeout flag: the per-request HTTP
+// deadline. Without it a dead or wedged p2god would hang the CLI forever
+// (the zero-timeout http.DefaultClient trap).
+func httpTimeoutFlag(fs *flag.FlagSet) *time.Duration {
+	return fs.Duration("timeout", 30*time.Second, "HTTP request timeout (0 = wait forever)")
+}
+
 // cmdSubmit posts a job to p2god; with -wait it polls until the job is
 // terminal and prints the full status (result included).
 func cmdSubmit(args []string) error {
@@ -30,12 +37,14 @@ func cmdSubmit(args []string) error {
 	noDeps := fs.Bool("no-deps", false, "disable Phase 2 (dependency removal)")
 	noMem := fs.Bool("no-mem", false, "disable Phase 3 (memory reduction)")
 	noOffload := fs.Bool("no-offload", false, "disable Phase 4 (offloading)")
-	timeout := fs.Duration("timeout", 0, "per-job timeout (0 = server default)")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job timeout on the server (0 = server default)")
+	httpTimeout := httpTimeoutFlag(fs)
 	wait := fs.Bool("wait", false, "poll until the job finishes and print the result")
 	poll := fs.Duration("poll", 200*time.Millisecond, "poll interval with -wait")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	client := newClient(*httpTimeout)
 	spec := service.JobSpec{
 		Kind:           *kind,
 		Workload:       *workload,
@@ -43,13 +52,13 @@ func cmdSubmit(args []string) error {
 		NoDeps:         *noDeps,
 		NoMem:          *noMem,
 		NoOffload:      *noOffload,
-		TimeoutSeconds: timeout.Seconds(),
+		TimeoutSeconds: jobTimeout.Seconds(),
 	}
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return err
 	}
-	data, err := httpDo(http.MethodPost, *server+"/jobs", body)
+	data, err := httpDo(client, http.MethodPost, *server+"/jobs", body)
 	if err != nil {
 		return err
 	}
@@ -63,7 +72,7 @@ func cmdSubmit(args []string) error {
 	}
 	for !st.State.Terminal() {
 		time.Sleep(*poll)
-		data, err = httpDo(http.MethodGet, *server+"/jobs/"+st.ID, nil)
+		data, err = httpDo(client, http.MethodGet, *server+"/jobs/"+st.ID, nil)
 		if err != nil {
 			return err
 		}
@@ -82,6 +91,7 @@ func cmdSubmit(args []string) error {
 func cmdStatus(args []string) error {
 	fs := flag.NewFlagSet("status", flag.ContinueOnError)
 	server := serverFlag(fs)
+	httpTimeout := httpTimeoutFlag(fs)
 	id := fs.String("id", "", "job ID (from 'p2go submit')")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,7 +99,7 @@ func cmdStatus(args []string) error {
 	if *id == "" {
 		return fmt.Errorf("missing -id")
 	}
-	data, err := httpDo(http.MethodGet, *server+"/jobs/"+*id, nil)
+	data, err := httpDo(newClient(*httpTimeout), http.MethodGet, *server+"/jobs/"+*id, nil)
 	if err != nil {
 		return err
 	}
@@ -101,10 +111,11 @@ func cmdStatus(args []string) error {
 func cmdJobs(args []string) error {
 	fs := flag.NewFlagSet("jobs", flag.ContinueOnError)
 	server := serverFlag(fs)
+	httpTimeout := httpTimeoutFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	data, err := httpDo(http.MethodGet, *server+"/jobs", nil)
+	data, err := httpDo(newClient(*httpTimeout), http.MethodGet, *server+"/jobs", nil)
 	if err != nil {
 		return err
 	}
@@ -112,9 +123,15 @@ func cmdJobs(args []string) error {
 	return nil
 }
 
+// newClient builds a dedicated client with the request deadline; the
+// shared http.DefaultClient (no timeout) is deliberately not used.
+func newClient(timeout time.Duration) *http.Client {
+	return &http.Client{Timeout: timeout}
+}
+
 // httpDo performs one request and returns the body, turning non-2xx
 // statuses into errors carrying the server's message.
-func httpDo(method, url string, body []byte) ([]byte, error) {
+func httpDo(client *http.Client, method, url string, body []byte) ([]byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -126,7 +143,7 @@ func httpDo(method, url string, body []byte) ([]byte, error) {
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, err
 	}

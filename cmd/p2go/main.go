@@ -7,6 +7,7 @@
 //	p2go profile  -workload ex1 [-seed N] [-json]
 //	p2go optimize -workload ex1 [-seed N] [-no-deps] [-no-mem] [-no-offload] [-emit out.p4] [-json]
 //	p2go optimize -program prog.p4 -rules rules.txt -workload-trace ex1
+//	p2go optimize -workload ex1 -faults "controller.down:from=10,to=60" -degrade fail-open
 //	p2go submit   -server http://127.0.0.1:9095 -workload ex1 [-wait]
 //	p2go status   -server http://127.0.0.1:9095 -id j-000001
 //	p2go jobs     -server http://127.0.0.1:9095
@@ -29,6 +30,7 @@ import (
 
 	"p2go"
 	"p2go/internal/controller"
+	"p2go/internal/faults"
 	"p2go/internal/report"
 	"p2go/internal/workloads"
 )
@@ -71,10 +73,13 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   p2go profile  -workload <name> [-seed N] [-json]
   p2go optimize -workload <name> [-seed N] [-no-deps] [-no-mem] [-no-offload] [-emit out.p4] [-json]
+                [-faults <plan>] [-degrade fail-open|fail-closed|fallback] [-replicas N]
+                (with -faults, equivalence is verified under injected failures:
+                 e.g. -faults "controller.down:from=10,to=60;redirect.loss:p=0.3,seed=7")
   p2go serve    -workload <name> [-listen addr]   (optimize, then run the controller over TCP)
-  p2go submit   -server <url> -workload <name> [-kind profile|optimize] [-wait]   (p2god client)
-  p2go status   -server <url> -id <job-id>
-  p2go jobs     -server <url>
+  p2go submit   -server <url> -workload <name> [-kind profile|optimize] [-wait] [-timeout d]   (p2god client)
+  p2go status   -server <url> -id <job-id> [-timeout d]
+  p2go jobs     -server <url> [-timeout d]
   p2go list`)
 }
 
@@ -165,6 +170,9 @@ func cmdOptimize(args []string) error {
 	noOffload := fs.Bool("no-offload", false, "disable Phase 4 (offloading)")
 	emit := fs.String("emit", "", "write the optimized program to this file")
 	emitCtl := fs.String("emit-controller", "", "write the controller program to this file")
+	faultPlan := fs.String("faults", "", `fault plan for chaos verification, e.g. "controller.down:from=10,to=60;redirect.loss:p=0.3,seed=7"`)
+	degrade := fs.String("degrade", "", `degradation policy under faults: "fail-open" (default), "fail-closed", or "fallback"`)
+	replicas := fs.Int("replicas", 2, "controller replicas for chaos verification")
 	jsonOut := fs.Bool("json", false, "emit the machine-readable job-result schema")
 	in, err := load(fs, args)
 	if err != nil {
@@ -178,19 +186,52 @@ func cmdOptimize(args []string) error {
 	if err != nil {
 		return err
 	}
-	check, err := p2go.VerifyEquivalence(res, in.cfg, in.trace)
-	if err != nil {
-		return err
+	jr := report.FromResult(in.workload, in.seed, res)
+	var checkLine string
+	var chaosErr error
+	if *faultPlan != "" || *degrade != "" {
+		set, err := faults.ParseSet(*faultPlan)
+		if err != nil {
+			return err
+		}
+		policy, err := controller.ParsePolicy(*degrade)
+		if err != nil {
+			return err
+		}
+		chaos, err := p2go.VerifyChaosEquivalence(res, in.cfg, in.trace, p2go.ResilientOptions{
+			Replicas: *replicas,
+			Policy:   policy,
+			Faults:   set,
+		})
+		if err != nil {
+			return err
+		}
+		jr.Resilience = report.FromChaos(chaos, *faultPlan, policy.String())
+		if chaos.Clean() {
+			jr.Equivalence = "equivalent under faults (every divergence counted)"
+		} else {
+			jr.Equivalence = "SILENT DIVERGENCE"
+		}
+		checkLine = chaos.String()
+		if !chaos.Clean() {
+			chaosErr = fmt.Errorf("chaos verification: %d silent divergence(s) (first: %s)",
+				chaos.Silent, chaos.First)
+		}
+	} else {
+		check, err := p2go.VerifyEquivalence(res, in.cfg, in.trace)
+		if err != nil {
+			return err
+		}
+		jr.Equivalence = check.String()
+		checkLine = check.String()
 	}
 	if *jsonOut {
-		jr := report.FromResult(in.workload, in.seed, res)
-		jr.Equivalence = check.String()
 		if err := printJSON(jr); err != nil {
 			return err
 		}
 	} else {
 		fmt.Print(res.Report())
-		fmt.Println("\nbehavior check:", check)
+		fmt.Println("\nbehavior check:", checkLine)
 	}
 	if *emit != "" {
 		if err := os.WriteFile(*emit, []byte(p2go.PrintProgram(res.Optimized)), 0o644); err != nil {
@@ -204,7 +245,7 @@ func cmdOptimize(args []string) error {
 		}
 		fmt.Println("wrote", *emitCtl)
 	}
-	return nil
+	return chaosErr
 }
 
 // cmdServe optimizes the workload and serves the generated controller

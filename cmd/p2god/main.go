@@ -7,6 +7,7 @@
 //
 //	p2god [-listen addr] [-workers N] [-queue N] [-job-timeout d]
 //	      [-cache-entries N] [-cache-dir dir] [-drain-timeout d]
+//	      [-journal path]
 //
 // Submit with curl (or `p2go submit`):
 //
@@ -15,8 +16,11 @@
 //	curl -s localhost:9095/metrics
 //
 // SIGINT/SIGTERM drain gracefully: the listener closes, queued jobs are
-// canceled, and running jobs get -drain-timeout to finish before their
-// contexts are canceled.
+// requeued via the journal (canceled when -journal is unset), and running
+// jobs get -drain-timeout to finish before their contexts are canceled.
+// With -journal set, jobs that were queued or running when the process
+// died — graceful drain or kill -9 alike — are recovered on the next
+// start.
 package main
 
 import (
@@ -42,22 +46,43 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 512, "artifact cache capacity (entries)")
 	cacheDir := flag.String("cache-dir", "", "spill byte artifacts to this directory (optional)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long running jobs may finish on shutdown")
+	journalPath := flag.String("journal", "", "crash-safe job journal; queued/running jobs are recovered from it on restart (optional)")
 	flag.Parse()
 
-	if err := run(*listen, *workers, *queue, *jobTimeout, *cacheEntries, *cacheDir, *drainTimeout); err != nil {
+	if err := run(*listen, *workers, *queue, *jobTimeout, *cacheEntries, *cacheDir, *drainTimeout, *journalPath); err != nil {
 		fmt.Fprintln(os.Stderr, "p2god:", err)
 		os.Exit(1)
 	}
 }
 
 func run(listen string, workers, queue int, jobTimeout time.Duration,
-	cacheEntries int, cacheDir string, drainTimeout time.Duration) error {
+	cacheEntries int, cacheDir string, drainTimeout time.Duration, journalPath string) error {
+	var journal *service.Journal
+	if journalPath != "" {
+		var err error
+		journal, err = service.OpenJournal(journalPath)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+	}
 	m := service.NewManager(service.ManagerConfig{
 		Workers:    workers,
 		QueueDepth: queue,
 		JobTimeout: jobTimeout,
 		Cache:      service.NewCache(cacheEntries, cacheDir),
+		Journal:    journal,
 	})
+	if journal != nil {
+		pending, err := journal.Recover()
+		if err != nil {
+			return fmt.Errorf("journal recovery: %w", err)
+		}
+		if len(pending) > 0 {
+			accepted, dropped := m.Requeue(pending)
+			log.Printf("p2god recovered %d journaled job(s) (%d dropped)", accepted, dropped)
+		}
+	}
 	m.Start()
 
 	srv := &http.Server{Addr: listen, Handler: service.NewHandler(m)}
@@ -85,7 +110,13 @@ func run(listen string, workers, queue int, jobTimeout time.Duration,
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("p2god: http shutdown: %v", err)
 	}
-	m.Drain(drainTimeout)
+	rep := m.Drain(drainTimeout)
+	if len(rep.Requeued) > 0 {
+		log.Printf("p2god requeued %d queued job(s) for recovery: %v", len(rep.Requeued), rep.Requeued)
+	}
+	if len(rep.Canceled) > 0 {
+		log.Printf("p2god canceled %d queued job(s) (no -journal): %v", len(rep.Canceled), rep.Canceled)
+	}
 	log.Printf("p2god stopped")
 	return <-errc
 }

@@ -109,6 +109,12 @@ type Verdict struct {
 	// Notified means the segment raised a controller notification (the
 	// original program would have sent the packet to the CPU port).
 	Notified bool
+	// Degraded means the fate was decided (or may have been influenced)
+	// by a failure-handling path — a degradation policy after delivery
+	// exhaustion, or a replica whose segment state is stale. Degraded
+	// verdicts are allowed to diverge from the original program; they
+	// are always explicitly counted in DegradationStats.
+	Degraded bool
 }
 
 // Deployment composes the optimized data plane with a controller, modeling

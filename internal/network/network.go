@@ -16,12 +16,35 @@ import (
 	"sort"
 
 	"p2go/internal/core"
+	"p2go/internal/faults"
 	"p2go/internal/ir"
 	"p2go/internal/p4"
 	"p2go/internal/rt"
 	"p2go/internal/sim"
 	"p2go/internal/trafficgen"
 )
+
+// DeviceError names the device whose data plane failed mid-replay, so a
+// fleet-wide error is attributable instead of surfacing as a bare
+// simulator error (or, worse, zero-valued traces).
+type DeviceError struct {
+	// Device is the failing device's name.
+	Device string
+	// Injection is the index of the injection being replayed, or -1 when
+	// the failure was not tied to one.
+	Injection int
+	// Err is the underlying simulator error.
+	Err error
+}
+
+func (e *DeviceError) Error() string {
+	if e.Injection >= 0 {
+		return fmt.Sprintf("network: device %s (injection %d): %v", e.Device, e.Injection, e.Err)
+	}
+	return fmt.Sprintf("network: device %s: %v", e.Device, e.Err)
+}
+
+func (e *DeviceError) Unwrap() error { return e.Err }
 
 // Hop identifies an attachment point: a device and one of its ports.
 type Hop struct {
@@ -44,7 +67,12 @@ type Device struct {
 type Topology struct {
 	devices map[string]*Device
 	links   map[Hop]Hop
+	faults  *faults.Set
 }
+
+// SetFaults installs a fault-injection set; firing faults.SimStep fails a
+// device step as if its data plane errored. nil (the default) is inert.
+func (t *Topology) SetFaults(set *faults.Set) { t.faults = set }
 
 // NewTopology builds an empty topology.
 func NewTopology() *Topology {
@@ -133,9 +161,12 @@ func (t *Topology) Inject(at Hop, data []byte) (*Journey, error) {
 		if !ok {
 			return nil, fmt.Errorf("network: unknown device %q", cur.Device)
 		}
+		if ferr := t.faults.Err(faults.SimStep); ferr != nil {
+			return nil, &DeviceError{Device: cur.Device, Injection: -1, Err: ferr}
+		}
 		out, err := dev.sw.Process(sim.Input{Port: cur.Port, Data: payload})
 		if err != nil {
-			return nil, fmt.Errorf("network: device %s: %w", cur.Device, err)
+			return nil, &DeviceError{Device: cur.Device, Injection: -1, Err: err}
 		}
 		step := Step{Device: cur.Device, Ingress: cur.Port, Egress: out.Port,
 			Dropped: out.Dropped, ToCPU: out.ToCPU}
@@ -191,9 +222,12 @@ func (t *Topology) CollectDeviceTraces(injections []Injection) (map[string]*traf
 			}
 			traces[cur.Device].Packets = append(traces[cur.Device].Packets,
 				trafficgen.Packet{Port: cur.Port, Data: append([]byte(nil), payload...)})
+			if ferr := t.faults.Err(faults.SimStep); ferr != nil {
+				return nil, &DeviceError{Device: cur.Device, Injection: i, Err: ferr}
+			}
 			out, err := dev.sw.Process(sim.Input{Port: cur.Port, Data: payload})
 			if err != nil {
-				return nil, err
+				return nil, &DeviceError{Device: cur.Device, Injection: i, Err: err}
 			}
 			if out.Dropped || out.ToCPU {
 				break

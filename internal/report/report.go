@@ -5,6 +5,7 @@
 package report
 
 import (
+	"p2go/internal/controller"
 	"p2go/internal/core"
 	"p2go/internal/p4"
 	"p2go/internal/profile"
@@ -34,6 +35,32 @@ type JobResult struct {
 	// Equivalence is the behavior check verdict, when the caller ran one
 	// (the CLI does; the service leaves it empty).
 	Equivalence string `json:"equivalence,omitempty"`
+
+	// Resilience reports the failure-handling counters when the run was
+	// verified under fault injection (`p2go optimize -faults ...`).
+	Resilience *Resilience `json:"resilience,omitempty"`
+}
+
+// Resilience is the machine-readable view of every degradation path a
+// fault-injected run took. All counters are zero on a clean run; the
+// invariant the chaos harness enforces is that divergences are counted
+// here, never silent.
+type Resilience struct {
+	FaultPlan         string         `json:"fault_plan,omitempty"`
+	Policy            string         `json:"policy,omitempty"`
+	Redirected        int            `json:"redirected"`
+	Delivered         int            `json:"delivered"`
+	Retries           int            `json:"redirect_retries,omitempty"`
+	Failovers         int            `json:"failovers,omitempty"`
+	Delayed           int            `json:"delayed,omitempty"`
+	Lost              int            `json:"lost,omitempty"`
+	StaleServed       int            `json:"stale_served,omitempty"`
+	DegradedPass      int            `json:"degraded_pass,omitempty"`
+	DegradedDrop      int            `json:"degraded_drop,omitempty"`
+	DegradedFallback  int            `json:"degraded_fallback,omitempty"`
+	DegradedVerdicts  int            `json:"degraded_verdicts"`
+	SilentDivergences int            `json:"silent_divergences"`
+	FaultsFired       map[string]int `json:"faults_fired,omitempty"`
 }
 
 // Stage is one row of the Table 2-style stage history.
@@ -75,6 +102,27 @@ type Profile struct {
 type ActionSet struct {
 	Members []string `json:"members"`
 	Count   int      `json:"count"`
+}
+
+// FromChaos serializes a chaos-equivalence run's degradation counters.
+func FromChaos(rep *controller.ChaosReport, plan, policy string) *Resilience {
+	return &Resilience{
+		FaultPlan:         plan,
+		Policy:            policy,
+		Redirected:        rep.Redirected,
+		Delivered:         rep.Stats.Delivered,
+		Retries:           rep.Stats.Retries,
+		Failovers:         rep.Stats.Failovers,
+		Delayed:           rep.Stats.Delayed,
+		Lost:              rep.Stats.Lost,
+		StaleServed:       rep.Stats.StaleServed,
+		DegradedPass:      rep.Stats.DegradedPass,
+		DegradedDrop:      rep.Stats.DegradedDrop,
+		DegradedFallback:  rep.Stats.DegradedFallback,
+		DegradedVerdicts:  rep.Degraded,
+		SilentDivergences: rep.Silent,
+		FaultsFired:       rep.Faults,
+	}
 }
 
 // FromProfile serializes a profile run.

@@ -159,6 +159,22 @@ func (c *Cache) spillPath(key string) string {
 	return filepath.Join(c.dir, strings.ReplaceAll(key, ":", "_"))
 }
 
+// Delete purges an entry from both the in-memory LRU and the on-disk
+// spill. Used when a cached artifact is detected to be corrupted so the
+// next lookup recomputes it.
+func (c *Cache) Delete(key string) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.Remove(e)
+		delete(c.entries, key)
+	}
+	dir := c.dir
+	c.mu.Unlock()
+	if dir != "" {
+		_ = os.Remove(c.spillPath(key))
+	}
+}
+
 // CacheStats is a point-in-time cache counter snapshot.
 type CacheStats struct {
 	Hits, Misses int64

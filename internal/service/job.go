@@ -78,11 +78,15 @@ const (
 	StateDone     JobState = "done"
 	StateFailed   JobState = "failed"
 	StateCanceled JobState = "canceled"
+	// StateRequeued means a drain persisted the still-queued job to the
+	// journal; it is terminal for this process and recovered (under a
+	// new ID) on the next start.
+	StateRequeued JobState = "requeued"
 )
 
 // Terminal reports whether the state is final.
 func (s JobState) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateRequeued
 }
 
 // Job is one tracked submission. All fields are guarded by the manager's
@@ -101,6 +105,8 @@ type Job struct {
 	finishedAt time.Time
 	cancel     context.CancelFunc
 	canceled   bool // user requested cancellation
+	requeue    bool // drain persisted the job for recovery on restart
+	retries    int  // transient-failure re-runs this job consumed
 }
 
 // JobStatus is the JSON view of a job.
@@ -113,8 +119,10 @@ type JobStatus struct {
 	Digest   string   `json:"digest"`
 	// Cached reports that the result was served from the artifact cache
 	// rather than computed by this job.
-	Cached     bool   `json:"cached,omitempty"`
-	Error      string `json:"error,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Retries counts transient-failure re-runs this job consumed.
+	Retries    int    `json:"retries,omitempty"`
 	CreatedAt  string `json:"created_at"`
 	StartedAt  string `json:"started_at,omitempty"`
 	FinishedAt string `json:"finished_at,omitempty"`
@@ -134,6 +142,7 @@ func (j *Job) statusLocked(includeResult bool) JobStatus {
 		Digest:    j.Digest,
 		Cached:    j.cached,
 		Error:     j.errText,
+		Retries:   j.retries,
 		CreatedAt: j.createdAt.UTC().Format(time.RFC3339Nano),
 	}
 	if !j.startedAt.IsZero() {

@@ -1,0 +1,176 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Journal is p2god's crash-safe, append-only job journal. Every accepted
+// job is recorded before the submitter gets its 202; every terminal
+// outcome is recorded when the job finishes. On restart, Recover replays
+// the log: jobs with an accepted record but no terminal record — queued
+// or running when the process died, whether by graceful drain or kill
+// -9 — are returned for re-submission.
+//
+// The format is one JSON object per line, fsynced per append. A torn
+// final line (the crash happened mid-write) is tolerated and skipped.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// journalEntry is one journal line.
+type journalEntry struct {
+	// Op is "accepted", "finished", or "requeued".
+	Op string `json:"op"`
+	// ID is the job ID the entry refers to.
+	ID string `json:"id"`
+	// Spec is present on accepted entries.
+	Spec *JobSpec `json:"spec,omitempty"`
+	// State is the terminal state on finished entries.
+	State string `json:"state,omitempty"`
+	// Time is RFC3339Nano, informational only.
+	Time string `json:"time"`
+}
+
+// OpenJournal opens (creating if needed) the journal at path.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: open journal: %w", err)
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+// Recover replays the journal and returns the specs of every job that
+// was accepted but never finished, in acceptance order. It then compacts
+// the journal to empty: the caller re-submits the pending specs, and
+// each re-submission appends a fresh accepted record (under a new job
+// ID), so the log never grows across restarts.
+func (j *Journal) Recover() ([]JobSpec, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	type pendingJob struct {
+		spec JobSpec
+		seq  int
+	}
+	pending := map[string]pendingJob{}
+	seq := 0
+	sc := bufio.NewScanner(j.f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		var e journalEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			continue // torn write from a crash; skip
+		}
+		switch e.Op {
+		case "accepted":
+			if e.Spec != nil {
+				pending[e.ID] = pendingJob{spec: *e.Spec, seq: seq}
+				seq++
+			}
+		case "finished":
+			delete(pending, e.ID)
+		case "requeued":
+			// still pending; the entry only documents the drain
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("service: read journal: %w", err)
+	}
+	out := make([]JobSpec, 0, len(pending))
+	order := make([]pendingJob, 0, len(pending))
+	for _, p := range pending {
+		order = append(order, p)
+	}
+	for i := range order { // insertion sort by acceptance order; n is tiny
+		for k := i; k > 0 && order[k-1].seq > order[k].seq; k-- {
+			order[k-1], order[k] = order[k], order[k-1]
+		}
+	}
+	for _, p := range order {
+		out = append(out, p.spec)
+	}
+	if err := j.f.Truncate(0); err != nil {
+		return nil, err
+	}
+	if _, err := j.f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Accepted records an admitted job before its submitter is answered.
+func (j *Journal) Accepted(id string, spec JobSpec) {
+	if j == nil {
+		return
+	}
+	j.append(journalEntry{Op: "accepted", ID: id, Spec: &spec})
+}
+
+// Finished records a terminal outcome; the job will not be recovered.
+func (j *Journal) Finished(id string, state JobState) {
+	if j == nil {
+		return
+	}
+	j.append(journalEntry{Op: "finished", ID: id, State: string(state)})
+}
+
+// Requeued documents that a drain left the job pending on purpose; it
+// stays recoverable.
+func (j *Journal) Requeued(id string) {
+	if j == nil {
+		return
+	}
+	j.append(journalEntry{Op: "requeued", ID: id})
+}
+
+// append writes one line and fsyncs. Errors are swallowed after marking
+// nothing: the journal is a recovery aid; a full disk must not take the
+// daemon down with it.
+func (j *Journal) append(e journalEntry) {
+	e.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return
+	}
+	if _, err := j.f.Write(append(data, '\n')); err == nil {
+		_ = j.f.Sync()
+	}
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

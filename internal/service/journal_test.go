@@ -1,0 +1,197 @@
+package service
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestJournalCrashRecovery is the kill -9 scenario: jobs journaled as
+// accepted but never finished — the process died with them queued — are
+// recovered in acceptance order on the next start and run to completion.
+func TestJournalCrashRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j1, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workers never started: submissions stay queued, exactly as if the
+	// process were killed before the pool touched them.
+	m1 := NewManager(ManagerConfig{Workers: 1, Journal: j1})
+	seeds := []int64{11, 12, 13}
+	for _, seed := range seeds {
+		if _, err := m1.Submit(JobSpec{Workload: "quickstart", Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j1.Close() // the "crash"; every accepted record is already fsynced
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	pending, err := j2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != len(seeds) {
+		t.Fatalf("recovered %d job(s), want %d", len(pending), len(seeds))
+	}
+	for i, spec := range pending {
+		if spec.Seed != seeds[i] {
+			t.Errorf("recovered[%d].Seed = %d, want %d (acceptance order)", i, spec.Seed, seeds[i])
+		}
+	}
+
+	m2 := NewManager(ManagerConfig{Workers: 2, Journal: j2})
+	m2.execFn = func(ctx context.Context, job *Job) ([]byte, error) { return []byte(`{}`), nil }
+	accepted, dropped := m2.Requeue(pending)
+	if accepted != len(seeds) || dropped != 0 {
+		t.Fatalf("requeue = %d accepted, %d dropped", accepted, dropped)
+	}
+	m2.Start()
+	for _, st := range m2.List() {
+		if fin := waitTerminal(t, m2, st.ID); fin.State != StateDone {
+			t.Errorf("recovered job %s = %s (%q)", st.ID, fin.State, fin.Error)
+		}
+	}
+	m2.Drain(time.Second)
+
+	// Every recovered job finished, so a further recovery finds nothing.
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	left, err := j3.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Errorf("second recovery found %d job(s), want 0", len(left))
+	}
+}
+
+// TestDrainRequeuesQueuedJobs: a graceful drain persists still-queued jobs
+// as requeued (terminal for this process, recoverable by the next) and
+// reports them; the running job is canceled at the drain deadline and is
+// not recovered.
+func TestDrainRequeuesQueuedJobs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(ManagerConfig{Workers: 1, Journal: j})
+	m.execFn = func(ctx context.Context, job *Job) ([]byte, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	m.Start()
+
+	blocker, _ := m.Submit(JobSpec{Workload: "quickstart", Seed: 1})
+	waitState(t, m, blocker.ID, StateRunning)
+	q1, _ := m.Submit(JobSpec{Workload: "quickstart", Seed: 2})
+	q2, _ := m.Submit(JobSpec{Workload: "quickstart", Seed: 3})
+
+	rep := m.Drain(50 * time.Millisecond)
+	if len(rep.Requeued) != 2 || rep.Requeued[0] != q1.ID || rep.Requeued[1] != q2.ID {
+		t.Fatalf("drain requeued %v, want [%s %s]", rep.Requeued, q1.ID, q2.ID)
+	}
+	if len(rep.Canceled) != 0 {
+		t.Errorf("drain canceled %v with a journal configured", rep.Canceled)
+	}
+	for _, id := range rep.Requeued {
+		if st, _ := m.Get(id, false); st.State != StateRequeued {
+			t.Errorf("job %s = %s, want requeued", id, st.State)
+		}
+	}
+	if st, _ := m.Get(blocker.ID, false); st.State != StateCanceled {
+		t.Errorf("running job = %s, want canceled at drain deadline", st.State)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	pending, err := j2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 2 || pending[0].Seed != 2 || pending[1].Seed != 3 {
+		t.Fatalf("recovered %+v, want the two drained specs (seeds 2, 3)", pending)
+	}
+}
+
+// TestDrainWithoutJournalCancels preserves the pre-journal behavior.
+func TestDrainWithoutJournalCancels(t *testing.T) {
+	m := NewManager(ManagerConfig{Workers: 1})
+	m.execFn = func(ctx context.Context, job *Job) ([]byte, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	m.Start()
+	blocker, _ := m.Submit(JobSpec{Workload: "quickstart", Seed: 1})
+	waitState(t, m, blocker.ID, StateRunning)
+	q, _ := m.Submit(JobSpec{Workload: "quickstart", Seed: 2})
+
+	rep := m.Drain(50 * time.Millisecond)
+	if len(rep.Canceled) != 1 || rep.Canceled[0] != q.ID || len(rep.Requeued) != 0 {
+		t.Fatalf("journal-less drain = %+v, want the queued job canceled", rep)
+	}
+	if st, _ := m.Get(q.ID, false); st.State != StateCanceled {
+		t.Errorf("queued job = %s, want canceled", st.State)
+	}
+}
+
+// TestJournalTornLineTolerated: a crash mid-append leaves a torn final
+// line; recovery skips it and keeps every complete record.
+func TestJournalTornLineTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Accepted("j-000001", JobSpec{Kind: "optimize", Workload: "quickstart", Seed: 9})
+	j.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"accepted","id":"j-0000`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	pending, err := j2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 1 || pending[0].Seed != 9 {
+		t.Fatalf("recovered %+v, want the one complete record", pending)
+	}
+}
+
+// TestJournalNilSafe: a nil journal is inert at every call site.
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Accepted("x", JobSpec{})
+	j.Finished("x", StateDone)
+	j.Requeued("x")
+	if j.Path() != "" {
+		t.Error("nil journal has a path")
+	}
+	if err := j.Close(); err != nil {
+		t.Error(err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"p2go/internal/core"
+	"p2go/internal/faults"
 	"p2go/internal/p4"
 	"p2go/internal/profile"
 	"p2go/internal/report"
@@ -24,7 +25,32 @@ var (
 	ErrQueueFull = errors.New("service: job queue full")
 	// ErrDraining means the manager is shutting down (503).
 	ErrDraining = errors.New("service: draining, not accepting jobs")
+	// ErrCircuitOpen means the spec's digest has failed persistently and
+	// its circuit breaker is rejecting re-submissions until the cooldown
+	// elapses (503 with Retry-After).
+	ErrCircuitOpen = errors.New("service: circuit open for this job spec")
 )
+
+// transientError marks a failure worth retrying with backoff.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// MarkTransient wraps err so the manager's per-job retry loop re-runs
+// the job instead of failing it outright.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
 
 // maxFinishedJobs bounds how many terminal jobs are retained for status
 // queries; the oldest are pruned first. Results stay available through
@@ -44,6 +70,29 @@ type ManagerConfig struct {
 	Cache *Cache
 	// Metrics is the registry; nil means a fresh one.
 	Metrics *Metrics
+	// Journal, when set, records accepted and finished jobs so that
+	// queued/running work survives a crash or drain. nil disables it.
+	Journal *Journal
+	// MaxJobRetries bounds how many times a transiently-failing job is
+	// re-run before failing for good; 0 means 2, negative disables retry.
+	MaxJobRetries int
+	// RetryBackoff is the first retry's delay (doubling per attempt);
+	// <=0 means 10ms.
+	RetryBackoff time.Duration
+	// BreakerThreshold opens a spec's circuit after this many consecutive
+	// failures; 0 means 3, negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects re-submissions
+	// before allowing one trial job; <=0 means 30s.
+	BreakerCooldown time.Duration
+	// Faults is the fault-injection set for chaos tests; nil is inert.
+	Faults *faults.Set
+}
+
+// breakerState tracks one digest's consecutive failures.
+type breakerState struct {
+	fails     int
+	openUntil time.Time
 }
 
 // Manager owns the job table, the bounded queue, and the worker pool.
@@ -63,12 +112,17 @@ type Manager struct {
 	running  int
 	draining bool
 	seq      int
+	breakers map[string]*breakerState // by job digest
 
 	wg sync.WaitGroup
 
 	// execFn computes a job's result bytes; replaced in tests to make
 	// job behavior controllable. Production value is (*Manager).execute.
 	execFn func(ctx context.Context, job *Job) ([]byte, error)
+	// sleep is the retry-backoff clock; replaced in tests.
+	sleep func(time.Duration)
+	// now is the breaker clock; replaced in tests.
+	now func() time.Time
 }
 
 // NewManager creates a manager; call Start to launch the workers.
@@ -85,6 +139,24 @@ func NewManager(cfg ManagerConfig) *Manager {
 	if cfg.Metrics == nil {
 		cfg.Metrics = NewMetrics()
 	}
+	switch {
+	case cfg.MaxJobRetries == 0:
+		cfg.MaxJobRetries = 2
+	case cfg.MaxJobRetries < 0:
+		cfg.MaxJobRetries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 10 * time.Millisecond
+	}
+	switch {
+	case cfg.BreakerThreshold == 0:
+		cfg.BreakerThreshold = 3
+	case cfg.BreakerThreshold < 0:
+		cfg.BreakerThreshold = 0 // disabled
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 30 * time.Second
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:        cfg,
@@ -94,8 +166,11 @@ func NewManager(cfg ManagerConfig) *Manager {
 		baseCancel: cancel,
 		jobs:       map[string]*Job{},
 		queue:      make(chan *Job, cfg.QueueDepth),
+		breakers:   map[string]*breakerState{},
 	}
 	m.execFn = m.execute
+	m.sleep = time.Sleep
+	m.now = time.Now
 	return m
 }
 
@@ -124,11 +199,21 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	if m.draining {
 		return JobStatus{}, ErrDraining
 	}
+	digest := spec.digest()
+	if b, ok := m.breakers[digest]; ok && b.fails >= m.cfg.BreakerThreshold {
+		if m.now().Before(b.openUntil) {
+			m.metrics.CircuitRejected()
+			return JobStatus{}, ErrCircuitOpen
+		}
+		// Half-open: admit one trial and push the window out so a
+		// burst of re-submissions cannot stampede a failing spec.
+		b.openUntil = m.now().Add(m.cfg.BreakerCooldown)
+	}
 	m.seq++
 	job := &Job{
 		ID:        fmt.Sprintf("j-%06d", m.seq),
 		Spec:      spec,
-		Digest:    spec.digest(),
+		Digest:    digest,
 		state:     StateQueued,
 		createdAt: time.Now(),
 	}
@@ -144,7 +229,25 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	m.queued++
 	m.pruneLocked()
 	m.metrics.JobSubmitted()
+	// Journal while still holding the lock: a worker that pops this job
+	// cannot record "finished" before "accepted" is durable.
+	m.cfg.Journal.Accepted(job.ID, job.Spec)
 	return job.statusLocked(false), nil
+}
+
+// Requeue re-submits specs recovered from the journal, before Start.
+// It returns how many were accepted; specs bounced by a full queue (or
+// an open breaker) are dropped with a count.
+func (m *Manager) Requeue(specs []JobSpec) (accepted, dropped int) {
+	for _, spec := range specs {
+		if _, err := m.Submit(spec); err != nil {
+			dropped++
+			continue
+		}
+		accepted++
+		m.metrics.JournalRecovered()
+	}
+	return accepted, dropped
 }
 
 // Get returns a job's status; includeResult attaches the result JSON.
@@ -205,20 +308,43 @@ func (m *Manager) Draining() bool {
 	return m.draining
 }
 
-// Drain shuts the pool down gracefully: stop accepting submissions, mark
-// still-queued jobs canceled (workers skip them), let running jobs finish
-// within the timeout, then cancel whatever is left and wait for the
-// workers to exit.
-func (m *Manager) Drain(timeout time.Duration) {
+// DrainReport says what happened to each non-terminal job at shutdown.
+type DrainReport struct {
+	// Requeued lists queued jobs persisted to the journal for recovery
+	// on the next start (only when a journal is configured).
+	Requeued []string
+	// Canceled lists queued jobs dropped because there is no journal.
+	Canceled []string
+}
+
+// Drain shuts the pool down gracefully: stop accepting submissions,
+// persist still-queued jobs to the journal as requeued (or cancel them
+// when there is no journal), let running jobs finish within the timeout,
+// then cancel whatever is left and wait for the workers to exit.
+func (m *Manager) Drain(timeout time.Duration) DrainReport {
+	var rep DrainReport
 	m.mu.Lock()
 	if m.draining {
 		m.mu.Unlock()
-		return
+		return rep
 	}
 	m.draining = true
-	for _, job := range m.jobs {
-		if job.state == StateQueued {
-			job.canceled = true
+	for _, id := range m.order {
+		job, ok := m.jobs[id]
+		if !ok || job.state != StateQueued {
+			continue
+		}
+		job.canceled = true
+		if m.cfg.Journal != nil {
+			// The accepted record is already durable; the requeued
+			// record documents the drain, and runJob will mark the
+			// job requeued (not finished) when the worker pops it.
+			job.requeue = true
+			m.cfg.Journal.Requeued(job.ID)
+			m.metrics.JournalRequeued()
+			rep.Requeued = append(rep.Requeued, job.ID)
+		} else {
+			rep.Canceled = append(rep.Canceled, job.ID)
 		}
 	}
 	m.mu.Unlock()
@@ -236,6 +362,7 @@ func (m *Manager) Drain(timeout time.Duration) {
 		<-done
 	}
 	m.baseCancel()
+	return rep
 }
 
 // worker pops jobs until the queue is closed and drained.
@@ -250,11 +377,22 @@ func (m *Manager) runJob(job *Job) {
 	m.mu.Lock()
 	m.queued--
 	if job.canceled {
-		job.state = StateCanceled
-		job.errText = "canceled before start"
+		if job.requeue {
+			// Drained with a journal: the accepted record stays
+			// pending, so the job is recovered on the next start.
+			job.state = StateRequeued
+			job.errText = "requeued at drain; recovered on next start"
+		} else {
+			job.state = StateCanceled
+			job.errText = "canceled before start"
+		}
 		job.finishedAt = time.Now()
+		outcome := job.state
 		m.mu.Unlock()
-		m.metrics.JobFinished(string(StateCanceled), 0)
+		if outcome == StateCanceled {
+			m.cfg.Journal.Finished(job.ID, StateCanceled)
+		}
+		m.metrics.JobFinished(string(outcome), 0)
 		return
 	}
 	ctx, cancel := context.WithCancel(m.baseCtx)
@@ -268,9 +406,25 @@ func (m *Manager) runJob(job *Job) {
 	m.mu.Unlock()
 	defer cancel()
 
-	out, hit, err := m.cache.DoBytes("job:"+job.Digest, func() ([]byte, error) {
-		return m.execFn(ctx, job)
+	key := "job:" + job.Digest
+	out, hit, err := m.cache.DoBytes(key, func() ([]byte, error) {
+		return m.runExec(ctx, job)
 	})
+	if err == nil && hit {
+		// Job results are JSON by construction; a cached artifact that
+		// no longer parses was corrupted (bit rot, torn spill write, or
+		// an injected fault). Purge and recompute instead of serving it.
+		if m.cfg.Faults.Fire(faults.CacheCorrupt) {
+			out = append([]byte{0xff}, out...)
+		}
+		if !json.Valid(out) {
+			m.metrics.CacheCorruptionDetected()
+			m.cache.Delete(key)
+			out, hit, err = m.cache.DoBytes(key, func() ([]byte, error) {
+				return m.runExec(ctx, job)
+			})
+		}
+	}
 	m.metrics.Cache("job", hit)
 
 	m.mu.Lock()
@@ -290,8 +444,77 @@ func (m *Manager) runJob(job *Job) {
 		job.errText = err.Error()
 	}
 	outcome := job.state
+	m.breakerUpdateLocked(job.Digest, outcome)
 	m.mu.Unlock()
+	m.cfg.Journal.Finished(job.ID, outcome)
 	m.metrics.JobFinished(string(outcome), seconds)
+}
+
+// breakerUpdateLocked feeds one terminal outcome into the digest's
+// circuit breaker. Cancellations are neutral: they say nothing about
+// whether the spec can succeed.
+func (m *Manager) breakerUpdateLocked(digest string, outcome JobState) {
+	if m.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	switch outcome {
+	case StateDone:
+		delete(m.breakers, digest)
+	case StateFailed:
+		b := m.breakers[digest]
+		if b == nil {
+			b = &breakerState{}
+			m.breakers[digest] = b
+		}
+		b.fails++
+		if b.fails >= m.cfg.BreakerThreshold {
+			if b.fails == m.cfg.BreakerThreshold {
+				m.metrics.CircuitOpened()
+			}
+			b.openUntil = m.now().Add(m.cfg.BreakerCooldown)
+		}
+	}
+}
+
+// runExec runs the job's pipeline with panic recovery and bounded retry
+// for transient errors. It is invoked inside the cache's single-flight
+// fill, so a recovered panic surfaces as a plain fill error and cannot
+// leak an inflight entry.
+func (m *Manager) runExec(ctx context.Context, job *Job) ([]byte, error) {
+	backoff := m.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		out, err := m.execOnce(ctx, job)
+		if err == nil || ctx.Err() != nil {
+			return out, err
+		}
+		if !IsTransient(err) || attempt >= m.cfg.MaxJobRetries {
+			return nil, err
+		}
+		m.metrics.JobRetried()
+		m.mu.Lock()
+		job.retries++
+		m.mu.Unlock()
+		m.sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// execOnce runs the pipeline once, converting a worker panic into an
+// error so a crashing job fails alone instead of taking the daemon down.
+func (m *Manager) execOnce(ctx context.Context, job *Job) (out []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.metrics.WorkerPanicked()
+			out, err = nil, fmt.Errorf("service: worker panic: %v", r)
+		}
+	}()
+	if m.cfg.Faults.Fire(faults.WorkerPanic) {
+		panic("injected worker panic")
+	}
+	if ferr := m.cfg.Faults.Err(faults.JobTransient); ferr != nil {
+		return nil, MarkTransient(ferr)
+	}
+	return m.execFn(ctx, job)
 }
 
 func (m *Manager) jobTimeout(job *Job) time.Duration {

@@ -25,6 +25,16 @@ type Metrics struct {
 
 	packetsReplayed int64
 	replaySeconds   float64
+
+	// Resilience counters: every degradation path the daemon takes is
+	// counted here, so failures are observable rather than silent.
+	jobRetries       int64
+	workerPanics     int64
+	circuitOpened    int64
+	circuitRejected  int64
+	journalRecovered int64
+	journalRequeued  int64
+	cacheCorruptions int64
 }
 
 // NewMetrics creates an empty registry.
@@ -85,6 +95,56 @@ func (m *Metrics) Replayed(packets int, seconds float64) {
 	m.replaySeconds += seconds
 }
 
+// JobRetried counts one transient-failure retry of a job.
+func (m *Metrics) JobRetried() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobRetries++
+}
+
+// WorkerPanicked counts a worker panic converted into a failed job.
+func (m *Metrics) WorkerPanicked() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.workerPanics++
+}
+
+// CircuitOpened counts a per-digest circuit breaker opening.
+func (m *Metrics) CircuitOpened() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.circuitOpened++
+}
+
+// CircuitRejected counts a submission bounced off an open circuit.
+func (m *Metrics) CircuitRejected() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.circuitRejected++
+}
+
+// JournalRecovered counts a job re-submitted from the journal on start.
+func (m *Metrics) JournalRecovered() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.journalRecovered++
+}
+
+// JournalRequeued counts a queued job persisted for recovery at drain.
+func (m *Metrics) JournalRequeued() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.journalRequeued++
+}
+
+// CacheCorruptionDetected counts a corrupted cached artifact that was
+// detected, purged, and recomputed.
+func (m *Metrics) CacheCorruptionDetected() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cacheCorruptions++
+}
+
 // WritePrometheus renders every metric, plus the caller-supplied gauges
 // (queue depth, running jobs, cache entries — values owned by the
 // manager), in the Prometheus text exposition format.
@@ -131,6 +191,20 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]float64) {
 		nil, map[string]float64{"": m.jobSeconds})
 	counter("p2god_replayed_packets_total", "Packets replayed through the behavioral simulator.",
 		nil, map[string]float64{"": float64(m.packetsReplayed)})
+	counter("p2god_job_retries_total", "Transient job failures retried with backoff.",
+		nil, map[string]float64{"": float64(m.jobRetries)})
+	counter("p2god_worker_panics_total", "Worker panics recovered into failed jobs.",
+		nil, map[string]float64{"": float64(m.workerPanics)})
+	counter("p2god_circuit_opened_total", "Per-digest circuit breakers opened after repeated failures.",
+		nil, map[string]float64{"": float64(m.circuitOpened)})
+	counter("p2god_circuit_rejected_total", "Submissions rejected by an open circuit breaker.",
+		nil, map[string]float64{"": float64(m.circuitRejected)})
+	counter("p2god_journal_recovered_total", "Jobs recovered from the journal on restart.",
+		nil, map[string]float64{"": float64(m.journalRecovered)})
+	counter("p2god_journal_requeued_total", "Queued jobs persisted to the journal at drain.",
+		nil, map[string]float64{"": float64(m.journalRequeued)})
+	counter("p2god_cache_corruption_total", "Corrupted cached artifacts detected and recomputed.",
+		nil, map[string]float64{"": float64(m.cacheCorruptions)})
 
 	var hits, misses int64
 	for _, v := range m.cacheHits {

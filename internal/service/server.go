@@ -38,6 +38,9 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, http.StatusTooManyRequests, err.Error())
 		case errors.Is(err, ErrDraining):
 			writeError(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, ErrCircuitOpen):
+			w.Header().Set("Retry-After", "30")
+			writeError(w, http.StatusServiceUnavailable, err.Error())
 		case err != nil:
 			writeError(w, http.StatusBadRequest, err.Error())
 		default:

@@ -79,6 +79,13 @@ type (
 	Deployment = controller.Deployment
 	// EquivalenceReport compares original vs optimized+controller.
 	EquivalenceReport = controller.EquivalenceReport
+	// ResilientOptions tunes the replicated, fault-tolerant deployment:
+	// replica count, retry/backoff, degradation policy, fault injectors.
+	ResilientOptions = controller.ResilientOptions
+	// ChaosReport is the chaos-equivalence verdict: every divergence
+	// either explicitly degraded or counted as silent (the invariant is
+	// that Silent stays zero).
+	ChaosReport = controller.ChaosReport
 	// OnlineMonitor is an instrumented data plane with windowed online
 	// profiling and drift detection (§6 "Dynamic compilation").
 	OnlineMonitor = online.Monitor
@@ -185,4 +192,18 @@ func VerifyEquivalence(res *Result, cfg *Config, trace *Trace) (*EquivalenceRepo
 	}
 	return controller.VerifyEquivalence(res.Original, cfg, res.Optimized, res.OptimizedConfig,
 		segment, trace)
+}
+
+// VerifyChaosEquivalence is VerifyEquivalence under fault injection: the
+// optimized program runs behind a replicated, retrying, policy-degrading
+// controller deployment, and every verdict divergence must be explicitly
+// flagged as a counted degradation — the report's Clean() is false if any
+// divergence was silent.
+func VerifyChaosEquivalence(res *Result, cfg *Config, trace *Trace, opts ResilientOptions) (*ChaosReport, error) {
+	segment := res.ControllerProgram
+	if segment == nil {
+		segment = p4.MustParse("control ingress { }")
+	}
+	return controller.VerifyChaosEquivalence(res.Original, cfg, res.Optimized, res.OptimizedConfig,
+		segment, trace, opts)
 }
