@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"p2go"
+	"p2go/internal/workloads"
+)
+
+// BenchResult is one micro-benchmark's measurement. The fields mirror the
+// `go test -bench` vocabulary (iterations, ns/op) plus the quantities the
+// paper's evaluation cares about: simulator throughput and pipeline
+// lengths before/after optimization.
+type BenchResult struct {
+	Name       string  `json:"name"`
+	Workload   string  `json:"workload"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// PacketsPerSec is the replay throughput, for trace-replay benchmarks.
+	PacketsPerSec float64 `json:"packets_per_sec,omitempty"`
+	// StagesBefore/StagesAfter are the pipeline lengths around the full
+	// optimization, for optimize benchmarks.
+	StagesBefore int `json:"stages_before,omitempty"`
+	StagesAfter  int `json:"stages_after,omitempty"`
+}
+
+// BenchFile is the schema of the -bench output (BENCH_p2go.json).
+type BenchFile struct {
+	Seed       int64         `json:"seed"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// benchWorkloads are the workloads the suite measures: the paper's running
+// example plus the three Table 3 programs.
+var benchWorkloads = []string{"ex1", "natgre", "sourceguard", "failure"}
+
+// runBench runs the micro-benchmark suite and writes the JSON results to
+// path. Three benchmarks run per workload: compile (stage allocation),
+// profile (instrument + trace replay, reporting packets/sec), and optimize
+// (the full four-phase pipeline, reporting the stage reduction).
+func runBench(path string, seed int64) error {
+	out := BenchFile{Seed: seed}
+	for _, name := range benchWorkloads {
+		w, err := workloads.Get(name)
+		if err != nil {
+			return err
+		}
+		prog, err := p2go.ParseProgram(w.Source)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		cfg := w.Config()
+		trace, err := w.Trace(seed)
+		if err != nil {
+			return err
+		}
+
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p2go.Compile(prog, p2go.DefaultTarget()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		out.Benchmarks = append(out.Benchmarks, BenchResult{
+			Name: "compile", Workload: name,
+			Iterations: r.N, NsPerOp: float64(r.NsPerOp()),
+		})
+		fmt.Printf("  compile/%-12s %10d iters  %12.0f ns/op\n", name, r.N, float64(r.NsPerOp()))
+
+		r = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p2go.RunProfile(prog, cfg, trace); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		pps := 0.0
+		if r.T > 0 {
+			pps = float64(r.N) * float64(len(trace.Packets)) / r.T.Seconds()
+		}
+		out.Benchmarks = append(out.Benchmarks, BenchResult{
+			Name: "profile", Workload: name,
+			Iterations: r.N, NsPerOp: float64(r.NsPerOp()), PacketsPerSec: pps,
+		})
+		fmt.Printf("  profile/%-12s %10d iters  %12.0f ns/op  %10.0f packets/sec\n",
+			name, r.N, float64(r.NsPerOp()), pps)
+
+		var before, after int
+		r = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := p2go.Optimize(prog, cfg, trace, p2go.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				before, after = res.StagesBefore(), res.StagesAfter()
+			}
+		})
+		out.Benchmarks = append(out.Benchmarks, BenchResult{
+			Name: "optimize", Workload: name,
+			Iterations: r.N, NsPerOp: float64(r.NsPerOp()),
+			StagesBefore: before, StagesAfter: after,
+		})
+		fmt.Printf("  optimize/%-11s %10d iters  %12.0f ns/op  stages %d -> %d\n",
+			name, r.N, float64(r.NsPerOp()), before, after)
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}

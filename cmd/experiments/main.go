@@ -2,7 +2,9 @@
 // evaluation (see DESIGN.md §5 for the experiment index) and prints
 // paper-vs-measured comparisons. Run with no flags for everything, or
 // -run <id> for one experiment (EX1, FIG1, TAB1, TAB2, TAB3, ABL1, ABL2,
-// ABL3, ABL4).
+// ABL3, ABL4). With -bench <file>, it instead runs the micro-benchmark
+// suite (compile, profile, optimize per workload) and writes the results
+// as JSON — the committed BENCH_p2go.json is produced this way.
 package main
 
 import (
@@ -26,7 +28,17 @@ import (
 func main() {
 	run := flag.String("run", "", "experiment id to run (empty = all)")
 	seed := flag.Int64("seed", 1, "trace seed")
+	bench := flag.String("bench", "", "run the micro-benchmark suite instead and write results to this JSON file (e.g. BENCH_p2go.json)")
 	flag.Parse()
+
+	if *bench != "" {
+		fmt.Println("===== BENCH =====")
+		if err := runBench(*bench, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	experiments := []struct {
 		id string

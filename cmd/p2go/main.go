@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	p2go profile  -workload ex1 [-seed N] [-json]
+//	p2go profile  -workload ex1 [-seed N] [-json] [-trace out.json] [-log-level debug]
 //	p2go optimize -workload ex1 [-seed N] [-no-deps] [-no-mem] [-no-offload] [-emit out.p4] [-json]
+//	p2go optimize -workload ex1 -trace trace.json   (span timeline; load in Perfetto)
 //	p2go optimize -program prog.p4 -rules rules.txt -workload-trace ex1
 //	p2go optimize -workload ex1 -faults "controller.down:from=10,to=60" -degrade fail-open
 //	p2go submit   -server http://127.0.0.1:9095 -workload ex1 [-wait]
@@ -20,9 +21,11 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -31,6 +34,7 @@ import (
 	"p2go"
 	"p2go/internal/controller"
 	"p2go/internal/faults"
+	"p2go/internal/obs"
 	"p2go/internal/report"
 	"p2go/internal/workloads"
 )
@@ -71,8 +75,9 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  p2go profile  -workload <name> [-seed N] [-json]
+  p2go profile  -workload <name> [-seed N] [-json] [-trace out.json] [-log-level debug]
   p2go optimize -workload <name> [-seed N] [-no-deps] [-no-mem] [-no-offload] [-emit out.p4] [-json]
+                [-trace out.json] [-log-level debug]
                 [-faults <plan>] [-degrade fail-open|fail-closed|fallback] [-replicas N]
                 (with -faults, equivalence is verified under injected failures:
                  e.g. -faults "controller.down:from=10,to=60;redirect.loss:p=0.3,seed=7")
@@ -90,6 +95,58 @@ type loaded struct {
 	trace    *p2go.Trace
 	workload string
 	seed     int64
+}
+
+// observability is the CLI's tracing/logging surface: the -trace and
+// -log-level flags shared by the profile and optimize subcommands.
+type observability struct {
+	traceFile string
+	logLevel  string
+	exporter  *obs.ChromeExporter
+	logger    *slog.Logger
+}
+
+// flags registers -trace and -log-level on the subcommand's flag set.
+func (o *observability) flags(fs *flag.FlagSet) {
+	fs.StringVar(&o.traceFile, "trace", "", "write a Chrome trace-event JSON file of the run (load in Perfetto)")
+	fs.StringVar(&o.logLevel, "log-level", "", "log verbosity on stderr: debug, info (default), warn, error")
+}
+
+// context builds the run context: a tracer when -trace was given, and the
+// stderr logger at the requested level.
+func (o *observability) context() (context.Context, error) {
+	level, err := obs.ParseLevel(o.logLevel)
+	if err != nil {
+		return nil, err
+	}
+	o.logger = obs.NewLogger(os.Stderr, level)
+	ctx := context.Background()
+	if o.traceFile != "" {
+		o.exporter = obs.NewChromeExporter()
+		ctx = obs.WithTracer(ctx, obs.NewTracer(o.exporter))
+	}
+	return ctx, nil
+}
+
+// finish flushes the trace file, if one was requested.
+func (o *observability) finish() error {
+	if o.exporter == nil {
+		return nil
+	}
+	f, err := os.Create(o.traceFile)
+	if err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	if err := o.exporter.Flush(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	o.logger.Info("wrote trace", "path", o.traceFile,
+		"spans", len(o.exporter.Spans()))
+	return nil
 }
 
 // load resolves the program, rules, and trace from flags.
@@ -148,12 +205,23 @@ func printJSON(r *report.JobResult) error {
 func cmdProfile(args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit the machine-readable job-result schema")
+	var o observability
+	o.flags(fs)
 	in, err := load(fs, args)
 	if err != nil {
 		return err
 	}
-	prof, err := p2go.RunProfile(in.prog, in.cfg, in.trace)
+	ctx, err := o.context()
 	if err != nil {
+		return err
+	}
+	o.logger.Debug("profiling", "workload", in.workload, "seed", in.seed,
+		"packets", len(in.trace.Packets))
+	prof, err := p2go.RunProfileContext(ctx, in.prog, in.cfg, in.trace)
+	if err != nil {
+		return err
+	}
+	if err := o.finish(); err != nil {
 		return err
 	}
 	if *jsonOut {
@@ -174,11 +242,19 @@ func cmdOptimize(args []string) error {
 	degrade := fs.String("degrade", "", `degradation policy under faults: "fail-open" (default), "fail-closed", or "fallback"`)
 	replicas := fs.Int("replicas", 2, "controller replicas for chaos verification")
 	jsonOut := fs.Bool("json", false, "emit the machine-readable job-result schema")
+	var o observability
+	o.flags(fs)
 	in, err := load(fs, args)
 	if err != nil {
 		return err
 	}
-	res, err := p2go.Optimize(in.prog, in.cfg, in.trace, p2go.Options{
+	ctx, err := o.context()
+	if err != nil {
+		return err
+	}
+	o.logger.Debug("optimizing", "workload", in.workload, "seed", in.seed,
+		"packets", len(in.trace.Packets))
+	res, err := p2go.OptimizeContext(ctx, in.prog, in.cfg, in.trace, p2go.Options{
 		DisablePhase2: *noDeps,
 		DisablePhase3: *noMem,
 		DisablePhase4: *noOffload,
@@ -186,6 +262,8 @@ func cmdOptimize(args []string) error {
 	if err != nil {
 		return err
 	}
+	o.logger.Debug("optimized", "stages_before", res.StagesBefore(),
+		"stages_after", res.StagesAfter(), "offloaded", len(res.OffloadedTables))
 	jr := report.FromResult(in.workload, in.seed, res)
 	var checkLine string
 	var chaosErr error
@@ -198,7 +276,7 @@ func cmdOptimize(args []string) error {
 		if err != nil {
 			return err
 		}
-		chaos, err := p2go.VerifyChaosEquivalence(res, in.cfg, in.trace, p2go.ResilientOptions{
+		chaos, err := p2go.VerifyChaosEquivalenceContext(ctx, res, in.cfg, in.trace, p2go.ResilientOptions{
 			Replicas: *replicas,
 			Policy:   policy,
 			Faults:   set,
@@ -218,12 +296,15 @@ func cmdOptimize(args []string) error {
 				chaos.Silent, chaos.First)
 		}
 	} else {
-		check, err := p2go.VerifyEquivalence(res, in.cfg, in.trace)
+		check, err := p2go.VerifyEquivalenceContext(ctx, res, in.cfg, in.trace)
 		if err != nil {
 			return err
 		}
 		jr.Equivalence = check.String()
 		checkLine = check.String()
+	}
+	if err := o.finish(); err != nil {
+		return err
 	}
 	if *jsonOut {
 		if err := printJSON(jr); err != nil {

@@ -1,19 +1,27 @@
 // Command p2god is the resident P2GO optimization service: it accepts
 // profile/optimize jobs over HTTP, runs them on a bounded worker pool with
 // per-job timeouts and cancellation, serves repeated work from a
-// content-addressed artifact cache, and exposes Prometheus metrics.
+// content-addressed artifact cache, and exposes Prometheus metrics and
+// per-job execution traces.
 //
 // Usage:
 //
 //	p2god [-listen addr] [-workers N] [-queue N] [-job-timeout d]
 //	      [-cache-entries N] [-cache-dir dir] [-drain-timeout d]
-//	      [-journal path]
+//	      [-journal path] [-trace-dir dir] [-pprof] [-log-level level]
 //
 // Submit with curl (or `p2go submit`):
 //
 //	curl -s -X POST localhost:9095/jobs -d '{"kind":"optimize","workload":"ex1"}'
 //	curl -s localhost:9095/jobs/j-000001
+//	curl -s localhost:9095/jobs/j-000001/trace > trace.json   (load in Perfetto)
 //	curl -s localhost:9095/metrics
+//
+// Every job runs under a span tracer; GET /jobs/{id}/trace returns the
+// job's span tree as Chrome trace-event JSON, and -trace-dir additionally
+// persists each job's trace to <dir>/<job-id>.trace.json. -pprof mounts
+// the net/http/pprof handlers under /debug/pprof/ for live CPU and heap
+// profiling of the daemon itself.
 //
 // SIGINT/SIGTERM drain gracefully: the listener closes, queued jobs are
 // requeued via the journal (canceled when -journal is unset), and running
@@ -28,50 +36,80 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"p2go/internal/obs"
 	"p2go/internal/service"
 )
 
+// options collects the daemon's flag values.
+type options struct {
+	listen       string
+	workers      int
+	queue        int
+	jobTimeout   time.Duration
+	cacheEntries int
+	cacheDir     string
+	drainTimeout time.Duration
+	journalPath  string
+	traceDir     string
+	pprofOn      bool
+	logLevel     string
+}
+
 func main() {
-	listen := flag.String("listen", "127.0.0.1:9095", "HTTP listen address")
-	workers := flag.Int("workers", 2, "worker-pool size")
-	queue := flag.Int("queue", 16, "job queue depth (submissions beyond it get 429)")
-	jobTimeout := flag.Duration("job-timeout", 0, "per-job timeout (0 = none; jobs may request their own)")
-	cacheEntries := flag.Int("cache-entries", 512, "artifact cache capacity (entries)")
-	cacheDir := flag.String("cache-dir", "", "spill byte artifacts to this directory (optional)")
-	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long running jobs may finish on shutdown")
-	journalPath := flag.String("journal", "", "crash-safe job journal; queued/running jobs are recovered from it on restart (optional)")
+	var o options
+	flag.StringVar(&o.listen, "listen", "127.0.0.1:9095", "HTTP listen address")
+	flag.IntVar(&o.workers, "workers", 2, "worker-pool size")
+	flag.IntVar(&o.queue, "queue", 16, "job queue depth (submissions beyond it get 429)")
+	flag.DurationVar(&o.jobTimeout, "job-timeout", 0, "per-job timeout (0 = none; jobs may request their own)")
+	flag.IntVar(&o.cacheEntries, "cache-entries", 512, "artifact cache capacity (entries)")
+	flag.StringVar(&o.cacheDir, "cache-dir", "", "spill byte artifacts to this directory (optional)")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 15*time.Second, "how long running jobs may finish on shutdown")
+	flag.StringVar(&o.journalPath, "journal", "", "crash-safe job journal; queued/running jobs are recovered from it on restart (optional)")
+	flag.StringVar(&o.traceDir, "trace-dir", "", "persist each job's Chrome trace-event JSON to this directory (optional)")
+	flag.BoolVar(&o.pprofOn, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	flag.StringVar(&o.logLevel, "log-level", "", "log verbosity on stderr: debug, info (default), warn, error")
 	flag.Parse()
 
-	if err := run(*listen, *workers, *queue, *jobTimeout, *cacheEntries, *cacheDir, *drainTimeout, *journalPath); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "p2god:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, workers, queue int, jobTimeout time.Duration,
-	cacheEntries int, cacheDir string, drainTimeout time.Duration, journalPath string) error {
+func run(o options) error {
+	level, err := obs.ParseLevel(o.logLevel)
+	if err != nil {
+		return err
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+
 	var journal *service.Journal
-	if journalPath != "" {
-		var err error
-		journal, err = service.OpenJournal(journalPath)
+	if o.journalPath != "" {
+		journal, err = service.OpenJournal(o.journalPath)
 		if err != nil {
 			return err
 		}
 		defer journal.Close()
 	}
+	if o.traceDir != "" {
+		if err := os.MkdirAll(o.traceDir, 0o755); err != nil {
+			return fmt.Errorf("trace dir: %w", err)
+		}
+	}
 	m := service.NewManager(service.ManagerConfig{
-		Workers:    workers,
-		QueueDepth: queue,
-		JobTimeout: jobTimeout,
-		Cache:      service.NewCache(cacheEntries, cacheDir),
+		Workers:    o.workers,
+		QueueDepth: o.queue,
+		JobTimeout: o.jobTimeout,
+		Cache:      service.NewCache(o.cacheEntries, o.cacheDir),
 		Journal:    journal,
+		TraceDir:   o.traceDir,
 	})
 	if journal != nil {
 		pending, err := journal.Recover()
@@ -80,15 +118,29 @@ func run(listen string, workers, queue int, jobTimeout time.Duration,
 		}
 		if len(pending) > 0 {
 			accepted, dropped := m.Requeue(pending)
-			log.Printf("p2god recovered %d journaled job(s) (%d dropped)", accepted, dropped)
+			logger.Info("recovered journaled jobs", "accepted", accepted, "dropped", dropped)
 		}
 	}
 	m.Start()
 
-	srv := &http.Server{Addr: listen, Handler: service.NewHandler(m)}
+	handler := service.NewHandler(m)
+	if o.pprofOn {
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+
+	srv := &http.Server{Addr: o.listen, Handler: handler}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("p2god listening on %s (%d workers, queue %d)", listen, workers, queue)
+		logger.Info("listening", "addr", o.listen, "workers", o.workers,
+			"queue", o.queue, "trace_dir", o.traceDir)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return
@@ -104,19 +156,19 @@ func run(listen string, workers, queue int, jobTimeout time.Duration,
 	case <-ctx.Done():
 	}
 
-	log.Printf("p2god draining (up to %s)...", drainTimeout)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	logger.Info("draining", "timeout", o.drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("p2god: http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
-	rep := m.Drain(drainTimeout)
+	rep := m.Drain(o.drainTimeout)
 	if len(rep.Requeued) > 0 {
-		log.Printf("p2god requeued %d queued job(s) for recovery: %v", len(rep.Requeued), rep.Requeued)
+		logger.Info("requeued queued jobs for recovery", "jobs", fmt.Sprint(rep.Requeued))
 	}
 	if len(rep.Canceled) > 0 {
-		log.Printf("p2god canceled %d queued job(s) (no -journal): %v", len(rep.Canceled), rep.Canceled)
+		logger.Info("canceled queued jobs (no -journal)", "jobs", fmt.Sprint(rep.Canceled))
 	}
-	log.Printf("p2god stopped")
+	logger.Info("stopped")
 	return <-errc
 }

@@ -12,10 +12,12 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"p2go/internal/ir"
+	"p2go/internal/obs"
 	"p2go/internal/p4"
 	"p2go/internal/rt"
 	"p2go/internal/sim"
@@ -156,6 +158,14 @@ func (d *Deployment) Controller() *Controller { return d.ctl }
 // through the controller. Packets the controller passes are forwarded to
 // the data plane's pre-redirect forwarding decision.
 func (d *Deployment) Process(in sim.Input) (Verdict, error) {
+	return d.ProcessContext(context.Background(), in)
+}
+
+// ProcessContext is Process under a tracer-carrying context: each
+// redirect to the controller is recorded as a "controller.redirect" span
+// with the segment's verdict. Non-redirected packets stay span-free — the
+// fast path is the common path.
+func (d *Deployment) ProcessContext(ctx context.Context, in sim.Input) (Verdict, error) {
 	out, err := d.dataPlane.Process(in)
 	if err != nil {
 		return Verdict{}, err
@@ -163,8 +173,11 @@ func (d *Deployment) Process(in sim.Input) (Verdict, error) {
 	if !out.ToCPU {
 		return Verdict{Dropped: out.Dropped, Port: out.Port}, nil
 	}
+	_, sp := obs.Start(ctx, "controller.redirect")
+	defer sp.End()
 	ctlOut, err := d.ctl.Handle(in)
 	if err != nil {
+		sp.SetAttr(obs.String("error", err.Error()))
 		return Verdict{}, err
 	}
 	v := Verdict{ViaController: true}
@@ -172,12 +185,15 @@ func (d *Deployment) Process(in sim.Input) (Verdict, error) {
 	case ctlOut.Dropped:
 		v.Dropped = true
 		v.Port = sim.DropPort
+		sp.SetAttr(obs.String("verdict", "drop"))
 	case ctlOut.ToCPU:
 		v.Notified = true
 		v.Port = sim.CPUPort
+		sp.SetAttr(obs.String("verdict", "notify"))
 	default:
 		v.Port = out.ForwardPort
 		v.Dropped = out.ForwardPort == sim.DropPort
+		sp.SetAttr(obs.String("verdict", "pass"))
 	}
 	return v, nil
 }
@@ -215,6 +231,21 @@ func (r *EquivalenceReport) String() string {
 func VerifyEquivalence(original *p4.Program, originalCfg *rt.Config,
 	optimized *p4.Program, optimizedCfg *rt.Config,
 	segment *p4.Program, trace *trafficgen.Trace) (*EquivalenceReport, error) {
+	return VerifyEquivalenceContext(context.Background(), original, originalCfg,
+		optimized, optimizedCfg, segment, trace)
+}
+
+// VerifyEquivalenceContext is VerifyEquivalence under a tracer-carrying
+// context: the whole comparison runs inside a "controller.verify" span,
+// the replay loop goes through sim.Replay (so it reports packets/sec),
+// and each redirect shows up as a "controller.redirect" child span.
+func VerifyEquivalenceContext(ctx context.Context,
+	original *p4.Program, originalCfg *rt.Config,
+	optimized *p4.Program, optimizedCfg *rt.Config,
+	segment *p4.Program, trace *trafficgen.Trace) (*EquivalenceReport, error) {
+
+	ctx, sp := obs.Start(ctx, "controller.verify", obs.Int("packets", len(trace.Packets)))
+	defer sp.End()
 
 	origAST := p4.Clone(original)
 	if err := p4.Check(origAST); err != nil {
@@ -234,15 +265,16 @@ func VerifyEquivalence(original *p4.Program, originalCfg *rt.Config,
 	}
 
 	report := &EquivalenceReport{}
-	for i, pkt := range trace.Packets {
+	err = sim.Replay(ctx, len(trace.Packets), func(i int) error {
+		pkt := trace.Packets[i]
 		in := sim.Input{Port: pkt.Port, Data: pkt.Data}
 		origOut, err := origSwitch.Process(in)
 		if err != nil {
-			return nil, fmt.Errorf("controller: original, packet %d: %w", i, err)
+			return fmt.Errorf("controller: original, packet %d: %w", i, err)
 		}
-		verdict, err := dep.Process(in)
+		verdict, err := dep.ProcessContext(ctx, in)
 		if err != nil {
-			return nil, fmt.Errorf("controller: deployment, packet %d: %w", i, err)
+			return fmt.Errorf("controller: deployment, packet %d: %w", i, err)
 		}
 		report.Packets++
 		if verdict.ViaController {
@@ -265,6 +297,11 @@ func VerifyEquivalence(original *p4.Program, originalCfg *rt.Config,
 					verdict.Dropped, verdict.Port, verdict.ViaController, verdict.Notified)
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	sp.SetAttr(obs.Int("redirected", report.Redirected), obs.Int("mismatches", report.Mismatches))
 	return report, nil
 }

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"p2go/internal/faults"
 	"p2go/internal/ir"
+	"p2go/internal/obs"
 	"p2go/internal/p4"
 	"p2go/internal/rt"
 	"p2go/internal/sim"
@@ -246,6 +248,15 @@ func NewResilientDeployment(optimized *p4.Program, optimizedCfg *rt.Config,
 // Process runs a packet through the data plane and, when redirected,
 // through the replicated controller path.
 func (d *ResilientDeployment) Process(in sim.Input) (Verdict, error) {
+	return d.ProcessContext(context.Background(), in)
+}
+
+// ProcessContext is Process under a tracer-carrying context: each
+// redirect is recorded as a "controller.redirect" span carrying the
+// delivery's retry/failover counts, and a delivery exhaustion adds a
+// "controller.degrade" child span with the applied policy. Packets the
+// data plane handles alone stay span-free.
+func (d *ResilientDeployment) ProcessContext(ctx context.Context, in sim.Input) (Verdict, error) {
 	out, err := d.dataPlane.Process(in)
 	if err != nil {
 		return Verdict{}, err
@@ -253,13 +264,29 @@ func (d *ResilientDeployment) Process(in sim.Input) (Verdict, error) {
 	if !out.ToCPU {
 		return Verdict{Dropped: out.Dropped, Port: out.Port}, nil
 	}
+	ctx, sp := obs.Start(ctx, "controller.redirect")
+	defer sp.End()
+
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	pre := d.stats
 	d.stats.Redirected++
 
 	ctlOut, serving, ok := d.deliverLocked(in)
+	sp.SetAttr(
+		obs.Int("retries", d.stats.Retries-pre.Retries),
+		obs.Int("failovers", d.stats.Failovers-pre.Failovers),
+		obs.Bool("delivered", ok))
 	if !ok {
-		return d.degradeLocked(in, out)
+		_, dsp := obs.Start(ctx, "controller.degrade",
+			obs.String("policy", d.opts.Policy.String()))
+		v, err := d.degradeLocked(in, out)
+		if err != nil {
+			dsp.SetAttr(obs.String("error", err.Error()))
+		}
+		dsp.End()
+		sp.SetAttr(obs.Bool("degraded", true))
+		return v, err
 	}
 	d.stats.Delivered++
 	d.mirrorLocked(in, serving)
@@ -268,6 +295,7 @@ func (d *ResilientDeployment) Process(in sim.Input) (Verdict, error) {
 	if serving.stale {
 		d.stats.StaleServed++
 		v.Degraded = true
+		sp.SetAttr(obs.Bool("stale_served", true))
 	}
 	switch {
 	case ctlOut.Dropped:
@@ -492,6 +520,22 @@ func VerifyChaosEquivalence(original *p4.Program, originalCfg *rt.Config,
 	optimized *p4.Program, optimizedCfg *rt.Config,
 	segment *p4.Program, trace *trafficgen.Trace,
 	opts ResilientOptions) (*ChaosReport, error) {
+	return VerifyChaosEquivalenceContext(context.Background(), original, originalCfg,
+		optimized, optimizedCfg, segment, trace, opts)
+}
+
+// VerifyChaosEquivalenceContext is VerifyChaosEquivalence under a
+// tracer-carrying context: the comparison runs inside a
+// "controller.verify-chaos" span, the replay goes through sim.Replay, and
+// every redirect, retry, and degradation decision appears as child spans.
+func VerifyChaosEquivalenceContext(ctx context.Context,
+	original *p4.Program, originalCfg *rt.Config,
+	optimized *p4.Program, optimizedCfg *rt.Config,
+	segment *p4.Program, trace *trafficgen.Trace,
+	opts ResilientOptions) (*ChaosReport, error) {
+
+	ctx, sp := obs.Start(ctx, "controller.verify-chaos", obs.Int("packets", len(trace.Packets)))
+	defer sp.End()
 
 	origAST := p4.Clone(original)
 	if err := p4.Check(origAST); err != nil {
@@ -511,15 +555,16 @@ func VerifyChaosEquivalence(original *p4.Program, originalCfg *rt.Config,
 	}
 
 	report := &ChaosReport{}
-	for i, pkt := range trace.Packets {
+	err = sim.Replay(ctx, len(trace.Packets), func(i int) error {
+		pkt := trace.Packets[i]
 		in := sim.Input{Port: pkt.Port, Data: pkt.Data}
 		origOut, err := origSwitch.Process(in)
 		if err != nil {
-			return nil, fmt.Errorf("controller: original, packet %d: %w", i, err)
+			return fmt.Errorf("controller: original, packet %d: %w", i, err)
 		}
-		verdict, err := dep.Process(in)
+		verdict, err := dep.ProcessContext(ctx, in)
 		if err != nil {
-			return nil, fmt.Errorf("controller: resilient deployment, packet %d: %w", i, err)
+			return fmt.Errorf("controller: resilient deployment, packet %d: %w", i, err)
 		}
 		report.Packets++
 		if verdict.ViaController {
@@ -546,8 +591,14 @@ func VerifyChaosEquivalence(original *p4.Program, originalCfg *rt.Config,
 				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	report.Stats = dep.Stats()
 	report.Faults = opts.Faults.Counts()
+	sp.SetAttr(obs.Int("redirected", report.Redirected),
+		obs.Int("degraded", report.Degraded), obs.Int("silent", report.Silent))
 	return report, nil
 }

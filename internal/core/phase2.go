@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"p2go/internal/deps"
+	"p2go/internal/obs"
 	"p2go/internal/p4"
 	"p2go/internal/rt"
 )
@@ -16,13 +18,16 @@ import (
 // both tables. One dependency is removed per iteration (the paper keeps
 // changes tractable for the programmer); the loop re-runs until no
 // candidate improves the pipeline or MaxPhase2Removals is reached.
-func (r *run) phase2() error {
+func (r *run) phase2(ctx context.Context) error {
 	removed := 0
 	for {
 		if r.opts.MaxPhase2Removals > 0 && removed >= r.opts.MaxPhase2Removals {
 			return nil
 		}
-		improved, err := r.phase2Once()
+		ictx, sp := obs.Start(ctx, "phase2.iteration", obs.Int("iteration", removed+1))
+		improved, err := r.phase2Once(ictx)
+		sp.SetAttr(obs.Bool("improved", improved))
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -35,7 +40,7 @@ func (r *run) phase2() error {
 
 // phase2Once tries candidates in control order and applies the first
 // rewrite that both does not manifest and shortens the pipeline.
-func (r *run) phase2Once() (bool, error) {
+func (r *run) phase2Once(ctx context.Context) (bool, error) {
 	g := r.compile.Deps
 	baseStages := totalStages(r.compile.Mapping)
 	for _, edge := range g.LongestPathEdges() {
@@ -44,95 +49,118 @@ func (r *run) phase2Once() (bool, error) {
 		if err := r.interrupted(); err != nil {
 			return false, err
 		}
-		manifested, witness := r.edgeManifests(edge)
-		if manifested {
-			continue
-		}
-		if conflict := r.interveningConflict(edge); conflict != "" {
-			continue
-		}
-		// Rewrite a clone: apply `to` only when `from` misses. When
-		// requested, a runtime violation detector goes into the hit arm
-		// (§3.2's alternative approach).
-		candidate := p4.Clone(r.cur)
-		guard, err := moveIntoMissArm(candidate, edge.From, edge.To, r.opts.InsertDependencyGuards)
-		if err != nil {
-			continue // not expressible (hit/miss nesting); try next
-		}
-		var guardRules []rt.Rule
-		if guard != nil {
-			// Mirror `to`'s rules onto the detector so it hits exactly
-			// when `to` would have. Installed only if the candidate is
-			// accepted.
-			for _, rule := range r.cfg.ForTable(edge.To) {
-				guardRules = append(guardRules, rt.Rule{
-					Table:    guard.Table,
-					Action:   guard.Action,
-					Matches:  append([]rt.FieldMatch(nil), rule.Matches...),
-					Priority: rule.Priority,
-				})
-			}
-		}
-		compiled, err := r.compileCandidate(candidate)
-		if err != nil {
-			continue // rewrite made the program invalid for the target
-		}
-		if totalStages(compiled.Mapping) >= baseStages {
-			continue // no stage saved; keep looking
-		}
-		// Safety check beyond the paper: the rewrite must preserve the
-		// program's observable behavior on the trace (miss markers aside
-		// — skipping a table whose outcome was a no-op miss is the
-		// intended effect of the rewrite).
-		newProf, err := r.profileCandidate(candidate)
+		applied, err := r.phase2Try(ctx, edge, baseStages)
 		if err != nil {
 			return false, err
 		}
-		if diff := r.prof.BehaviorDiff(newProf); diff != "" {
-			r.obs = append(r.obs, Observation{
-				Phase:        PhaseDependencies,
-				Kind:         "remove-dependency",
-				Accepted:     false,
-				Summary:      fmt.Sprintf("apply %s only if %s misses", edge.To, edge.From),
-				Evidence:     "rewrite changed the profile on the trace: " + diff,
-				Tables:       []string{edge.From, edge.To},
-				StagesBefore: baseStages,
-				StagesAfter:  baseStages,
+		if applied {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// phase2Try evaluates one dependency edge under its own span: profile
+// check, rewrite, candidate compile, behavior verification, and — when
+// everything holds — application to the run state.
+func (r *run) phase2Try(ctx context.Context, edge *deps.Edge, baseStages int) (bool, error) {
+	ctx, sp := obs.Start(ctx, "phase2.candidate",
+		obs.String("from", edge.From), obs.String("to", edge.To))
+	defer sp.End()
+	manifested, witness := r.edgeManifests(edge)
+	if manifested {
+		sp.SetAttr(obs.String("rejected", "manifests"))
+		return false, nil
+	}
+	if conflict := r.interveningConflict(edge); conflict != "" {
+		sp.SetAttr(obs.String("rejected", "intervening-conflict"))
+		return false, nil
+	}
+	// Rewrite a clone: apply `to` only when `from` misses. When
+	// requested, a runtime violation detector goes into the hit arm
+	// (§3.2's alternative approach).
+	candidate := p4.Clone(r.cur)
+	guard, err := moveIntoMissArm(candidate, edge.From, edge.To, r.opts.InsertDependencyGuards)
+	if err != nil {
+		sp.SetAttr(obs.String("rejected", "not-expressible"))
+		return false, nil // not expressible (hit/miss nesting); try next
+	}
+	var guardRules []rt.Rule
+	if guard != nil {
+		// Mirror `to`'s rules onto the detector so it hits exactly
+		// when `to` would have. Installed only if the candidate is
+		// accepted.
+		for _, rule := range r.cfg.ForTable(edge.To) {
+			guardRules = append(guardRules, rt.Rule{
+				Table:    guard.Table,
+				Action:   guard.Action,
+				Matches:  append([]rt.FieldMatch(nil), rule.Matches...),
+				Priority: rule.Priority,
 			})
-			continue
 		}
-		r.cur = candidate
-		r.compile = compiled
-		r.prof = newProf
-		if guard != nil {
-			for _, gr := range guardRules {
-				r.cfg.Add(gr)
-			}
-			r.guards = append(r.guards, *guard)
-			// Re-profile with the detector rules installed; on the
-			// trace the detector must never hit (the dependency does
-			// not manifest), so behavior is unchanged.
-			if err := r.reprofile(); err != nil {
-				return false, err
-			}
-		}
+	}
+	compiled, err := r.compileCandidate(ctx, candidate)
+	if err != nil {
+		sp.SetAttr(obs.String("rejected", "compile-failed"))
+		return false, nil // rewrite made the program invalid for the target
+	}
+	if totalStages(compiled.Mapping) >= baseStages {
+		sp.SetAttr(obs.String("rejected", "no-stage-saved"))
+		return false, nil // no stage saved; keep looking
+	}
+	// Safety check beyond the paper: the rewrite must preserve the
+	// program's observable behavior on the trace (miss markers aside
+	// — skipping a table whose outcome was a no-op miss is the
+	// intended effect of the rewrite).
+	newProf, err := r.profileCandidate(ctx, candidate)
+	if err != nil {
+		return false, err
+	}
+	if diff := r.prof.BehaviorDiff(newProf); diff != "" {
+		sp.SetAttr(obs.String("rejected", "behavior-changed"))
 		r.obs = append(r.obs, Observation{
 			Phase:        PhaseDependencies,
 			Kind:         "remove-dependency",
-			Accepted:     true,
-			Summary:      fmt.Sprintf("%s and %s are not dependent: apply %s only if %s misses", edge.From, edge.To, edge.To, edge.From),
-			Evidence:     fmt.Sprintf("no set of non-exclusive actions contains the dependent actions of both tables (%s)", witness),
+			Accepted:     false,
+			Summary:      fmt.Sprintf("apply %s only if %s misses", edge.To, edge.From),
+			Evidence:     "rewrite changed the profile on the trace: " + diff,
 			Tables:       []string{edge.From, edge.To},
 			StagesBefore: baseStages,
-			StagesAfter:  totalStages(compiled.Mapping),
-			Details: map[string]string{
-				"from": edge.From,
-				"to":   edge.To,
-			},
+			StagesAfter:  baseStages,
 		})
-		return true, nil
+		return false, nil
 	}
-	return false, nil
+	r.cur = candidate
+	r.compile = compiled
+	r.prof = newProf
+	if guard != nil {
+		for _, gr := range guardRules {
+			r.cfg.Add(gr)
+		}
+		r.guards = append(r.guards, *guard)
+		// Re-profile with the detector rules installed; on the
+		// trace the detector must never hit (the dependency does
+		// not manifest), so behavior is unchanged.
+		if err := r.reprofile(ctx); err != nil {
+			return false, err
+		}
+	}
+	sp.SetAttr(obs.Bool("accepted", true), obs.Int("stages", totalStages(compiled.Mapping)))
+	r.obs = append(r.obs, Observation{
+		Phase:        PhaseDependencies,
+		Kind:         "remove-dependency",
+		Accepted:     true,
+		Summary:      fmt.Sprintf("%s and %s are not dependent: apply %s only if %s misses", edge.From, edge.To, edge.To, edge.From),
+		Evidence:     fmt.Sprintf("no set of non-exclusive actions contains the dependent actions of both tables (%s)", witness),
+		Tables:       []string{edge.From, edge.To},
+		StagesBefore: baseStages,
+		StagesAfter:  totalStages(compiled.Mapping),
+		Details: map[string]string{
+			"from": edge.From,
+			"to":   edge.To,
+		},
+	})
+	return true, nil
 }
 
 // edgeManifests checks the dependency against the profile: it manifests if

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"p2go/internal/obs"
 	"p2go/internal/p4"
 )
 
@@ -15,10 +17,13 @@ import (
 // the reduced program is re-profiled: if the profile changed (e.g. a
 // shrunken Count-Min Sketch over-counts), the candidate is discarded and
 // the next one is tried.
-func (r *run) phase3() error {
+func (r *run) phase3(ctx context.Context) error {
 	rejected := map[string]bool{}
-	for {
-		applied, err := r.phase3Once(rejected)
+	for iter := 1; ; iter++ {
+		ictx, sp := obs.Start(ctx, "phase3.iteration", obs.Int("iteration", iter))
+		applied, err := r.phase3Once(ictx, rejected)
+		sp.SetAttr(obs.Bool("improved", applied))
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -28,7 +33,7 @@ func (r *run) phase3() error {
 	}
 }
 
-func (r *run) phase3Once(rejected map[string]bool) (bool, error) {
+func (r *run) phase3Once(ctx context.Context, rejected map[string]bool) (bool, error) {
 	baseStages := totalStages(r.compile.Mapping)
 
 	// Probe: halve each table's memory knob and recompile.
@@ -51,7 +56,7 @@ func (r *run) phase3Once(rejected map[string]bool) (bool, error) {
 		if !ok {
 			continue
 		}
-		stages, _, err := r.stagesWithKnob(knob, knob.full/2)
+		stages, _, err := r.stagesWithKnob(ctx, knob, knob.full/2)
 		if err != nil {
 			continue // halving made the program infeasible; not a candidate
 		}
@@ -77,13 +82,18 @@ func (r *run) phase3Once(rejected map[string]bool) (bool, error) {
 	for _, c := range candidates {
 		// Binary search the largest knob value that still saves a stage
 		// (i.e. the minimum memory reduction).
+		bctx, bsp := obs.Start(ctx, "phase3.binary-search",
+			obs.String("table", c.knob.table), obs.Int("full", c.knob.full))
+		iterations := 0
 		lo, hi := c.knob.full/2, c.knob.full // stages(lo) < base, stages(hi) == base
 		for lo+1 < hi {
 			if err := r.interrupted(); err != nil {
+				bsp.End()
 				return false, err
 			}
+			iterations++
 			mid := (lo + hi) / 2
-			stages, _, err := r.stagesWithKnob(c.knob, mid)
+			stages, _, err := r.stagesWithKnob(bctx, c.knob, mid)
 			if err != nil {
 				hi = mid
 				continue
@@ -95,7 +105,9 @@ func (r *run) phase3Once(rejected map[string]bool) (bool, error) {
 			}
 		}
 		minValue := lo
-		stages, reducedProg, err := r.stagesWithKnob(c.knob, minValue)
+		stages, reducedProg, err := r.stagesWithKnob(bctx, c.knob, minValue)
+		bsp.SetAttr(obs.Int("iterations", iterations), obs.Int("min_value", minValue))
+		bsp.End()
 		if err != nil {
 			rejected[c.knob.table] = true
 			continue
@@ -111,8 +123,12 @@ func (r *run) phase3Once(rejected map[string]bool) (bool, error) {
 		// Verify: the reduction must not change the profile on the trace.
 		// A profiling failure (e.g. the installed rules no longer fit the
 		// shrunken table) also rejects the candidate.
-		newProf, err := r.profileCandidate(reducedProg)
+		vctx, vsp := obs.Start(ctx, "phase3.verify",
+			obs.String("table", c.knob.table), obs.Int("value", minValue))
+		newProf, err := r.profileCandidate(vctx, reducedProg)
 		if err != nil {
+			vsp.SetAttr(obs.String("rejected", "config-infeasible"))
+			vsp.End()
 			rejected[c.knob.table] = true
 			r.obs = append(r.obs, Observation{
 				Phase:        PhaseMemory,
@@ -127,6 +143,8 @@ func (r *run) phase3Once(rejected map[string]bool) (bool, error) {
 			continue
 		}
 		if diff := r.prof.Diff(newProf); diff != "" {
+			vsp.SetAttr(obs.String("rejected", "behavior-changed"))
+			vsp.End()
 			rejected[c.knob.table] = true
 			r.obs = append(r.obs, Observation{
 				Phase:        PhaseMemory,
@@ -144,7 +162,9 @@ func (r *run) phase3Once(rejected map[string]bool) (bool, error) {
 			continue
 		}
 
-		compiled, err := r.compileCandidate(reducedProg)
+		vsp.SetAttr(obs.Bool("accepted", true))
+		vsp.End()
+		compiled, err := r.compileCandidate(ctx, reducedProg)
 		if err != nil {
 			return false, err
 		}
@@ -173,14 +193,22 @@ func (r *run) phase3Once(rejected map[string]bool) (bool, error) {
 
 // stagesWithKnob compiles the current program with the knob set to value
 // and returns the required stages together with the rewritten program.
-func (r *run) stagesWithKnob(knob memoryKnob, value int) (int, *p4.Program, error) {
+// Every call is one memory probe, so it carries its own span — the
+// halving probes and each binary-search iteration show up individually.
+func (r *run) stagesWithKnob(ctx context.Context, knob memoryKnob, value int) (int, *p4.Program, error) {
+	ctx, sp := obs.Start(ctx, "phase3.probe",
+		obs.String("table", knob.table), obs.Int("value", value))
+	defer sp.End()
 	candidate := p4.Clone(r.cur)
 	if err := applyKnob(candidate, knob, value); err != nil {
+		sp.SetAttr(obs.String("error", "infeasible"))
 		return 0, nil, err
 	}
-	compiled, err := r.compileCandidate(candidate)
+	compiled, err := r.compileCandidate(ctx, candidate)
 	if err != nil {
+		sp.SetAttr(obs.String("error", "compile-failed"))
 		return 0, nil, err
 	}
+	sp.SetAttr(obs.Int("stages", totalStages(compiled.Mapping)))
 	return totalStages(compiled.Mapping), candidate, nil
 }

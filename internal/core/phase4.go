@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"p2go/internal/deps"
 	"p2go/internal/ir"
+	"p2go/internal/obs"
 	"p2go/internal/p4"
 )
 
@@ -44,8 +46,8 @@ type CandidateReport struct {
 // program over (block, start, end); each candidate is compiled and
 // profiled to measure its stage savings and redirected traffic, exactly as
 // the paper describes.
-func (r *run) phase4() error {
-	reports, err := r.offloadCandidates()
+func (r *run) phase4(ctx context.Context) error {
+	reports, err := r.offloadCandidates(ctx)
 	if err != nil {
 		return err
 	}
@@ -75,15 +77,20 @@ func (r *run) phase4() error {
 	})
 	win := viable[0]
 
+	actx, asp := obs.Start(ctx, "phase4.apply",
+		obs.String("segment", win.Segment.Desc),
+		obs.String("tables", strings.Join(win.Segment.Tables, ",")),
+		obs.Int("stages_saved", win.StagesSaved))
+	defer asp.End()
 	candidate, ctlProg, err := r.rewriteOffloadBoth(win.Segment)
 	if err != nil {
 		return err
 	}
-	compiled, err := r.compileCandidate(candidate)
+	compiled, err := r.compileCandidate(actx, candidate)
 	if err != nil {
 		return err
 	}
-	newProf, err := r.profileCandidate(candidate)
+	newProf, err := r.profileCandidate(actx, candidate)
 	if err != nil {
 		return err
 	}
@@ -113,7 +120,7 @@ func (r *run) phase4() error {
 
 // offloadCandidates enumerates self-contained segments and measures each
 // one by compiling and profiling the rewritten program.
-func (r *run) offloadCandidates() ([]CandidateReport, error) {
+func (r *run) offloadCandidates(ctx context.Context) ([]CandidateReport, error) {
 	segs := enumerateSegments(r.cur)
 	baseStages := totalStages(r.compile.Mapping)
 	var out []CandidateReport
@@ -123,33 +130,55 @@ func (r *run) offloadCandidates() ([]CandidateReport, error) {
 		if err := r.interrupted(); err != nil {
 			return nil, err
 		}
-		if !r.selfContained(seg) {
-			continue
-		}
-		candidate, err := r.rewriteOffload(seg)
+		rep, ok, err := r.measureSegment(ctx, seg, baseStages)
 		if err != nil {
-			continue
+			return nil, err
 		}
-		compiled, err := r.compileCandidate(candidate)
-		if err != nil {
-			continue
+		if ok {
+			out = append(out, rep)
 		}
-		prof, err := r.profileCandidate(candidate)
-		if err != nil {
-			continue
-		}
-		redirected := prof.Hits[ToCtlTable]
-		rep := CandidateReport{
-			Segment:     seg,
-			StagesSaved: baseStages - totalStages(compiled.Mapping),
-			Redirected:  redirected,
-		}
-		if prof.TotalPackets > 0 {
-			rep.RedirectFrac = float64(redirected) / float64(prof.TotalPackets)
-		}
-		out = append(out, rep)
 	}
 	return out, nil
+}
+
+// measureSegment evaluates one offload candidate under its own span:
+// self-containedness, rewrite, compile, and the profile that measures the
+// redirected traffic.
+func (r *run) measureSegment(ctx context.Context, seg Segment, baseStages int) (CandidateReport, bool, error) {
+	ctx, sp := obs.Start(ctx, "phase4.candidate",
+		obs.String("segment", seg.Desc),
+		obs.String("tables", strings.Join(seg.Tables, ",")))
+	defer sp.End()
+	if !r.selfContained(seg) {
+		sp.SetAttr(obs.String("rejected", "not-self-contained"))
+		return CandidateReport{}, false, nil
+	}
+	candidate, err := r.rewriteOffload(seg)
+	if err != nil {
+		sp.SetAttr(obs.String("rejected", "rewrite-failed"))
+		return CandidateReport{}, false, nil
+	}
+	compiled, err := r.compileCandidate(ctx, candidate)
+	if err != nil {
+		sp.SetAttr(obs.String("rejected", "compile-failed"))
+		return CandidateReport{}, false, nil
+	}
+	prof, err := r.profileCandidate(ctx, candidate)
+	if err != nil {
+		sp.SetAttr(obs.String("rejected", "profile-failed"))
+		return CandidateReport{}, false, nil
+	}
+	redirected := prof.Hits[ToCtlTable]
+	rep := CandidateReport{
+		Segment:     seg,
+		StagesSaved: baseStages - totalStages(compiled.Mapping),
+		Redirected:  redirected,
+	}
+	if prof.TotalPackets > 0 {
+		rep.RedirectFrac = float64(redirected) / float64(prof.TotalPackets)
+	}
+	sp.SetAttr(obs.Int("stages_saved", rep.StagesSaved), obs.Int("redirected", redirected))
+	return rep, true, nil
 }
 
 // enumerateSegments lists every contiguous statement run containing at

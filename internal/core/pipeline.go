@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"p2go/internal/obs"
 	"p2go/internal/p4"
 	"p2go/internal/profile"
 	"p2go/internal/rt"
@@ -49,12 +50,14 @@ type Options struct {
 	// CompileHook, when non-nil, intercepts every compile the pipeline
 	// issues — including the candidate probes inside Phase 3's binary
 	// search and Phase 4's enumeration — so a caller can serve repeats
-	// from a content-addressed cache. The returned result is treated as
-	// immutable and may be shared across runs.
-	CompileHook func(*p4.Program, tofino.Target) (*tofino.Result, error)
+	// from a content-addressed cache. The context is the span-carrying
+	// context of the enclosing pipeline step, so hook-side spans (cache
+	// lookups, replays) nest under the right probe. The returned result
+	// is treated as immutable and may be shared across runs.
+	CompileHook func(context.Context, *p4.Program, tofino.Target) (*tofino.Result, error)
 	// ProfileHook likewise intercepts every trace replay. The returned
 	// profile is treated as immutable.
-	ProfileHook func(*p4.Program, *rt.Config, *trafficgen.Trace) (*profile.Profile, error)
+	ProfileHook func(context.Context, *p4.Program, *rt.Config, *trafficgen.Trace) (*profile.Profile, error)
 }
 
 // defaultPhase4MaxRedirect is the "rarely used" threshold.
@@ -165,6 +168,12 @@ func (o *Optimizer) Optimize(ast *p4.Program, cfg *rt.Config, trace *trafficgen.
 	if trace == nil || len(trace.Packets) == 0 {
 		return nil, fmt.Errorf("core: a traffic trace is required for profiling")
 	}
+	ctx := o.opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, root := obs.Start(ctx, "optimize")
+	defer root.End()
 	r := &run{
 		opts:       o.opts,
 		tgt:        o.opts.target(),
@@ -173,38 +182,55 @@ func (o *Optimizer) Optimize(ast *p4.Program, cfg *rt.Config, trace *trafficgen.
 		cur:        p4.Clone(ast),
 		phaseStart: time.Now(),
 	}
-	if err := r.recompile(); err != nil {
+	if err := r.recompile(ctx); err != nil {
 		return nil, err
 	}
 	r.snapshot("initial")
+	root.SetAttr(obs.Int("stages_before", totalStages(r.compile.Mapping)))
 
 	// Phase 1: profiling.
-	if err := r.reprofile(); err != nil {
+	p1ctx, p1 := obs.Start(ctx, "phase1.profile")
+	err := r.reprofile(p1ctx)
+	p1.End()
+	if err != nil {
 		return nil, err
 	}
 	originalProfile := r.prof
 
 	// Phase 2: removing dependencies.
 	if !o.opts.DisablePhase2 {
-		if err := r.phase2(); err != nil {
+		pctx, sp := obs.Start(ctx, "phase2.remove-dependencies")
+		err := r.phase2(pctx)
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 		r.snapshot("removing-dependencies")
 	}
 	// Phase 3: reducing memory.
 	if !o.opts.DisablePhase3 {
-		if err := r.phase3(); err != nil {
+		pctx, sp := obs.Start(ctx, "phase3.reduce-memory")
+		err := r.phase3(pctx)
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 		r.snapshot("reducing-memory")
 	}
 	// Phase 4: offloading code to the controller.
 	if !o.opts.DisablePhase4 {
-		if err := r.phase4(); err != nil {
+		pctx, sp := obs.Start(ctx, "phase4.offload")
+		err := r.phase4(pctx)
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 		r.snapshot("offloading-code")
 	}
+	root.SetAttr(
+		obs.Int("stages_after", totalStages(r.compile.Mapping)),
+		obs.Bool("fits", r.compile.Mapping.Fits),
+	)
 
 	res := &Result{
 		Original:          ast,
@@ -239,30 +265,40 @@ func (r *run) interrupted() error {
 // doCompile is the single funnel for every compile the pipeline issues.
 // The AST handed over is never mutated afterwards, so hook implementations
 // may key a cache on its printed source.
-func (r *run) doCompile(ast *p4.Program) (*tofino.Result, error) {
+func (r *run) doCompile(ctx context.Context, ast *p4.Program) (*tofino.Result, error) {
 	if err := r.interrupted(); err != nil {
 		return nil, err
 	}
-	if r.opts.CompileHook != nil {
-		return r.opts.CompileHook(ast, r.tgt)
+	ctx, sp := obs.Start(ctx, "compile")
+	defer sp.End()
+	res, err := func() (*tofino.Result, error) {
+		if r.opts.CompileHook != nil {
+			return r.opts.CompileHook(ctx, ast, r.tgt)
+		}
+		return tofino.Compile(ast, r.tgt)
+	}()
+	if err == nil {
+		sp.SetAttr(obs.Int("stages", totalStages(res.Mapping)))
 	}
-	return tofino.Compile(ast, r.tgt)
+	return res, err
 }
 
 // doProfile is the single funnel for every trace replay.
-func (r *run) doProfile(ast *p4.Program, cfg *rt.Config) (*profile.Profile, error) {
+func (r *run) doProfile(ctx context.Context, ast *p4.Program, cfg *rt.Config) (*profile.Profile, error) {
 	if err := r.interrupted(); err != nil {
 		return nil, err
 	}
+	ctx, sp := obs.Start(ctx, "profile")
+	defer sp.End()
 	if r.opts.ProfileHook != nil {
-		return r.opts.ProfileHook(ast, cfg, r.trace)
+		return r.opts.ProfileHook(ctx, ast, cfg, r.trace)
 	}
-	return profile.Run(ast, cfg, r.trace)
+	return profile.RunContext(ctx, ast, cfg, r.trace)
 }
 
 // recompile refreshes the compiler outputs for the current program.
-func (r *run) recompile() error {
-	res, err := r.doCompile(p4.Clone(r.cur))
+func (r *run) recompile(ctx context.Context) error {
+	res, err := r.doCompile(ctx, p4.Clone(r.cur))
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
@@ -272,8 +308,8 @@ func (r *run) recompile() error {
 
 // reprofile refreshes the profile for the current program. Rules whose
 // tables were optimized away are filtered first.
-func (r *run) reprofile() error {
-	prof, err := r.doProfile(r.cur, filterConfig(r.cfg, r.cur))
+func (r *run) reprofile(ctx context.Context) error {
+	prof, err := r.doProfile(ctx, r.cur, filterConfig(r.cfg, r.cur))
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
@@ -329,14 +365,18 @@ func (o *Optimizer) OffloadCandidates(ast *p4.Program, cfg *rt.Config, trace *tr
 	if cfg == nil {
 		cfg = &rt.Config{}
 	}
+	ctx := o.opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	r := &run{opts: o.opts, tgt: o.opts.target(), cfg: cfg, trace: trace, cur: p4.Clone(ast)}
-	if err := r.recompile(); err != nil {
+	if err := r.recompile(ctx); err != nil {
 		return nil, err
 	}
-	if err := r.reprofile(); err != nil {
+	if err := r.reprofile(ctx); err != nil {
 		return nil, err
 	}
-	return r.offloadCandidates()
+	return r.offloadCandidates(ctx)
 }
 
 // totalStages is the optimization objective: ingress plus egress stages
@@ -346,12 +386,12 @@ func totalStages(m *tofino.Mapping) int { return m.StagesUsed + m.EgressStagesUs
 
 // compileCandidate compiles a rewritten program without touching the run
 // state.
-func (r *run) compileCandidate(ast *p4.Program) (*tofino.Result, error) {
-	return r.doCompile(p4.Clone(ast))
+func (r *run) compileCandidate(ctx context.Context, ast *p4.Program) (*tofino.Result, error) {
+	return r.doCompile(ctx, p4.Clone(ast))
 }
 
 // profileCandidate profiles a rewritten program without touching the run
 // state.
-func (r *run) profileCandidate(ast *p4.Program) (*profile.Profile, error) {
-	return r.doProfile(ast, filterConfig(r.cfg, ast))
+func (r *run) profileCandidate(ctx context.Context, ast *p4.Program) (*profile.Profile, error) {
+	return r.doProfile(ctx, ast, filterConfig(r.cfg, ast))
 }

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Histogram is a fixed-bucket histogram in the Prometheus style:
+// cumulative `le` buckets plus `_sum` and `_count`. It is NOT internally
+// synchronized — the owner (service.Metrics) already serializes access
+// under its own mutex, and per-test use is single-goroutine.
+type Histogram struct {
+	bounds []float64 // strictly increasing upper bounds; +Inf is implicit
+	counts []uint64  // len(bounds)+1; last is the +Inf overflow bucket
+	sum    float64
+	count  uint64
+}
+
+// NewHistogram builds a histogram over the given upper bounds, which must
+// be strictly increasing. The +Inf bucket is implicit.
+func NewHistogram(bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// DurationBuckets returns bounds (seconds) suited to phase/job latencies:
+// sub-millisecond compiles up to multi-second chaos verifications.
+func DurationBuckets() []float64 {
+	return []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+}
+
+// ThroughputBuckets returns bounds suited to replay rates in packets/sec.
+func ThroughputBuckets() []float64 {
+	return []float64{1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le semantics)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// formatLabels renders a label set as {k1="v1",k2="v2"} with keys sorted;
+// empty input renders as the empty string.
+func formatLabels(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	sorted := sortAttrs(attrs)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, a := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(a.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(a.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do:
+// shortest representation, "+Inf" for the overflow bucket.
+func formatBound(b float64) string {
+	if math.IsInf(b, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// WriteProm renders one histogram series (bucket/sum/count lines, no
+// HELP/TYPE header — the caller writes those once per family). labels are
+// the series' own labels; the `le` label is merged in sorted key order.
+func (h *Histogram) WriteProm(w io.Writer, name string, labels ...Attr) {
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i]
+		bound := math.Inf(+1)
+		if i < len(h.bounds) {
+			bound = h.bounds[i]
+		}
+		all := append(append([]Attr(nil), labels...), String("le", formatBound(bound)))
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, formatLabels(all), cum)
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, formatLabels(labels),
+		strconv.FormatFloat(h.sum, 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, formatLabels(labels), h.count)
+}

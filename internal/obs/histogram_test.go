@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram(0.1, 1, 10)
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.1+0.5+5+50; got != want {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	// le semantics: 0.1 falls in the le="0.1" bucket.
+	if h.counts[0] != 2 || h.counts[1] != 1 || h.counts[2] != 1 || h.counts[3] != 1 {
+		t.Fatalf("bucket counts = %v", h.counts)
+	}
+}
+
+func TestHistogramWriteProm(t *testing.T) {
+	h := NewHistogram(0.5, 2)
+	h.Observe(0.1)
+	h.Observe(1)
+	h.Observe(100)
+
+	var b strings.Builder
+	h.WriteProm(&b, "p2god_phase_duration_seconds", String("phase", "initial"))
+	got := b.String()
+	want := `p2god_phase_duration_seconds_bucket{le="0.5",phase="initial"} 1
+p2god_phase_duration_seconds_bucket{le="2",phase="initial"} 2
+p2god_phase_duration_seconds_bucket{le="+Inf",phase="initial"} 3
+p2god_phase_duration_seconds_sum{phase="initial"} 101.1
+p2god_phase_duration_seconds_count{phase="initial"} 3
+`
+	if got != want {
+		t.Errorf("WriteProm =\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHistogramWritePromNoLabels(t *testing.T) {
+	h := NewHistogram(1)
+	h.Observe(0.5)
+	var b strings.Builder
+	h.WriteProm(&b, "x_seconds")
+	got := b.String()
+	want := `x_seconds_bucket{le="1"} 1
+x_seconds_bucket{le="+Inf"} 1
+x_seconds_sum 0.5
+x_seconds_count 1
+`
+	if got != want {
+		t.Errorf("WriteProm =\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestFormatLabelsSortedAndEscaped(t *testing.T) {
+	got := formatLabels([]Attr{String("z", "last"), String("a", `q"uote`)})
+	want := `{a="q\"uote",z="last"}`
+	if got != want {
+		t.Errorf("formatLabels = %s, want %s", got, want)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing bounds did not panic")
+		}
+	}()
+	NewHistogram(1, 1)
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanHierarchyAndCollector(t *testing.T) {
+	col := NewCollector(0)
+	ctx := WithTracer(context.Background(), NewTracer(col))
+
+	ctx, root := Start(ctx, "root", String("kind", "test"))
+	cctx, child := Start(ctx, "child")
+	_, grand := Start(cctx, "grandchild", Int("i", 3))
+	grand.End()
+	child.End()
+	_, sib := Start(ctx, "sibling")
+	sib.SetAttr(Bool("ok", true))
+	sib.End()
+	root.End()
+
+	spans := col.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	// Export order is End order: grandchild, child, sibling, root.
+	if spans[0].Name != "grandchild" || spans[3].Name != "root" {
+		t.Fatalf("unexpected export order: %v", spanNames(spans))
+	}
+	byName := map[string]SpanData{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["root"].ParentID != 0 {
+		t.Errorf("root has parent %d", byName["root"].ParentID)
+	}
+	if byName["child"].ParentID != byName["root"].ID {
+		t.Errorf("child parent = %d, want root %d", byName["child"].ParentID, byName["root"].ID)
+	}
+	if byName["grandchild"].ParentID != byName["child"].ID {
+		t.Errorf("grandchild parent = %d, want child %d", byName["grandchild"].ParentID, byName["child"].ID)
+	}
+	if byName["sibling"].ParentID != byName["root"].ID {
+		t.Errorf("sibling parent = %d, want root %d", byName["sibling"].ParentID, byName["root"].ID)
+	}
+
+	tree := col.Tree()
+	want := "root kind=test\n" +
+		"  child\n" +
+		"    grandchild i=3\n" +
+		"  sibling ok=true\n"
+	if tree != want {
+		t.Errorf("Tree() =\n%s\nwant:\n%s", tree, want)
+	}
+}
+
+func spanNames(spans []SpanData) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func TestStartWithoutTracerIsNoop(t *testing.T) {
+	ctx, span := Start(context.Background(), "anything", Int("x", 1))
+	if span != nil {
+		t.Fatal("expected nil span without a tracer")
+	}
+	// All methods must be nil-safe.
+	span.SetAttr(String("a", "b"))
+	span.End()
+	if ctx == nil {
+		t.Fatal("ctx must be non-nil")
+	}
+	// A nil ctx is tolerated too.
+	if _, s := Start(nil, "x"); s != nil { //nolint:staticcheck // nil ctx on purpose
+		t.Fatal("expected nil span for nil ctx")
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	col := NewCollector(0)
+	ctx := WithTracer(context.Background(), NewTracer(col))
+	_, s := Start(ctx, "once")
+	s.End()
+	s.End()
+	if n := len(col.Spans()); n != 1 {
+		t.Fatalf("double End exported %d spans, want 1", n)
+	}
+}
+
+func TestEmitSyntheticSpan(t *testing.T) {
+	col := NewCollector(0)
+	tr := NewTracer(col)
+	ctx := WithTracer(context.Background(), tr)
+	_, root := Start(ctx, "job")
+	start := time.Now().Add(-250 * time.Millisecond)
+	tr.Emit(root, "job.queue-wait", start, 250*time.Millisecond, Float("seconds", 0.25))
+	root.End()
+
+	spans := col.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	qw := spans[0]
+	if qw.Name != "job.queue-wait" {
+		t.Fatalf("first exported span is %q", qw.Name)
+	}
+	if qw.Duration != 250*time.Millisecond {
+		t.Errorf("duration = %v", qw.Duration)
+	}
+	if qw.ParentID == 0 {
+		t.Error("synthetic span lost its parent")
+	}
+}
+
+func TestCollectorCap(t *testing.T) {
+	col := NewCollector(2)
+	ctx := WithTracer(context.Background(), NewTracer(col))
+	for i := 0; i < 5; i++ {
+		_, s := Start(ctx, "s")
+		s.End()
+	}
+	if n := len(col.Spans()); n != 2 {
+		t.Fatalf("cap ignored: %d spans retained", n)
+	}
+	if d := col.Dropped(); d != 3 {
+		t.Fatalf("dropped = %d, want 3", d)
+	}
+}
+
+func TestTreeSkipAttrs(t *testing.T) {
+	col := NewCollector(0)
+	ctx := WithTracer(context.Background(), NewTracer(col))
+	_, s := Start(ctx, "replay", Int("packets", 100), Float("packets_per_sec", 123456.7))
+	s.End()
+	tree := col.Tree("packets_per_sec")
+	if strings.Contains(tree, "packets_per_sec") {
+		t.Errorf("skip list not honored: %s", tree)
+	}
+	if !strings.Contains(tree, "packets=100") {
+		t.Errorf("structural attr lost: %s", tree)
+	}
+}

@@ -1,11 +1,13 @@
 package profile
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"p2go/internal/ir"
+	"p2go/internal/obs"
 	"p2go/internal/p4"
 	"p2go/internal/rt"
 	"p2go/internal/sim"
@@ -311,6 +313,14 @@ type Profiler struct {
 // every packet (the instrumented program is only used for profiling and
 // never deployed, §3.1).
 func NewProfiler(ast *p4.Program, cfg *rt.Config) (*Profiler, error) {
+	return NewProfilerContext(context.Background(), ast, cfg)
+}
+
+// NewProfilerContext is NewProfiler under a "profile.instrument" span
+// covering instrumentation, IR build, and simulator boot.
+func NewProfilerContext(ctx context.Context, ast *p4.Program, cfg *rt.Config) (*Profiler, error) {
+	_, sp := obs.Start(ctx, "profile.instrument")
+	defer sp.End()
 	ins, err := Instrument(ast)
 	if err != nil {
 		return nil, err
@@ -323,12 +333,19 @@ func NewProfiler(ast *p4.Program, cfg *rt.Config) (*Profiler, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp.SetAttr(obs.Int("tables", len(ins.AST.Tables)))
 	return &Profiler{Ins: ins, Switch: sw, source: ast, cfg: cfg}, nil
 }
 
 // Run replays the trace and builds the profile. Register state is reset
 // first so repeated runs are reproducible.
 func (p *Profiler) Run(trace *trafficgen.Trace) (*Profile, error) {
+	return p.RunContext(context.Background(), trace)
+}
+
+// RunContext is Run with tracing: the replay loop runs under sim.Replay's
+// "sim.replay" span, which records the packet count and throughput.
+func (p *Profiler) RunContext(ctx context.Context, trace *trafficgen.Trace) (*Profile, error) {
 	p.Switch.Reset()
 	prof := &Profile{
 		Hits:         map[string]int{},
@@ -336,14 +353,15 @@ func (p *Profiler) Run(trace *trafficgen.Trace) (*Profile, error) {
 		ActionCounts: map[string]int{},
 		Sets:         map[string]int{},
 	}
-	for i, pkt := range trace.Packets {
+	err := sim.Replay(ctx, len(trace.Packets), func(i int) error {
+		pkt := trace.Packets[i]
 		out, err := p.Switch.Process(sim.Input{Port: pkt.Port, Data: pkt.Data})
 		if err != nil {
-			return nil, fmt.Errorf("profile: packet %d: %w", i, err)
+			return fmt.Errorf("profile: packet %d: %w", i, err)
 		}
 		executed, err := p.Ins.ParseTrailer(out.Data)
 		if err != nil {
-			return nil, fmt.Errorf("profile: packet %d: %w", i, err)
+			return fmt.Errorf("profile: packet %d: %w", i, err)
 		}
 		prof.TotalPackets++
 		if out.WouldDrop {
@@ -372,6 +390,10 @@ func (p *Profiler) Run(trace *trafficgen.Trace) (*Profile, error) {
 		if len(entries) > 0 {
 			prof.Sets[SetKey(entries)]++
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return prof, nil
 }
@@ -396,9 +418,15 @@ func (p *Profiler) isDefaultOnReadsTable(table, action string) bool {
 
 // Run profiles a program on a trace in one call.
 func Run(ast *p4.Program, cfg *rt.Config, trace *trafficgen.Trace) (*Profile, error) {
-	p, err := NewProfiler(ast, cfg)
+	return RunContext(context.Background(), ast, cfg, trace)
+}
+
+// RunContext is Run with tracing: instrumentation and the replay loop
+// each get a span under ctx's current span.
+func RunContext(ctx context.Context, ast *p4.Program, cfg *rt.Config, trace *trafficgen.Trace) (*Profile, error) {
+	p, err := NewProfilerContext(ctx, ast, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return p.Run(trace)
+	return p.RunContext(ctx, trace)
 }

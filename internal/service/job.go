@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"p2go/internal/obs"
 	"p2go/internal/workloads"
 )
 
@@ -107,6 +108,10 @@ type Job struct {
 	canceled   bool // user requested cancellation
 	requeue    bool // drain persisted the job for recovery on restart
 	retries    int  // transient-failure re-runs this job consumed
+	// trace collects the job's spans; set when the job starts running.
+	// The collector is internally synchronized, so readers only need the
+	// manager's mutex to read the pointer.
+	trace *obs.Collector
 }
 
 // JobStatus is the JSON view of a job.

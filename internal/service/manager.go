@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"p2go/internal/core"
 	"p2go/internal/faults"
+	"p2go/internal/obs"
 	"p2go/internal/p4"
 	"p2go/internal/profile"
 	"p2go/internal/report"
@@ -87,7 +90,17 @@ type ManagerConfig struct {
 	BreakerCooldown time.Duration
 	// Faults is the fault-injection set for chaos tests; nil is inert.
 	Faults *faults.Set
+	// TraceDir, when set, persists each job's span tree as
+	// <dir>/<job-id>.trace.json in Chrome trace-event format at job
+	// finish. Traces are also always kept in memory (bounded) and served
+	// by GET /jobs/{id}/trace regardless of this setting.
+	TraceDir string
 }
+
+// jobTraceSpanCap bounds the spans retained per job; past it the
+// collector counts drops instead of growing. A full optimize run on the
+// seed workloads emits a few hundred spans.
+const jobTraceSpanCap = 8192
 
 // breakerState tracks one digest's consecutive failures.
 type breakerState struct {
@@ -399,17 +412,32 @@ func (m *Manager) runJob(job *Job) {
 	if t := m.jobTimeout(job); t > 0 {
 		ctx, cancel = context.WithTimeout(m.baseCtx, t)
 	}
+	collector := obs.NewCollector(jobTraceSpanCap)
+	tracer := obs.NewTracer(collector)
 	job.cancel = cancel
+	job.trace = collector
 	job.state = StateRunning
 	job.startedAt = time.Now()
+	queueWait := job.startedAt.Sub(job.createdAt)
 	m.running++
 	m.mu.Unlock()
 	defer cancel()
+	m.metrics.QueueWaited(queueWait.Seconds())
+
+	ctx = obs.WithTracer(ctx, tracer)
+	ctx, root := obs.Start(ctx, "job",
+		obs.String("id", job.ID),
+		obs.String("kind", job.Spec.Kind),
+		obs.String("workload", job.Spec.Workload),
+		obs.Int64("seed", job.Spec.Seed),
+		obs.String("digest", job.Digest))
+	// The queue wait happened before the root span started; emit it as an
+	// already-measured child so the trace shows wait vs. run time.
+	tracer.Emit(root, "job.queue-wait", job.createdAt, queueWait,
+		obs.Float("seconds", queueWait.Seconds()))
 
 	key := "job:" + job.Digest
-	out, hit, err := m.cache.DoBytes(key, func() ([]byte, error) {
-		return m.runExec(ctx, job)
-	})
+	out, hit, err := m.lookupJob(ctx, key, job)
 	if err == nil && hit {
 		// Job results are JSON by construction; a cached artifact that
 		// no longer parses was corrupted (bit rot, torn spill write, or
@@ -420,9 +448,7 @@ func (m *Manager) runJob(job *Job) {
 		if !json.Valid(out) {
 			m.metrics.CacheCorruptionDetected()
 			m.cache.Delete(key)
-			out, hit, err = m.cache.DoBytes(key, func() ([]byte, error) {
-				return m.runExec(ctx, job)
-			})
+			out, hit, err = m.lookupJob(ctx, key, job)
 		}
 	}
 	m.metrics.Cache("job", hit)
@@ -446,8 +472,57 @@ func (m *Manager) runJob(job *Job) {
 	outcome := job.state
 	m.breakerUpdateLocked(job.Digest, outcome)
 	m.mu.Unlock()
+	root.SetAttr(obs.String("outcome", string(outcome)), obs.Bool("cache_hit", hit))
+	root.End()
+	m.persistTrace(job.ID, collector)
 	m.cfg.Journal.Finished(job.ID, outcome)
 	m.metrics.JobFinished(string(outcome), seconds)
+}
+
+// lookupJob serves the job artifact through the cache under a
+// "cache.lookup" span; a miss runs the pipeline inside the span.
+func (m *Manager) lookupJob(ctx context.Context, key string, job *Job) ([]byte, bool, error) {
+	ctx, sp := obs.Start(ctx, "cache.lookup",
+		obs.String("kind", "job"), obs.String("key", key))
+	defer sp.End()
+	out, hit, err := m.cache.DoBytes(key, func() ([]byte, error) {
+		return m.runExec(ctx, job)
+	})
+	sp.SetAttr(obs.Bool("hit", hit))
+	return out, hit, err
+}
+
+// persistTrace writes the job's Chrome trace to TraceDir, when set.
+// Failures are counted, not fatal: the trace stays readable in memory.
+func (m *Manager) persistTrace(jobID string, col *obs.Collector) {
+	if m.cfg.TraceDir == "" {
+		return
+	}
+	f, err := os.Create(filepath.Join(m.cfg.TraceDir, jobID+".trace.json"))
+	if err != nil {
+		m.metrics.TraceWriteFailed()
+		return
+	}
+	defer f.Close()
+	if err := obs.WriteChromeTrace(f, col.Spans()); err != nil {
+		m.metrics.TraceWriteFailed()
+	}
+}
+
+// Trace returns a snapshot of a job's collected spans. ok is false when
+// the job is unknown or has not started running yet; a running job
+// returns the spans ended so far.
+func (m *Manager) Trace(id string) ([]obs.SpanData, bool) {
+	m.mu.Lock()
+	var col *obs.Collector
+	if job, ok := m.jobs[id]; ok {
+		col = job.trace
+	}
+	m.mu.Unlock()
+	if col == nil {
+		return nil, false
+	}
+	return col.Spans(), true
 }
 
 // breakerUpdateLocked feeds one terminal outcome into the digest's
@@ -582,7 +657,7 @@ func (m *Manager) execute(ctx context.Context, job *Job) ([]byte, error) {
 	traceDigest := TraceDigest(trace)
 
 	if spec.Kind == "profile" {
-		prof, err := m.cachedProfile(prog, cfg, trace, traceDigest)
+		prof, err := m.cachedProfile(ctx, prog, cfg, trace, traceDigest)
 		if err != nil {
 			return nil, err
 		}
@@ -610,13 +685,18 @@ func (m *Manager) execute(ctx context.Context, job *Job) ([]byte, error) {
 // compileHook serves the pipeline's compiles from the artifact cache,
 // keyed on the printed program and the hardware model. This is what makes
 // Phase 3's binary search and Phase 4's enumeration cheap on repeats —
-// within a job and across concurrent jobs alike.
-func (m *Manager) compileHook() func(*p4.Program, tofino.Target) (*tofino.Result, error) {
-	return func(prog *p4.Program, tgt tofino.Target) (*tofino.Result, error) {
+// within a job and across concurrent jobs alike. The lookup runs under a
+// "cache.lookup" span, so the trace shows which probes hit and which
+// compiled for real.
+func (m *Manager) compileHook() func(context.Context, *p4.Program, tofino.Target) (*tofino.Result, error) {
+	return func(ctx context.Context, prog *p4.Program, tgt tofino.Target) (*tofino.Result, error) {
 		key := "compile:" + Digest(p4.Print(prog), targetKey(tgt))
+		_, sp := obs.Start(ctx, "cache.lookup", obs.String("kind", "compile"))
+		defer sp.End()
 		v, hit, err := m.cache.Do(key, func() (any, error) {
 			return tofino.Compile(prog, tgt)
 		})
+		sp.SetAttr(obs.Bool("hit", hit))
 		m.metrics.Cache("compile", hit)
 		if err != nil {
 			return nil, err
@@ -627,22 +707,25 @@ func (m *Manager) compileHook() func(*p4.Program, tofino.Target) (*tofino.Result
 
 // profileHook serves trace replays from the artifact cache, keyed on the
 // printed program, the rules, and the trace digest.
-func (m *Manager) profileHook(traceDigest string) func(*p4.Program, *rt.Config, *trafficgen.Trace) (*profile.Profile, error) {
-	return func(prog *p4.Program, cfg *rt.Config, trace *trafficgen.Trace) (*profile.Profile, error) {
-		return m.cachedProfile(prog, cfg, trace, traceDigest)
+func (m *Manager) profileHook(traceDigest string) func(context.Context, *p4.Program, *rt.Config, *trafficgen.Trace) (*profile.Profile, error) {
+	return func(ctx context.Context, prog *p4.Program, cfg *rt.Config, trace *trafficgen.Trace) (*profile.Profile, error) {
+		return m.cachedProfile(ctx, prog, cfg, trace, traceDigest)
 	}
 }
 
-func (m *Manager) cachedProfile(prog *p4.Program, cfg *rt.Config, trace *trafficgen.Trace, traceDigest string) (*profile.Profile, error) {
+func (m *Manager) cachedProfile(ctx context.Context, prog *p4.Program, cfg *rt.Config, trace *trafficgen.Trace, traceDigest string) (*profile.Profile, error) {
 	key := "profile:" + Digest(p4.Print(prog), rt.Format(cfg), traceDigest)
+	ctx, sp := obs.Start(ctx, "cache.lookup", obs.String("kind", "profile"))
+	defer sp.End()
 	v, hit, err := m.cache.Do(key, func() (any, error) {
 		start := time.Now()
-		prof, err := profile.Run(prog, cfg, trace)
+		prof, err := profile.RunContext(ctx, prog, cfg, trace)
 		if err == nil {
 			m.metrics.Replayed(prof.TotalPackets, time.Since(start).Seconds())
 		}
 		return prof, err
 	})
+	sp.SetAttr(obs.Bool("hit", hit))
 	m.metrics.Cache("profile", hit)
 	if err != nil {
 		return nil, err

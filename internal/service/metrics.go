@@ -5,11 +5,18 @@ import (
 	"io"
 	"sort"
 	"sync"
+
+	"p2go/internal/obs"
 )
 
 // Metrics is the daemon's metric registry. It is deliberately tiny — a
-// handful of counters rendered in the Prometheus text exposition format —
-// so the service stays stdlib-only.
+// handful of counters and fixed-bucket histograms rendered in the
+// Prometheus text exposition format — so the service stays stdlib-only.
+//
+// Latency-shaped quantities (phase wall time, job wall time, queue wait,
+// replay throughput) are histograms; the pre-histogram `_seconds_total`
+// counters are still emitted, derived from the histogram sums, so
+// existing dashboards keep working.
 type Metrics struct {
 	mu sync.Mutex
 
@@ -20,8 +27,10 @@ type Metrics struct {
 	cacheHits   map[string]int64 // by artifact kind: job, compile, profile
 	cacheMisses map[string]int64
 
-	phaseSeconds map[string]float64 // by stage-history label
-	jobSeconds   float64
+	phaseDuration map[string]*obs.Histogram // by stage-history label
+	jobDuration   map[string]*obs.Histogram // by outcome
+	queueWait     *obs.Histogram
+	replayRate    *obs.Histogram // packets/sec per replay
 
 	packetsReplayed int64
 	replaySeconds   float64
@@ -35,15 +44,19 @@ type Metrics struct {
 	journalRecovered int64
 	journalRequeued  int64
 	cacheCorruptions int64
+	traceWriteErrors int64
 }
 
 // NewMetrics creates an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		jobsFinished: map[string]int64{},
-		cacheHits:    map[string]int64{},
-		cacheMisses:  map[string]int64{},
-		phaseSeconds: map[string]float64{},
+		jobsFinished:  map[string]int64{},
+		cacheHits:     map[string]int64{},
+		cacheMisses:   map[string]int64{},
+		phaseDuration: map[string]*obs.Histogram{},
+		jobDuration:   map[string]*obs.Histogram{},
+		queueWait:     obs.NewHistogram(obs.DurationBuckets()...),
+		replayRate:    obs.NewHistogram(obs.ThroughputBuckets()...),
 	}
 }
 
@@ -61,12 +74,26 @@ func (m *Metrics) QueueRejected() {
 	m.rejected++
 }
 
-// JobFinished counts a terminal job and its wall time.
+// JobFinished counts a terminal job and observes its wall time in the
+// per-outcome job-duration histogram.
 func (m *Metrics) JobFinished(outcome string, seconds float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.jobsFinished[outcome]++
-	m.jobSeconds += seconds
+	h := m.jobDuration[outcome]
+	if h == nil {
+		h = obs.NewHistogram(obs.DurationBuckets()...)
+		m.jobDuration[outcome] = h
+	}
+	h.Observe(seconds)
+}
+
+// QueueWaited observes how long a job sat in the queue before a worker
+// picked it up.
+func (m *Metrics) QueueWaited(seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queueWait.Observe(seconds)
 }
 
 // Cache counts one artifact-cache lookup.
@@ -80,19 +107,28 @@ func (m *Metrics) Cache(kind string, hit bool) {
 	}
 }
 
-// PhaseObserved accumulates wall time for one pipeline phase.
+// PhaseObserved observes wall time for one pipeline phase.
 func (m *Metrics) PhaseObserved(phase string, seconds float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.phaseSeconds[phase] += seconds
+	h := m.phaseDuration[phase]
+	if h == nil {
+		h = obs.NewHistogram(obs.DurationBuckets()...)
+		m.phaseDuration[phase] = h
+	}
+	h.Observe(seconds)
 }
 
-// Replayed accumulates simulator replay volume and time.
+// Replayed accumulates simulator replay volume and time, and observes the
+// replay's throughput.
 func (m *Metrics) Replayed(packets int, seconds float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.packetsReplayed += int64(packets)
 	m.replaySeconds += seconds
+	if seconds > 0 {
+		m.replayRate.Observe(float64(packets) / seconds)
+	}
 }
 
 // JobRetried counts one transient-failure retry of a job.
@@ -145,9 +181,19 @@ func (m *Metrics) CacheCorruptionDetected() {
 	m.cacheCorruptions++
 }
 
+// TraceWriteFailed counts a per-job trace file that could not be written
+// (the job itself is unaffected).
+func (m *Metrics) TraceWriteFailed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.traceWriteErrors++
+}
+
 // WritePrometheus renders every metric, plus the caller-supplied gauges
 // (queue depth, running jobs, cache entries — values owned by the
-// manager), in the Prometheus text exposition format.
+// manager), in the Prometheus text exposition format. Every family gets
+// HELP and TYPE lines, and label sets are rendered in sorted key order,
+// so the output is deterministic for a given registry state.
 func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -164,6 +210,21 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]float64) {
 				fmt.Fprintf(w, "%s %g\n", name, values[k])
 			} else {
 				fmt.Fprintf(w, "%s{%s=%q} %g\n", name, rows["label"], k, values[k])
+			}
+		}
+	}
+	histogram := func(name, help, labelKey string, hists map[string]*obs.Histogram) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		var keys []string
+		for k := range hists {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if labelKey == "" {
+				hists[k].WriteProm(w, name)
+			} else {
+				hists[k].WriteProm(w, name, obs.String(labelKey, k))
 			}
 		}
 	}
@@ -185,10 +246,21 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]float64) {
 		map[string]string{"label": "kind"}, toF(m.cacheHits))
 	counter("p2god_cache_misses_total", "Artifact cache misses (fills), by artifact kind.",
 		map[string]string{"label": "kind"}, toF(m.cacheMisses))
+
+	// Legacy sum counters, derived from the histograms so the metric
+	// names pre-dating histogram support keep reporting the same values.
+	phaseSums := map[string]float64{}
+	for k, h := range m.phaseDuration {
+		phaseSums[k] = h.Sum()
+	}
 	counter("p2god_phase_seconds_total", "Pipeline wall time, by phase.",
-		map[string]string{"label": "phase"}, m.phaseSeconds)
+		map[string]string{"label": "phase"}, phaseSums)
+	jobSeconds := 0.0
+	for _, h := range m.jobDuration {
+		jobSeconds += h.Sum()
+	}
 	counter("p2god_job_seconds_total", "Total job wall time.",
-		nil, map[string]float64{"": m.jobSeconds})
+		nil, map[string]float64{"": jobSeconds})
 	counter("p2god_replayed_packets_total", "Packets replayed through the behavioral simulator.",
 		nil, map[string]float64{"": float64(m.packetsReplayed)})
 	counter("p2god_job_retries_total", "Transient job failures retried with backoff.",
@@ -205,6 +277,17 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]float64) {
 		nil, map[string]float64{"": float64(m.journalRequeued)})
 	counter("p2god_cache_corruption_total", "Corrupted cached artifacts detected and recomputed.",
 		nil, map[string]float64{"": float64(m.cacheCorruptions)})
+	counter("p2god_trace_write_errors_total", "Per-job trace files that failed to persist.",
+		nil, map[string]float64{"": float64(m.traceWriteErrors)})
+
+	histogram("p2god_phase_duration_seconds", "Pipeline phase wall time distribution, by phase.",
+		"phase", m.phaseDuration)
+	histogram("p2god_job_duration_seconds", "Job wall time distribution, by outcome.",
+		"outcome", m.jobDuration)
+	histogram("p2god_queue_wait_seconds", "Time jobs spent queued before a worker picked them up.",
+		"", map[string]*obs.Histogram{"": m.queueWait})
+	histogram("p2god_replay_rate_packets_per_second", "Per-replay simulator throughput distribution.",
+		"", map[string]*obs.Histogram{"": m.replayRate})
 
 	var hits, misses int64
 	for _, v := range m.cacheHits {
@@ -231,6 +314,6 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]float64) {
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, gauges[n])
+		fmt.Fprintf(w, "# HELP %s Manager-owned gauge.\n# TYPE %s gauge\n%s %g\n", n, n, n, gauges[n])
 	}
 }

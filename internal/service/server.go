@@ -11,6 +11,7 @@ import (
 	"errors"
 	"net/http"
 
+	"p2go/internal/obs"
 	"p2go/internal/workloads"
 )
 
@@ -19,6 +20,7 @@ import (
 //	POST /jobs             submit a JobSpec; 202 + JobStatus, 429 when full
 //	GET  /jobs             list jobs (no results)
 //	GET  /jobs/{id}        one job; result attached once done
+//	GET  /jobs/{id}/trace  the job's span tree as Chrome trace-event JSON
 //	POST /jobs/{id}/cancel request cancellation
 //	GET  /workloads        registered workload names and descriptions
 //	GET  /metrics          Prometheus text exposition
@@ -57,6 +59,15 @@ func NewHandler(m *Manager) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		spans, ok := m.Trace(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no trace for job "+r.PathValue("id")+" (unknown, or not started)")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.WriteChromeTrace(w, spans)
 	})
 	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
 		st, err := m.Cancel(r.PathValue("id"))

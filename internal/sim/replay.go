@@ -1,0 +1,30 @@
+package sim
+
+import (
+	"context"
+	"time"
+
+	"p2go/internal/obs"
+)
+
+// Replay executes a packet-replay loop under a "sim.replay" span that
+// records the packet count and the observed throughput (packets/sec).
+// step processes packet i — typically a Switch.Process call plus whatever
+// the caller accumulates — and a step error aborts the replay. The
+// profiler and the equivalence harnesses run their trace loops through
+// this so every replay shows up in traces with its rate.
+func Replay(ctx context.Context, packets int, step func(i int) error) error {
+	_, sp := obs.Start(ctx, "sim.replay", obs.Int("packets", packets))
+	defer sp.End()
+	start := time.Now()
+	for i := 0; i < packets; i++ {
+		if err := step(i); err != nil {
+			sp.SetAttr(obs.String("error", err.Error()))
+			return err
+		}
+	}
+	if el := time.Since(start).Seconds(); el > 0 && packets > 0 {
+		sp.SetAttr(obs.Float("packets_per_sec", float64(packets)/el))
+	}
+	return nil
+}

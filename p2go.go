@@ -138,6 +138,13 @@ func RunProfile(prog *Program, cfg *Config, trace *Trace) (*Profile, error) {
 	return profile.Run(prog, cfg, trace)
 }
 
+// RunProfileContext is RunProfile under a tracer-carrying context (see
+// Tracing below): instrumentation and the trace replay are recorded as
+// "profile.instrument" and "sim.replay" spans.
+func RunProfileContext(ctx context.Context, prog *Program, cfg *Config, trace *Trace) (*Profile, error) {
+	return profile.RunContext(ctx, prog, cfg, trace)
+}
+
 // Optimize runs the full P2GO pipeline: profile, remove dependencies,
 // reduce memory, offload code. The result carries the optimized program,
 // the observations with their evidence, the per-phase stage history, and —
@@ -146,11 +153,18 @@ func Optimize(prog *Program, cfg *Config, trace *Trace, opts Options) (*Result, 
 	return core.New(opts).Optimize(prog, cfg, trace)
 }
 
-// OptimizeContext is Optimize with cancellation: the pipeline checks ctx
-// before every compile and trace replay (the operations that dominate
-// cost) and aborts with ctx's error once it is done. Long-running callers
-// — the p2god service in particular — use this to enforce per-job
+// OptimizeContext is Optimize with cancellation and tracing: the pipeline
+// checks ctx before every compile and trace replay (the operations that
+// dominate cost) and aborts with ctx's error once it is done. Long-running
+// callers — the p2god service in particular — use this to enforce per-job
 // timeouts and user-requested cancellation.
+//
+// Tracing: when ctx carries a tracer (obs.WithTracer), every pipeline
+// step — each phase, each dependency-removal candidate, each memory-probe
+// halving and binary-search iteration, each re-profile and verifying
+// recompile — is recorded as a hierarchical span and exported as the run
+// proceeds. The `p2go optimize -trace` flag and the p2god daemon both
+// build on this.
 func OptimizeContext(ctx context.Context, prog *Program, cfg *Config, trace *Trace, opts Options) (*Result, error) {
 	opts.Context = ctx
 	return core.New(opts).Optimize(prog, cfg, trace)
@@ -194,6 +208,19 @@ func VerifyEquivalence(res *Result, cfg *Config, trace *Trace) (*EquivalenceRepo
 		segment, trace)
 }
 
+// VerifyEquivalenceContext is VerifyEquivalence under a tracer-carrying
+// context: the comparison runs inside a "controller.verify" span with a
+// "controller.redirect" child for every packet the data plane sends to
+// the controller.
+func VerifyEquivalenceContext(ctx context.Context, res *Result, cfg *Config, trace *Trace) (*EquivalenceReport, error) {
+	segment := res.ControllerProgram
+	if segment == nil {
+		segment = p4.MustParse("control ingress { }")
+	}
+	return controller.VerifyEquivalenceContext(ctx, res.Original, cfg, res.Optimized, res.OptimizedConfig,
+		segment, trace)
+}
+
 // VerifyChaosEquivalence is VerifyEquivalence under fault injection: the
 // optimized program runs behind a replicated, retrying, policy-degrading
 // controller deployment, and every verdict divergence must be explicitly
@@ -205,5 +232,17 @@ func VerifyChaosEquivalence(res *Result, cfg *Config, trace *Trace, opts Resilie
 		segment = p4.MustParse("control ingress { }")
 	}
 	return controller.VerifyChaosEquivalence(res.Original, cfg, res.Optimized, res.OptimizedConfig,
+		segment, trace, opts)
+}
+
+// VerifyChaosEquivalenceContext is VerifyChaosEquivalence under a
+// tracer-carrying context: redirect deliveries, retries, and degradation
+// decisions all appear as spans under a "controller.verify-chaos" root.
+func VerifyChaosEquivalenceContext(ctx context.Context, res *Result, cfg *Config, trace *Trace, opts ResilientOptions) (*ChaosReport, error) {
+	segment := res.ControllerProgram
+	if segment == nil {
+		segment = p4.MustParse("control ingress { }")
+	}
+	return controller.VerifyChaosEquivalenceContext(ctx, res.Original, cfg, res.Optimized, res.OptimizedConfig,
 		segment, trace, opts)
 }
