@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"p2go"
+	"p2go/internal/p4"
+	"p2go/internal/profile"
 	"p2go/internal/workloads"
 )
 
@@ -15,10 +17,15 @@ import (
 // paper's evaluation cares about: simulator throughput and pipeline
 // lengths before/after optimization.
 type BenchResult struct {
-	Name       string  `json:"name"`
-	Workload   string  `json:"workload"`
-	Iterations int     `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
+	Name     string `json:"name"`
+	Workload string `json:"workload"`
+	// Parallelism is the worker count the benchmark ran with: 1 for the
+	// sequential baselines, the shard count for the replay family, and
+	// the machine's CPU count for the default optimize run. 0 means the
+	// knob does not apply (compile).
+	Parallelism int     `json:"parallelism,omitempty"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
 	// PacketsPerSec is the replay throughput, for trace-replay benchmarks.
 	PacketsPerSec float64 `json:"packets_per_sec,omitempty"`
 	// StagesBefore/StagesAfter are the pipeline lengths around the full
@@ -37,13 +44,30 @@ type BenchFile struct {
 // example plus the three Table 3 programs.
 var benchWorkloads = []string{"ex1", "natgre", "sourceguard", "failure"}
 
+// replayShardCounts is the sharded-replay benchmark family: the sequential
+// baseline plus the shard counts the EXPERIMENTS.md scaling table quotes.
+var replayShardCounts = []int{1, 2, 4}
+
+// maxRegression is the tolerated replay-throughput loss against a
+// committed baseline before -bench-baseline fails the run (CI smoke).
+const maxRegression = 0.30
+
 // runBench runs the micro-benchmark suite and writes the JSON results to
-// path. Three benchmarks run per workload: compile (stage allocation),
-// profile (instrument + trace replay, reporting packets/sec), and optimize
-// (the full four-phase pipeline, reporting the stage reduction).
-func runBench(path string, seed int64) error {
+// path. Per workload it measures: compile (stage allocation), profile
+// (instrument + sequential trace replay, reporting packets/sec), replay at
+// each shard count (the parallel engine; stateful workloads fall back and
+// stay flat), and optimize (the full four-phase pipeline with the default
+// parallelism, reporting the stage reduction). only, when non-empty,
+// restricts the run to that workload; baselinePath, when set, fails the
+// run if any replay throughput regressed more than 30% vs the baseline.
+func runBench(path string, seed int64, only, baselinePath string) error {
 	out := BenchFile{Seed: seed}
+	ran := 0
 	for _, name := range benchWorkloads {
+		if only != "" && only != name {
+			continue
+		}
+		ran++
 		w, err := workloads.Get(name)
 		if err != nil {
 			return err
@@ -78,18 +102,42 @@ func runBench(path string, seed int64) error {
 				}
 			}
 		})
-		pps := 0.0
-		if r.T > 0 {
-			pps = float64(r.N) * float64(len(trace.Packets)) / r.T.Seconds()
-		}
 		out.Benchmarks = append(out.Benchmarks, BenchResult{
-			Name: "profile", Workload: name,
-			Iterations: r.N, NsPerOp: float64(r.NsPerOp()), PacketsPerSec: pps,
+			Name: "profile", Workload: name, Parallelism: 1,
+			Iterations: r.N, NsPerOp: float64(r.NsPerOp()),
+			PacketsPerSec: replayRate(r, len(trace.Packets)),
 		})
 		fmt.Printf("  profile/%-12s %10d iters  %12.0f ns/op  %10.0f packets/sec\n",
-			name, r.N, float64(r.NsPerOp()), pps)
+			name, r.N, float64(r.NsPerOp()), replayRate(r, len(trace.Packets)))
+
+		// Replay family: the sharded engine alone (instrumentation done
+		// once, outside the loop), across shard counts. Stateful programs
+		// fall back to sequential replay, so their rows stay flat — that
+		// is the documented behavior, not a measurement error.
+		profiler, err := profile.NewProfiler(p4.MustParse(w.Source), cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		for _, shards := range replayShardCounts {
+			shards := shards
+			r = testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := profiler.RunSharded(trace, shards); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			out.Benchmarks = append(out.Benchmarks, BenchResult{
+				Name: "replay", Workload: name, Parallelism: shards,
+				Iterations: r.N, NsPerOp: float64(r.NsPerOp()),
+				PacketsPerSec: replayRate(r, len(trace.Packets)),
+			})
+			fmt.Printf("  replay/%-9s x%-2d %10d iters  %12.0f ns/op  %10.0f packets/sec\n",
+				name, shards, r.N, float64(r.NsPerOp()), replayRate(r, len(trace.Packets)))
+		}
 
 		var before, after int
+		defaultPar := profile.DefaultShards()
 		r = testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res, err := p2go.Optimize(prog, cfg, trace, p2go.Options{})
@@ -100,12 +148,15 @@ func runBench(path string, seed int64) error {
 			}
 		})
 		out.Benchmarks = append(out.Benchmarks, BenchResult{
-			Name: "optimize", Workload: name,
+			Name: "optimize", Workload: name, Parallelism: defaultPar,
 			Iterations: r.N, NsPerOp: float64(r.NsPerOp()),
 			StagesBefore: before, StagesAfter: after,
 		})
 		fmt.Printf("  optimize/%-11s %10d iters  %12.0f ns/op  stages %d -> %d\n",
 			name, r.N, float64(r.NsPerOp()), before, after)
+	}
+	if ran == 0 {
+		return fmt.Errorf("no benchmark workload matches %q", only)
 	}
 
 	data, err := json.MarshalIndent(out, "", "  ")
@@ -116,5 +167,66 @@ func runBench(path string, seed int64) error {
 		return err
 	}
 	fmt.Println("wrote", path)
+
+	if baselinePath != "" {
+		return checkBaseline(out, baselinePath)
+	}
+	return nil
+}
+
+// replayRate converts a replay benchmark into packets/sec.
+func replayRate(r testing.BenchmarkResult, packets int) float64 {
+	if r.T <= 0 {
+		return 0
+	}
+	return float64(r.N) * float64(packets) / r.T.Seconds()
+}
+
+// checkBaseline compares every throughput row against the committed
+// baseline and fails on a >30% regression. Rows absent from the baseline
+// (new benchmarks, different machine class) are skipped; throughput is
+// machine-dependent, so the check only guards against relative collapse.
+func checkBaseline(out BenchFile, baselinePath string) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base BenchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	key := func(b BenchResult) string {
+		return fmt.Sprintf("%s/%s/p%d", b.Name, b.Workload, b.Parallelism)
+	}
+	want := map[string]float64{}
+	for _, b := range base.Benchmarks {
+		if b.PacketsPerSec > 0 {
+			want[key(b)] = b.PacketsPerSec
+		}
+	}
+	var failures []string
+	for _, b := range out.Benchmarks {
+		if b.PacketsPerSec <= 0 {
+			continue
+		}
+		baseline, ok := want[key(b)]
+		if !ok {
+			continue
+		}
+		floor := baseline * (1 - maxRegression)
+		status := "ok"
+		if b.PacketsPerSec < floor {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f packets/sec vs baseline %.0f (floor %.0f)",
+				key(b), b.PacketsPerSec, baseline, floor))
+		}
+		fmt.Printf("  baseline %-24s %10.0f vs %10.0f  %s\n",
+			key(b), b.PacketsPerSec, baseline, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("replay throughput regressed >%.0f%%:\n  %s",
+			100*maxRegression, failures[0])
+	}
 	return nil
 }

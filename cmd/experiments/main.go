@@ -29,11 +29,13 @@ func main() {
 	run := flag.String("run", "", "experiment id to run (empty = all)")
 	seed := flag.Int64("seed", 1, "trace seed")
 	bench := flag.String("bench", "", "run the micro-benchmark suite instead and write results to this JSON file (e.g. BENCH_p2go.json)")
+	benchWorkload := flag.String("bench-workload", "", "restrict -bench to one workload (CI smoke)")
+	benchBaseline := flag.String("bench-baseline", "", "compare -bench replay throughput against this committed JSON and fail on a >30% regression")
 	flag.Parse()
 
 	if *bench != "" {
 		fmt.Println("===== BENCH =====")
-		if err := runBench(*bench, *seed); err != nil {
+		if err := runBench(*bench, *seed, *benchWorkload, *benchBaseline); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -38,6 +38,7 @@ func cmdSubmit(args []string) error {
 	noMem := fs.Bool("no-mem", false, "disable Phase 3 (memory reduction)")
 	noOffload := fs.Bool("no-offload", false, "disable Phase 4 (offloading)")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job timeout on the server (0 = server default)")
+	parallelism := fs.Int("parallelism", 0, "job workers for replay shards and candidate probes (0 = server default)")
 	httpTimeout := httpTimeoutFlag(fs)
 	wait := fs.Bool("wait", false, "poll until the job finishes and print the result")
 	poll := fs.Duration("poll", 200*time.Millisecond, "poll interval with -wait")
@@ -53,6 +54,7 @@ func cmdSubmit(args []string) error {
 		NoMem:          *noMem,
 		NoOffload:      *noOffload,
 		TimeoutSeconds: jobTimeout.Seconds(),
+		Parallelism:    *parallelism,
 	}
 	body, err := json.Marshal(spec)
 	if err != nil {

@@ -75,9 +75,9 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  p2go profile  -workload <name> [-seed N] [-json] [-trace out.json] [-log-level debug]
+  p2go profile  -workload <name> [-seed N] [-parallelism N] [-json] [-trace out.json] [-log-level debug]
   p2go optimize -workload <name> [-seed N] [-no-deps] [-no-mem] [-no-offload] [-emit out.p4] [-json]
-                [-trace out.json] [-log-level debug]
+                [-parallelism N] [-trace out.json] [-log-level debug]
                 [-faults <plan>] [-degrade fail-open|fail-closed|fallback] [-replicas N]
                 (with -faults, equivalence is verified under injected failures:
                  e.g. -faults "controller.down:from=10,to=60;redirect.loss:p=0.3,seed=7")
@@ -205,6 +205,7 @@ func printJSON(r *report.JobResult) error {
 func cmdProfile(args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit the machine-readable job-result schema")
+	parallelism := fs.Int("parallelism", 0, "replay shards (0 = all CPUs, 1 = sequential; stateful programs always replay sequentially)")
 	var o observability
 	o.flags(fs)
 	in, err := load(fs, args)
@@ -216,8 +217,8 @@ func cmdProfile(args []string) error {
 		return err
 	}
 	o.logger.Debug("profiling", "workload", in.workload, "seed", in.seed,
-		"packets", len(in.trace.Packets))
-	prof, err := p2go.RunProfileContext(ctx, in.prog, in.cfg, in.trace)
+		"packets", len(in.trace.Packets), "parallelism", *parallelism)
+	prof, err := p2go.RunProfileParallelContext(ctx, in.prog, in.cfg, in.trace, *parallelism)
 	if err != nil {
 		return err
 	}
@@ -242,6 +243,7 @@ func cmdOptimize(args []string) error {
 	degrade := fs.String("degrade", "", `degradation policy under faults: "fail-open" (default), "fail-closed", or "fallback"`)
 	replicas := fs.Int("replicas", 2, "controller replicas for chaos verification")
 	jsonOut := fs.Bool("json", false, "emit the machine-readable job-result schema")
+	parallelism := fs.Int("parallelism", 0, "workers for replay shards and candidate probes (0 = all CPUs, 1 = sequential)")
 	var o observability
 	o.flags(fs)
 	in, err := load(fs, args)
@@ -253,11 +255,12 @@ func cmdOptimize(args []string) error {
 		return err
 	}
 	o.logger.Debug("optimizing", "workload", in.workload, "seed", in.seed,
-		"packets", len(in.trace.Packets))
+		"packets", len(in.trace.Packets), "parallelism", *parallelism)
 	res, err := p2go.OptimizeContext(ctx, in.prog, in.cfg, in.trace, p2go.Options{
 		DisablePhase2: *noDeps,
 		DisablePhase3: *noMem,
 		DisablePhase4: *noOffload,
+		Parallelism:   *parallelism,
 	})
 	if err != nil {
 		return err

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	p2god [-listen addr] [-workers N] [-queue N] [-job-timeout d]
-//	      [-cache-entries N] [-cache-dir dir] [-drain-timeout d]
+//	      [-parallelism N] [-cache-entries N] [-cache-dir dir] [-drain-timeout d]
 //	      [-journal path] [-trace-dir dir] [-pprof] [-log-level level]
 //
 // Submit with curl (or `p2go submit`):
@@ -53,6 +53,7 @@ type options struct {
 	workers      int
 	queue        int
 	jobTimeout   time.Duration
+	parallelism  int
 	cacheEntries int
 	cacheDir     string
 	drainTimeout time.Duration
@@ -68,6 +69,7 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 2, "worker-pool size")
 	flag.IntVar(&o.queue, "queue", 16, "job queue depth (submissions beyond it get 429)")
 	flag.DurationVar(&o.jobTimeout, "job-timeout", 0, "per-job timeout (0 = none; jobs may request their own)")
+	flag.IntVar(&o.parallelism, "parallelism", 0, "default per-job workers for sharded replay and candidate probes (0 = all CPUs, 1 = sequential; jobs may override)")
 	flag.IntVar(&o.cacheEntries, "cache-entries", 512, "artifact cache capacity (entries)")
 	flag.StringVar(&o.cacheDir, "cache-dir", "", "spill byte artifacts to this directory (optional)")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 15*time.Second, "how long running jobs may finish on shutdown")
@@ -104,12 +106,13 @@ func run(o options) error {
 		}
 	}
 	m := service.NewManager(service.ManagerConfig{
-		Workers:    o.workers,
-		QueueDepth: o.queue,
-		JobTimeout: o.jobTimeout,
-		Cache:      service.NewCache(o.cacheEntries, o.cacheDir),
-		Journal:    journal,
-		TraceDir:   o.traceDir,
+		Workers:     o.workers,
+		QueueDepth:  o.queue,
+		JobTimeout:  o.jobTimeout,
+		Parallelism: o.parallelism,
+		Cache:       service.NewCache(o.cacheEntries, o.cacheDir),
+		Journal:     journal,
+		TraceDir:    o.traceDir,
 	})
 	if journal != nil {
 		pending, err := journal.Recover()

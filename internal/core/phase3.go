@@ -36,19 +36,22 @@ func (r *run) phase3(ctx context.Context) error {
 func (r *run) phase3Once(ctx context.Context, rejected map[string]bool) (bool, error) {
 	baseStages := totalStages(r.compile.Mapping)
 
-	// Probe: halve each table's memory knob and recompile.
+	// Probe: halve each table's memory knob and recompile. Each probe is
+	// an independent compile of its own clone, so they fan out over the
+	// worker pool; results land in probe order, keeping the candidate
+	// list (and everything downstream) identical to a sequential run.
 	type candidate struct {
 		knob    memoryKnob
 		hitRate float64
 		order   int
 	}
-	var candidates []candidate
+	type probe struct {
+		knob  memoryKnob
+		order int
+		saves bool
+	}
+	var probes []probe
 	for _, t := range r.compile.IR.Ordered {
-		// Probe failures are swallowed (not a candidate); cancellation
-		// must not be.
-		if err := r.interrupted(); err != nil {
-			return false, err
-		}
 		if rejected[t.Name] {
 			continue
 		}
@@ -56,15 +59,32 @@ func (r *run) phase3Once(ctx context.Context, rejected map[string]bool) (bool, e
 		if !ok {
 			continue
 		}
+		probes = append(probes, probe{knob: knob, order: t.Order})
+	}
+	err := forEachIndexed(ctx, len(probes), r.opts.parallelism(), func(i int) error {
+		// Probe failures are swallowed (not a candidate); cancellation
+		// must not be.
+		if err := r.interrupted(); err != nil {
+			return err
+		}
+		knob := probes[i].knob
 		stages, _, err := r.stagesWithKnob(ctx, knob, knob.full/2)
 		if err != nil {
-			continue // halving made the program infeasible; not a candidate
+			return nil // halving made the program infeasible; not a candidate
 		}
-		if stages < baseStages {
+		probes[i].saves = stages < baseStages
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	var candidates []candidate
+	for _, p := range probes {
+		if p.saves {
 			candidates = append(candidates, candidate{
-				knob:    knob,
-				hitRate: r.prof.HitRate(t.Name),
-				order:   t.Order,
+				knob:    p.knob,
+				hitRate: r.prof.HitRate(p.knob.table),
+				order:   p.order,
 			})
 		}
 	}

@@ -119,23 +119,36 @@ func (r *run) phase4(ctx context.Context) error {
 }
 
 // offloadCandidates enumerates self-contained segments and measures each
-// one by compiling and profiling the rewritten program.
+// one by compiling and profiling the rewritten program. Measurements are
+// independent (each works on its own clone), so they fan out over the
+// worker pool; reports are collected by segment index, so the viable list
+// reaches the selection sort in enumeration order exactly as it did
+// sequentially.
 func (r *run) offloadCandidates(ctx context.Context) ([]CandidateReport, error) {
 	segs := enumerateSegments(r.cur)
 	baseStages := totalStages(r.compile.Mapping)
-	var out []CandidateReport
-	for _, seg := range segs {
+	reports := make([]CandidateReport, len(segs))
+	viable := make([]bool, len(segs))
+	err := forEachIndexed(ctx, len(segs), r.opts.parallelism(), func(i int) error {
 		// Candidate failures below are swallowed (not viable);
 		// cancellation must not be.
 		if err := r.interrupted(); err != nil {
-			return nil, err
+			return err
 		}
-		rep, ok, err := r.measureSegment(ctx, seg, baseStages)
+		rep, ok, err := r.measureSegment(ctx, segs[i], baseStages)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		reports[i], viable[i] = rep, ok
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []CandidateReport
+	for i, ok := range viable {
 		if ok {
-			out = append(out, rep)
+			out = append(out, reports[i])
 		}
 	}
 	return out, nil

@@ -58,6 +58,14 @@ type Options struct {
 	// ProfileHook likewise intercepts every trace replay. The returned
 	// profile is treated as immutable.
 	ProfileHook func(context.Context, *p4.Program, *rt.Config, *trafficgen.Trace) (*profile.Profile, error)
+	// Parallelism bounds the worker count of the parallel paths: trace
+	// replay shards (stateless programs only — see profile.StatefulTables)
+	// and the Phase 3 halving probes / Phase 4 segment measurements, which
+	// are independent compile+profile jobs. 0 means one worker per CPU;
+	// 1 forces the historical sequential behavior, including span
+	// creation order. Results are collected by index either way, so the
+	// observations, history, and final program never depend on it.
+	Parallelism int
 }
 
 // defaultPhase4MaxRedirect is the "rarely used" threshold.
@@ -68,6 +76,14 @@ func (o Options) target() tofino.Target {
 		return tofino.DefaultTarget()
 	}
 	return o.Target
+}
+
+// parallelism resolves Options.Parallelism to an effective worker count.
+func (o Options) parallelism() int {
+	if o.Parallelism <= 0 {
+		return profile.DefaultShards()
+	}
+	return o.Parallelism
 }
 
 // Result is the outcome of a P2GO run.
@@ -293,7 +309,7 @@ func (r *run) doProfile(ctx context.Context, ast *p4.Program, cfg *rt.Config) (*
 	if r.opts.ProfileHook != nil {
 		return r.opts.ProfileHook(ctx, ast, cfg, r.trace)
 	}
-	return profile.RunContext(ctx, ast, cfg, r.trace)
+	return profile.RunParallelContext(ctx, ast, cfg, r.trace, r.opts.parallelism())
 }
 
 // recompile refreshes the compiler outputs for the current program.

@@ -18,7 +18,10 @@ func collectNATGRE(t *testing.T) string {
 	col := obs.NewCollector(0)
 	ctx := obs.WithTracer(context.Background(), obs.NewTracer(col))
 	trace := trafficgen.NATGRETrace(trafficgen.NATGRESpec{Seed: 1})
-	_, err := New(Options{Context: ctx}).Optimize(
+	// Parallelism 1 pins span creation (and therefore tree) order; the
+	// optimization result itself is parallelism-independent, which
+	// TestOptimizeParallelismInvariant checks.
+	_, err := New(Options{Context: ctx, Parallelism: 1}).Optimize(
 		p4.MustParse(programs.NATGRE), programs.NATGREConfig(), trace)
 	if err != nil {
 		t.Fatalf("optimize: %v", err)

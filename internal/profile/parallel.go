@@ -1,0 +1,238 @@
+// Parallel profiling engine: the trace is sharded across workers, each
+// replaying its contiguous slice against an independent Switch into a
+// per-worker Profile, and the shards are merged deterministically — every
+// profile quantity is a commutative sum (hit counts, applied counts,
+// action counts, execution-set counts, drop/redirect totals), so the
+// merged profile is identical to a sequential replay regardless of worker
+// scheduling. Programs with cross-packet state (registers that are both
+// read and written, e.g. Count-Min sketches and Bloom filters) are
+// detected statically from the IR and fall back to sequential replay:
+// their per-packet behavior depends on replay order, which sharding would
+// change.
+package profile
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"p2go/internal/ir"
+	"p2go/internal/obs"
+	"p2go/internal/p4"
+	"p2go/internal/rt"
+	"p2go/internal/sim"
+	"p2go/internal/trafficgen"
+)
+
+// DefaultShards is the replay parallelism used when the caller passes a
+// non-positive shard count: one worker per available CPU.
+func DefaultShards() int { return runtime.GOMAXPROCS(0) }
+
+// keyInterner memoizes SetKey: execution sets recur for almost every
+// packet (a trace exercises few distinct paths), so the sort+join runs
+// once per distinct set instead of once per packet. The lookup key is the
+// entries joined in execution order, built in a reusable buffer — a map
+// probe with string(buf) does not allocate — and the value is the
+// canonical sorted key. Not safe for concurrent use; each collector owns
+// one.
+type keyInterner struct {
+	m   map[string]string
+	buf []byte
+}
+
+// key returns SetKey(entries), memoized.
+func (ki *keyInterner) key(entries []string) string {
+	ki.buf = ki.buf[:0]
+	for i, e := range entries {
+		if i > 0 {
+			ki.buf = append(ki.buf, '|')
+		}
+		ki.buf = append(ki.buf, e...)
+	}
+	if k, ok := ki.m[string(ki.buf)]; ok {
+		return k
+	}
+	if ki.m == nil {
+		ki.m = map[string]string{}
+	}
+	canon := SetKey(entries)
+	ki.m[string(ki.buf)] = canon
+	return canon
+}
+
+// MergeProfiles folds per-shard profiles into one. Every field is a
+// commutative sum, so the result does not depend on shard order — but the
+// shards are passed in trace order anyway, keeping the operation's
+// determinism obvious.
+func MergeProfiles(parts ...*Profile) *Profile {
+	out := &Profile{
+		Hits:         map[string]int{},
+		Applied:      map[string]int{},
+		ActionCounts: map[string]int{},
+		Sets:         map[string]int{},
+	}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		out.TotalPackets += p.TotalPackets
+		out.Drops += p.Drops
+		out.ToCPU += p.ToCPU
+		for k, v := range p.Hits {
+			out.Hits[k] += v
+		}
+		for k, v := range p.Applied {
+			out.Applied[k] += v
+		}
+		for k, v := range p.ActionCounts {
+			out.ActionCounts[k] += v
+		}
+		for k, v := range p.Sets {
+			out.Sets[k] += v
+		}
+	}
+	return out
+}
+
+// StatefulTables reports the tables whose replay behavior depends on
+// cross-packet state, detected statically from the IR: a table is
+// stateful when it owns a register that is both read and written by its
+// actions (the IR already guarantees a register is local to one table).
+// A write-only register never feeds back into packet processing, and a
+// read-only register holds its reset value of zero for the whole replay,
+// so neither blocks sharding; counters only count and are not observable
+// by the program. The returned names are sorted.
+func StatefulTables(prog *ir.Program) []string {
+	var out []string
+	for _, t := range prog.Ordered {
+		reads := map[string]bool{}
+		writes := map[string]bool{}
+		for _, a := range t.Actions {
+			for _, r := range a.RegReads {
+				reads[r] = true
+			}
+			for _, r := range a.RegWrites {
+				writes[r] = true
+			}
+		}
+		for r := range reads {
+			if writes[r] {
+				out = append(out, t.Name)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StatefulTables reports the instrumented program's stateful tables — the
+// ones that force sharded replay to fall back to sequential.
+func (p *Profiler) StatefulTables() []string { return StatefulTables(p.prog) }
+
+// RunSharded replays the trace across shards workers and merges the
+// per-worker profiles. See RunShardedContext.
+func (p *Profiler) RunSharded(trace *trafficgen.Trace, shards int) (*Profile, error) {
+	return p.RunShardedContext(context.Background(), trace, shards)
+}
+
+// RunShardedContext shards the trace across up to shards workers (<=0
+// means one per CPU), each replaying its contiguous slice against an
+// independent Switch, and deterministically merges the per-worker
+// profiles — a result Profile.Equal to the sequential replay. Programs
+// with stateful tables (see StatefulTables) and single-shard requests run
+// sequentially through RunContext; the fallback and its reason are
+// recorded on the replay span.
+func (p *Profiler) RunShardedContext(ctx context.Context, trace *trafficgen.Trace, shards int) (*Profile, error) {
+	if shards <= 0 {
+		shards = DefaultShards()
+	}
+	if n := len(trace.Packets); shards > n {
+		shards = n
+	}
+	if stateful := p.StatefulTables(); len(stateful) > 0 {
+		_, sp := obs.Start(ctx, "sim.replay-fallback",
+			obs.String("reason", "stateful-tables"),
+			obs.String("tables", strings.Join(stateful, ",")))
+		sp.End()
+		return p.RunContext(ctx, trace)
+	}
+	if shards <= 1 {
+		return p.RunContext(ctx, trace)
+	}
+
+	ctx, sp := obs.Start(ctx, "sim.replay-sharded",
+		obs.Int("packets", len(trace.Packets)), obs.Int("shards", shards))
+	defer sp.End()
+	start := time.Now()
+
+	parts := make([]*Profile, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		lo := w * len(trace.Packets) / shards
+		hi := (w + 1) * len(trace.Packets) / shards
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts[w], errs[w] = p.replayShard(ctx, trace, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	// First error in shard (trace) order, so a bad packet reports the
+	// same failure whatever the worker scheduling was.
+	for _, err := range errs {
+		if err != nil {
+			sp.SetAttr(obs.String("error", err.Error()))
+			return nil, err
+		}
+	}
+	merged := MergeProfiles(parts...)
+	sp.SetAttr(obs.Float("packets_per_sec", sim.Throughput(merged.TotalPackets, time.Since(start))))
+	return merged, nil
+}
+
+// replayShard replays trace packets [lo, hi) on a fresh Switch. The IR
+// program, rules, and instrumentation are shared read-only; register and
+// counter state is per-Switch (and irrelevant here — sharding only runs
+// for stateless programs).
+func (p *Profiler) replayShard(ctx context.Context, trace *trafficgen.Trace, lo, hi int) (*Profile, error) {
+	sw, err := sim.New(p.prog, p.cfg, p.opts)
+	if err != nil {
+		return nil, err
+	}
+	col := newCollector(p, sw)
+	// Check cancellation between packets in batches: a canceled profile
+	// should stop burning CPU on a large shard.
+	const cancelCheckEvery = 1024
+	for i := lo; i < hi; i++ {
+		if (i-lo)%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if err := col.observe(i, trace.Packets[i]); err != nil {
+			return nil, err
+		}
+	}
+	return col.prof, nil
+}
+
+// RunParallel profiles a program on a trace with sharded replay in one
+// call; shards <= 0 means one worker per CPU.
+func RunParallel(ast *p4.Program, cfg *rt.Config, trace *trafficgen.Trace, shards int) (*Profile, error) {
+	return RunParallelContext(context.Background(), ast, cfg, trace, shards)
+}
+
+// RunParallelContext is RunParallel with tracing and cancellation. With
+// shards == 1 (or a stateful program) it is exactly RunContext.
+func RunParallelContext(ctx context.Context, ast *p4.Program, cfg *rt.Config, trace *trafficgen.Trace, shards int) (*Profile, error) {
+	p, err := NewProfilerContext(ctx, ast, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.RunShardedContext(ctx, trace, shards)
+}

@@ -306,6 +306,11 @@ type Profiler struct {
 	Switch *sim.Switch
 	source *p4.Program
 	cfg    *rt.Config
+	// prog is the instrumented program's IR; sharded replay builds one
+	// additional Switch per worker from it.
+	prog *ir.Program
+	// opts rebuilds worker Switches identical to Switch.
+	opts sim.Options
 }
 
 // NewProfiler instruments the program and boots a simulator with the given
@@ -329,12 +334,13 @@ func NewProfilerContext(ctx context.Context, ast *p4.Program, cfg *rt.Config) (*
 	if err != nil {
 		return nil, fmt.Errorf("profile: %w", err)
 	}
-	sw, err := sim.New(prog, cfg, sim.Options{Trailer: TrailerName, NeutralizeDrops: true})
+	opts := sim.Options{Trailer: TrailerName, NeutralizeDrops: true}
+	sw, err := sim.New(prog, cfg, opts)
 	if err != nil {
 		return nil, err
 	}
 	sp.SetAttr(obs.Int("tables", len(ins.AST.Tables)))
-	return &Profiler{Ins: ins, Switch: sw, source: ast, cfg: cfg}, nil
+	return &Profiler{Ins: ins, Switch: sw, source: ast, cfg: cfg, prog: prog, opts: opts}, nil
 }
 
 // Run replays the trace and builds the profile. Register state is reset
@@ -347,55 +353,83 @@ func (p *Profiler) Run(trace *trafficgen.Trace) (*Profile, error) {
 // "sim.replay" span, which records the packet count and throughput.
 func (p *Profiler) RunContext(ctx context.Context, trace *trafficgen.Trace) (*Profile, error) {
 	p.Switch.Reset()
-	prof := &Profile{
-		Hits:         map[string]int{},
-		Applied:      map[string]int{},
-		ActionCounts: map[string]int{},
-		Sets:         map[string]int{},
-	}
+	col := newCollector(p, p.Switch)
 	err := sim.Replay(ctx, len(trace.Packets), func(i int) error {
-		pkt := trace.Packets[i]
-		out, err := p.Switch.Process(sim.Input{Port: pkt.Port, Data: pkt.Data})
-		if err != nil {
-			return fmt.Errorf("profile: packet %d: %w", i, err)
-		}
-		executed, err := p.Ins.ParseTrailer(out.Data)
-		if err != nil {
-			return fmt.Errorf("profile: packet %d: %w", i, err)
-		}
-		prof.TotalPackets++
-		if out.WouldDrop {
-			prof.Drops++
-		}
-		if out.ToCPU {
-			prof.ToCPU++
-		}
-		var entries []string
-		seenTable := map[string]bool{}
-		for _, info := range executed {
-			entry := info.Table + "." + info.Action
-			isMiss := info.Miss || p.isDefaultOnReadsTable(info.Table, info.Action)
-			if isMiss {
-				entry += missTag
-			} else {
-				prof.Hits[info.Table]++
-			}
-			if !seenTable[info.Table] {
-				seenTable[info.Table] = true
-				prof.Applied[info.Table]++
-			}
-			prof.ActionCounts[info.Table+"."+info.Action]++
-			entries = append(entries, entry)
-		}
-		if len(entries) > 0 {
-			prof.Sets[SetKey(entries)]++
-		}
-		return nil
+		return col.observe(i, trace.Packets[i])
 	})
 	if err != nil {
 		return nil, err
 	}
-	return prof, nil
+	return col.prof, nil
+}
+
+// collector accumulates one replay slice into a Profile: each worker of a
+// sharded replay owns one (with its own Switch), and the sequential path
+// uses a single one over the profiler's Switch.
+type collector struct {
+	p    *Profiler
+	sw   *sim.Switch
+	prof *Profile
+	keys keyInterner
+	// entries and seen are per-packet scratch, reused across packets.
+	entries []string
+	seen    map[string]bool
+}
+
+func newCollector(p *Profiler, sw *sim.Switch) *collector {
+	return &collector{
+		p:  p,
+		sw: sw,
+		prof: &Profile{
+			Hits:         map[string]int{},
+			Applied:      map[string]int{},
+			ActionCounts: map[string]int{},
+			Sets:         map[string]int{},
+		},
+		seen: make(map[string]bool, 8),
+	}
+}
+
+// observe replays one packet and folds its execution set into the profile.
+func (c *collector) observe(i int, pkt trafficgen.Packet) error {
+	out, err := c.sw.Process(sim.Input{Port: pkt.Port, Data: pkt.Data})
+	if err != nil {
+		return fmt.Errorf("profile: packet %d: %w", i, err)
+	}
+	executed, err := c.p.Ins.ParseTrailer(out.Data)
+	if err != nil {
+		return fmt.Errorf("profile: packet %d: %w", i, err)
+	}
+	prof := c.prof
+	prof.TotalPackets++
+	if out.WouldDrop {
+		prof.Drops++
+	}
+	if out.ToCPU {
+		prof.ToCPU++
+	}
+	entries := c.entries[:0]
+	clear(c.seen)
+	for _, info := range executed {
+		entry := info.Table + "." + info.Action
+		isMiss := info.Miss || c.p.isDefaultOnReadsTable(info.Table, info.Action)
+		if isMiss {
+			entry += missTag
+		} else {
+			prof.Hits[info.Table]++
+		}
+		if !c.seen[info.Table] {
+			c.seen[info.Table] = true
+			prof.Applied[info.Table]++
+		}
+		prof.ActionCounts[info.Table+"."+info.Action]++
+		entries = append(entries, entry)
+	}
+	c.entries = entries
+	if len(entries) > 0 {
+		prof.Sets[c.keys.key(entries)]++
+	}
+	return nil
 }
 
 // isDefaultOnReadsTable classifies an execution as a (probable) miss: the

@@ -36,6 +36,11 @@ type JobSpec struct {
 	// The timeout is not part of the artifact digest: the same inputs
 	// produce the same artifact however long they were allowed to take.
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// Parallelism is the job's worker count for sharded trace replay and
+	// the Phase 3/4 candidate fan-out; 0 uses the server default.
+	// Like the timeout it is not part of the artifact digest: the result
+	// is parallelism-independent.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // normalize applies defaults and validates cheaply (the expensive parsing
@@ -58,6 +63,9 @@ func (s *JobSpec) normalize() error {
 	}
 	if s.TimeoutSeconds < 0 {
 		return fmt.Errorf("negative timeout_seconds")
+	}
+	if s.Parallelism < 0 {
+		return fmt.Errorf("negative parallelism")
 	}
 	return nil
 }

@@ -95,6 +95,13 @@ type ManagerConfig struct {
 	// finish. Traces are also always kept in memory (bounded) and served
 	// by GET /jobs/{id}/trace regardless of this setting.
 	TraceDir string
+	// Parallelism is the default per-job worker count for sharded trace
+	// replay and the Phase 3/4 candidate fan-out (core.Options
+	// .Parallelism). 0 means one worker per CPU; 1 forces sequential.
+	// A job may override it with JobSpec.Parallelism. Results are
+	// parallelism-independent, so this does not enter cache keys or job
+	// digests.
+	Parallelism int
 }
 
 // jobTraceSpanCap bounds the spans retained per job; past it the
@@ -655,9 +662,10 @@ func (m *Manager) execute(ctx context.Context, job *Job) ([]byte, error) {
 		return nil, err
 	}
 	traceDigest := TraceDigest(trace)
+	parallelism := m.jobParallelism(job)
 
 	if spec.Kind == "profile" {
-		prof, err := m.cachedProfile(ctx, prog, cfg, trace, traceDigest)
+		prof, err := m.cachedProfile(ctx, prog, cfg, trace, traceDigest, parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -670,7 +678,8 @@ func (m *Manager) execute(ctx context.Context, job *Job) ([]byte, error) {
 		DisablePhase3: spec.NoMem,
 		DisablePhase4: spec.NoOffload,
 		CompileHook:   m.compileHook(),
-		ProfileHook:   m.profileHook(traceDigest),
+		ProfileHook:   m.profileHook(traceDigest, parallelism),
+		Parallelism:   parallelism,
 	}
 	res, err := core.New(opts).Optimize(prog, cfg, trace)
 	if err != nil {
@@ -705,21 +714,32 @@ func (m *Manager) compileHook() func(context.Context, *p4.Program, tofino.Target
 	}
 }
 
+// jobParallelism resolves a job's worker count: the spec's override when
+// set, the manager default otherwise.
+func (m *Manager) jobParallelism(job *Job) int {
+	if job.Spec.Parallelism > 0 {
+		return job.Spec.Parallelism
+	}
+	return m.cfg.Parallelism
+}
+
 // profileHook serves trace replays from the artifact cache, keyed on the
-// printed program, the rules, and the trace digest.
-func (m *Manager) profileHook(traceDigest string) func(context.Context, *p4.Program, *rt.Config, *trafficgen.Trace) (*profile.Profile, error) {
+// printed program, the rules, and the trace digest. The parallelism is
+// deliberately not part of the key: sharded and sequential replays
+// produce equal profiles.
+func (m *Manager) profileHook(traceDigest string, parallelism int) func(context.Context, *p4.Program, *rt.Config, *trafficgen.Trace) (*profile.Profile, error) {
 	return func(ctx context.Context, prog *p4.Program, cfg *rt.Config, trace *trafficgen.Trace) (*profile.Profile, error) {
-		return m.cachedProfile(ctx, prog, cfg, trace, traceDigest)
+		return m.cachedProfile(ctx, prog, cfg, trace, traceDigest, parallelism)
 	}
 }
 
-func (m *Manager) cachedProfile(ctx context.Context, prog *p4.Program, cfg *rt.Config, trace *trafficgen.Trace, traceDigest string) (*profile.Profile, error) {
+func (m *Manager) cachedProfile(ctx context.Context, prog *p4.Program, cfg *rt.Config, trace *trafficgen.Trace, traceDigest string, parallelism int) (*profile.Profile, error) {
 	key := "profile:" + Digest(p4.Print(prog), rt.Format(cfg), traceDigest)
 	ctx, sp := obs.Start(ctx, "cache.lookup", obs.String("kind", "profile"))
 	defer sp.End()
 	v, hit, err := m.cache.Do(key, func() (any, error) {
 		start := time.Now()
-		prof, err := profile.RunContext(ctx, prog, cfg, trace)
+		prof, err := profile.RunParallelContext(ctx, prog, cfg, trace, parallelism)
 		if err == nil {
 			m.metrics.Replayed(prof.TotalPackets, time.Since(start).Seconds())
 		}

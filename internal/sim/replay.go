@@ -23,8 +23,19 @@ func Replay(ctx context.Context, packets int, step func(i int) error) error {
 			return err
 		}
 	}
-	if el := time.Since(start).Seconds(); el > 0 && packets > 0 {
-		sp.SetAttr(obs.Float("packets_per_sec", float64(packets)/el))
+	if packets > 0 {
+		sp.SetAttr(obs.Float("packets_per_sec", Throughput(packets, time.Since(start))))
 	}
 	return nil
+}
+
+// Throughput converts a packet count and elapsed time into packets/sec.
+// Elapsed is clamped to a minimum of one nanosecond so a replay fast
+// enough (or a clock coarse enough) to measure zero elapsed time still
+// reports a rate instead of silently dropping the attribute.
+func Throughput(packets int, elapsed time.Duration) float64 {
+	if elapsed < time.Nanosecond {
+		elapsed = time.Nanosecond
+	}
+	return float64(packets) / elapsed.Seconds()
 }

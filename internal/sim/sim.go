@@ -45,6 +45,13 @@ type Switch struct {
 	registers map[string][]uint64
 	counters  map[string][]CounterCell
 	tables    map[string]*tableState
+
+	// scratch is the per-packet evaluation state, reused across Process
+	// calls so the hot replay path does not rebuild three maps per
+	// packet. Process was already not safe for concurrent use on one
+	// Switch (register and counter state); replay parallelism runs one
+	// Switch per worker instead.
+	scratch state
 }
 
 // CounterCell is one counter entry.
@@ -200,13 +207,24 @@ type headerExtent struct {
 	bitOffset int
 }
 
-// Process runs one packet through parser and ingress control.
+// Process runs one packet through parser and ingress control. It is not
+// safe for concurrent use on one Switch (register, counter, and scratch
+// state); run one Switch per goroutine instead.
 func (s *Switch) Process(in Input) (Output, error) {
-	st := &state{
-		fields:  map[ir.FieldKey]uint64{},
-		valid:   map[string]bool{},
-		extents: map[string]headerExtent{},
+	st := &s.scratch
+	if st.fields == nil {
+		st.fields = make(map[ir.FieldKey]uint64, 32)
+		st.valid = make(map[string]bool, 8)
+		st.extents = make(map[string]headerExtent, 8)
+	} else {
+		clear(st.fields)
+		clear(st.valid)
+		clear(st.extents)
 	}
+	// Exec escapes into Output, so it alone is allocated per packet.
+	st.exec = nil
+	st.wouldDrop = false
+	st.forwardPort = 0
 	st.fields[ir.FieldKey(p4.StandardMetadataName+"."+p4.FieldIngressPort)] = in.Port
 	st.fields[ir.FieldKey(p4.StandardMetadataName+"."+p4.FieldPacketLength)] = uint64(len(in.Data))
 

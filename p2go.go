@@ -145,6 +145,24 @@ func RunProfileContext(ctx context.Context, prog *Program, cfg *Config, trace *T
 	return profile.RunContext(ctx, prog, cfg, trace)
 }
 
+// RunProfileParallel is RunProfile with the trace sharded across up to
+// shards workers (0 means one per CPU), each replaying against its own
+// simulator; the per-shard profiles merge deterministically, so the
+// result equals the sequential profile. Programs whose replay behavior
+// depends on cross-packet register state (Count-Min sketches, Bloom
+// filters) are detected statically and fall back to sequential replay.
+func RunProfileParallel(prog *Program, cfg *Config, trace *Trace, shards int) (*Profile, error) {
+	return profile.RunParallel(prog, cfg, trace, shards)
+}
+
+// RunProfileParallelContext is RunProfileParallel with tracing and
+// cancellation; the sharded replay is recorded as a "sim.replay-sharded"
+// span (or "sim.replay-fallback" plus the sequential "sim.replay" when
+// the program is stateful).
+func RunProfileParallelContext(ctx context.Context, prog *Program, cfg *Config, trace *Trace, shards int) (*Profile, error) {
+	return profile.RunParallelContext(ctx, prog, cfg, trace, shards)
+}
+
 // Optimize runs the full P2GO pipeline: profile, remove dependencies,
 // reduce memory, offload code. The result carries the optimized program,
 // the observations with their evidence, the per-phase stage history, and —
