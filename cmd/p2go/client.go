@@ -34,9 +34,10 @@ func cmdSubmit(args []string) error {
 	kind := fs.String("kind", "optimize", `job kind: "profile" or "optimize"`)
 	workload := fs.String("workload", "ex1", "named workload")
 	seed := fs.Int64("seed", 1, "trace generator seed")
-	noDeps := fs.Bool("no-deps", false, "disable Phase 2 (dependency removal)")
-	noMem := fs.Bool("no-mem", false, "disable Phase 3 (memory reduction)")
-	noOffload := fs.Bool("no-offload", false, "disable Phase 4 (offloading)")
+	passes := fs.String("passes", "", "comma-separated pass schedule, e.g. phase4,phase2,phase3 (see 'p2go passes'; empty = default order)")
+	noDeps := fs.Bool("no-deps", false, "disable Phase 2 (dependency removal); deprecated, use -passes")
+	noMem := fs.Bool("no-mem", false, "disable Phase 3 (memory reduction); deprecated, use -passes")
+	noOffload := fs.Bool("no-offload", false, "disable Phase 4 (offloading); deprecated, use -passes")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job timeout on the server (0 = server default)")
 	parallelism := fs.Int("parallelism", 0, "job workers for replay shards and candidate probes (0 = server default)")
 	httpTimeout := httpTimeoutFlag(fs)
@@ -50,6 +51,7 @@ func cmdSubmit(args []string) error {
 		Kind:           *kind,
 		Workload:       *workload,
 		Seed:           *seed,
+		Passes:         splitPasses(*passes),
 		NoDeps:         *noDeps,
 		NoMem:          *noMem,
 		NoOffload:      *noOffload,

@@ -5,13 +5,14 @@
 // Usage:
 //
 //	p2go profile  -workload ex1 [-seed N] [-json] [-trace out.json] [-log-level debug]
-//	p2go optimize -workload ex1 [-seed N] [-no-deps] [-no-mem] [-no-offload] [-emit out.p4] [-json]
+//	p2go optimize -workload ex1 [-seed N] [-passes phase4,phase2,phase3] [-emit out.p4] [-json]
 //	p2go optimize -workload ex1 -trace trace.json   (span timeline; load in Perfetto)
 //	p2go optimize -program prog.p4 -rules rules.txt -workload-trace ex1
 //	p2go optimize -workload ex1 -faults "controller.down:from=10,to=60" -degrade fail-open
 //	p2go submit   -server http://127.0.0.1:9095 -workload ex1 [-wait]
 //	p2go status   -server http://127.0.0.1:9095 -id j-000001
 //	p2go jobs     -server http://127.0.0.1:9095
+//	p2go passes
 //	p2go list
 //
 // Workloads bundle a program, rules, and a calibrated trace; -program and
@@ -29,6 +30,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"p2go"
@@ -58,6 +60,8 @@ func main() {
 		err = cmdStatus(os.Args[2:])
 	case "jobs":
 		err = cmdJobs(os.Args[2:])
+	case "passes":
+		err = cmdPasses()
 	case "list":
 		err = cmdList()
 	case "-h", "--help", "help":
@@ -76,8 +80,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   p2go profile  -workload <name> [-seed N] [-parallelism N] [-json] [-trace out.json] [-log-level debug]
-  p2go optimize -workload <name> [-seed N] [-no-deps] [-no-mem] [-no-offload] [-emit out.p4] [-json]
+  p2go optimize -workload <name> [-seed N] [-passes id,id,...] [-emit out.p4] [-json]
                 [-parallelism N] [-trace out.json] [-log-level debug]
+                [-no-deps] [-no-mem] [-no-offload]   (deprecated; use -passes)
                 [-faults <plan>] [-degrade fail-open|fail-closed|fallback] [-replicas N]
                 (with -faults, equivalence is verified under injected failures:
                  e.g. -faults "controller.down:from=10,to=60;redirect.loss:p=0.3,seed=7")
@@ -85,6 +90,7 @@ func usage() {
   p2go submit   -server <url> -workload <name> [-kind profile|optimize] [-wait] [-timeout d]   (p2god client)
   p2go status   -server <url> -id <job-id> [-timeout d]
   p2go jobs     -server <url> [-timeout d]
+  p2go passes   (list the registered optimization passes)
   p2go list`)
 }
 
@@ -234,9 +240,10 @@ func cmdProfile(args []string) error {
 
 func cmdOptimize(args []string) error {
 	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
-	noDeps := fs.Bool("no-deps", false, "disable Phase 2 (dependency removal)")
-	noMem := fs.Bool("no-mem", false, "disable Phase 3 (memory reduction)")
-	noOffload := fs.Bool("no-offload", false, "disable Phase 4 (offloading)")
+	passes := fs.String("passes", "", "comma-separated pass schedule, e.g. phase4,phase2,phase3 (see 'p2go passes'; empty = default order)")
+	noDeps := fs.Bool("no-deps", false, "disable Phase 2 (dependency removal); deprecated, use -passes")
+	noMem := fs.Bool("no-mem", false, "disable Phase 3 (memory reduction); deprecated, use -passes")
+	noOffload := fs.Bool("no-offload", false, "disable Phase 4 (offloading); deprecated, use -passes")
 	emit := fs.String("emit", "", "write the optimized program to this file")
 	emitCtl := fs.String("emit-controller", "", "write the controller program to this file")
 	faultPlan := fs.String("faults", "", `fault plan for chaos verification, e.g. "controller.down:from=10,to=60;redirect.loss:p=0.3,seed=7"`)
@@ -257,6 +264,7 @@ func cmdOptimize(args []string) error {
 	o.logger.Debug("optimizing", "workload", in.workload, "seed", in.seed,
 		"packets", len(in.trace.Packets), "parallelism", *parallelism)
 	res, err := p2go.OptimizeContext(ctx, in.prog, in.cfg, in.trace, p2go.Options{
+		Passes:        splitPasses(*passes),
 		DisablePhase2: *noDeps,
 		DisablePhase3: *noMem,
 		DisablePhase4: *noOffload,
@@ -377,6 +385,40 @@ func cmdServe(args []string) error {
 	signal.Stop(sig)
 	close(done)
 	return err
+}
+
+// splitPasses parses a comma-separated -passes value; empty means "use
+// the default schedule" (Options.Passes nil).
+func splitPasses(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, id := range strings.Split(s, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// cmdPasses lists the registered optimization passes.
+func cmdPasses() error {
+	fmt.Println("passes (in default order; schedule selectable ones with 'p2go optimize -passes id,id,...'):")
+	for _, p := range p2go.Passes() {
+		var notes []string
+		if p.Implicit {
+			notes = append(notes, "always runs first")
+		}
+		if p.ReadOnly {
+			notes = append(notes, "read-only; used by offload reporting")
+		}
+		if p.Default {
+			notes = append(notes, "default")
+		}
+		fmt.Printf("  %-16s %s (%s)\n", p.ID, p.Doc, strings.Join(notes, ", "))
+	}
+	return nil
 }
 
 func cmdList() error {

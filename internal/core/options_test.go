@@ -14,7 +14,7 @@ import (
 // outcome matches the default — but the candidate pool is larger (covered
 // via the ablation); here we pin that disabling the cap keeps Table 2.
 func TestPhase4RedirectCapDisabled(t *testing.T) {
-	res := optimizeEx1(t, Options{Phase4MaxRedirect: -1})
+	res := optimizeEx1(t, Options{Phase4MaxRedirect: Float(-1)})
 	if res.StagesAfter() != 3 {
 		t.Errorf("stages after = %d, want 3", res.StagesAfter())
 	}
@@ -23,7 +23,7 @@ func TestPhase4RedirectCapDisabled(t *testing.T) {
 // TestPhase4RedirectCapTight: a cap below the DNS share (2%) suppresses
 // the offload entirely.
 func TestPhase4RedirectCapTight(t *testing.T) {
-	res := optimizeEx1(t, Options{Phase4MaxRedirect: 0.01})
+	res := optimizeEx1(t, Options{Phase4MaxRedirect: Float(0.01)})
 	if len(res.OffloadedTables) != 0 {
 		t.Errorf("offloaded %v despite the 1%% cap", res.OffloadedTables)
 	}
@@ -35,9 +35,48 @@ func TestPhase4RedirectCapTight(t *testing.T) {
 // TestPhase4MinSavings: requiring 4+ saved stages rejects the DNS branch
 // (which saves 3).
 func TestPhase4MinSavings(t *testing.T) {
-	res := optimizeEx1(t, Options{Phase4MinSavings: 4})
+	res := optimizeEx1(t, Options{Phase4MinSavings: Int(4)})
 	if len(res.OffloadedTables) != 0 {
 		t.Errorf("offloaded %v despite MinSavings=4", res.OffloadedTables)
+	}
+}
+
+// TestOptionsResolution: nil pointer fields resolve to the documented
+// defaults, and an explicit zero is honored as zero — historically
+// Phase4MaxRedirect: 0 silently became the 10% default, which made "no
+// redirected traffic at all" inexpressible.
+func TestOptionsResolution(t *testing.T) {
+	m, err := newManager(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.minSavings != 1 {
+		t.Errorf("default minSavings = %d, want 1", m.minSavings)
+	}
+	if m.maxRedirect != defaultPhase4MaxRedirect {
+		t.Errorf("default maxRedirect = %v, want %v", m.maxRedirect, defaultPhase4MaxRedirect)
+	}
+	m, err = newManager(Options{Phase4MinSavings: Int(0), Phase4MaxRedirect: Float(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.minSavings != 0 {
+		t.Errorf("explicit Int(0) minSavings = %d, want 0", m.minSavings)
+	}
+	if m.maxRedirect != 0 {
+		t.Errorf("explicit Float(0) maxRedirect = %v, want 0", m.maxRedirect)
+	}
+}
+
+// TestPhase4RedirectCapZero: an explicit zero cap means zero — every
+// candidate redirects at least the DNS share, so nothing is offloaded.
+func TestPhase4RedirectCapZero(t *testing.T) {
+	res := optimizeEx1(t, Options{Phase4MaxRedirect: Float(0)})
+	if len(res.OffloadedTables) != 0 {
+		t.Errorf("offloaded %v despite a zero redirect cap", res.OffloadedTables)
+	}
+	if res.StagesAfter() != 6 {
+		t.Errorf("stages after = %d, want 6 (phases 2+3 only)", res.StagesAfter())
 	}
 }
 

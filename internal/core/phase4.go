@@ -54,10 +54,12 @@ func (r *run) phase4(ctx context.Context) error {
 	baseStages := totalStages(r.compile.Mapping)
 	var viable []CandidateReport
 	for _, rep := range reports {
-		if rep.StagesSaved < r.opts.Phase4MinSavings {
+		if rep.StagesSaved < r.mgr.minSavings {
 			continue
 		}
-		if r.opts.Phase4MaxRedirect > 0 && rep.RedirectFrac > r.opts.Phase4MaxRedirect {
+		// A negative cap disables the check; an explicit zero really means
+		// zero (only candidates with no redirected traffic pass).
+		if r.mgr.maxRedirect >= 0 && rep.RedirectFrac > r.mgr.maxRedirect {
 			continue
 		}
 		viable = append(viable, rep)

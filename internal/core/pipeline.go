@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"p2go/internal/obs"
@@ -19,8 +20,18 @@ type Options struct {
 	// Target is the hardware model; zero value means
 	// tofino.DefaultTarget().
 	Target tofino.Target
+	// Passes selects which optimization passes run and in what order
+	// (the §2.2 phase-ordering ablations as configuration). IDs come
+	// from the pass registry (see Passes()); duplicates are allowed.
+	// nil means the default schedule — phase2, phase3, phase4, filtered
+	// by the deprecated DisablePhaseN shims below. A non-nil empty slice
+	// means "profile only, run no optimization pass".
+	Passes []string
 	// DisablePhase2/3/4 let the programmer re-run P2GO with individual
 	// optimizations turned off (§2.2).
+	//
+	// Deprecated: set Passes instead; these shims only apply when Passes
+	// is nil and cannot express reordering.
 	DisablePhase2 bool
 	DisablePhase3 bool
 	DisablePhase4 bool
@@ -35,14 +46,16 @@ type Options struct {
 	// reporting that the removed dependency manifested at runtime.
 	InsertDependencyGuards bool
 	// Phase4MinSavings is the minimum stage savings an offload must
-	// achieve (default 1).
-	Phase4MinSavings int
+	// achieve. nil means the default of 1; use Int(v) to set a value
+	// (an explicit Int(0) accepts zero-saving offloads).
+	Phase4MinSavings *int
 	// Phase4MaxRedirect caps the fraction of traffic that may be
 	// redirected to the controller — the paper's premise is that offload
 	// candidates are "rarely used", so hot segments (e.g. the forwarding
-	// path itself) are never offloaded. 0 means the default of 10%;
-	// negative disables the cap.
-	Phase4MaxRedirect float64
+	// path itself) are never offloaded. nil means the default of 10%;
+	// use Float(v) to set a value: an explicit Float(0) means "no
+	// redirected traffic at all", and a negative value disables the cap.
+	Phase4MaxRedirect *float64
 	// Context, when non-nil, cancels an in-flight run: the pipeline
 	// checks it before every compile and profile (the operations that
 	// dominate cost) and aborts with the context's error.
@@ -66,6 +79,13 @@ type Options struct {
 	// creation order. Results are collected by index either way, so the
 	// observations, history, and final program never depend on it.
 	Parallelism int
+	// AnalysisCache, when non-nil, carries compiled mappings and profiles
+	// across runs: a re-run of the same program and trace with only the
+	// pass schedule or thresholds changed replays mostly from cache. nil
+	// means a fresh cache per run (which still deduplicates the repeated
+	// programs inside one run, e.g. Phase 3 re-compiling the winning
+	// probe it already measured).
+	AnalysisCache *AnalysisCache
 }
 
 // defaultPhase4MaxRedirect is the "rarely used" threshold.
@@ -84,6 +104,25 @@ func (o Options) parallelism() int {
 		return profile.DefaultShards()
 	}
 	return o.Parallelism
+}
+
+// passIDs resolves the pass schedule: an explicit Passes list wins;
+// otherwise the deprecated DisablePhaseN shims filter the default order.
+func (o Options) passIDs() []string {
+	if o.Passes != nil {
+		return o.Passes
+	}
+	var out []string
+	for _, id := range DefaultPassIDs() {
+		switch {
+		case id == "phase2" && o.DisablePhase2:
+		case id == "phase3" && o.DisablePhase3:
+		case id == "phase4" && o.DisablePhase4:
+		default:
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // Result is the outcome of a P2GO run.
@@ -122,6 +161,10 @@ type Result struct {
 	// RedirectedFraction is the share of trace traffic the optimized
 	// program sends to the controller.
 	RedirectedFraction float64
+	// PassStats records each executed pass in order (the implicit phase1
+	// profiling pass first): duration, analysis-cache hit/miss counts,
+	// and observations produced.
+	PassStats []PassStat
 }
 
 // StagesBefore returns the initial pipeline length.
@@ -145,23 +188,22 @@ type Optimizer struct {
 	opts Options
 }
 
-// New creates an Optimizer.
+// New creates an Optimizer. Options with pointer fields left nil get
+// their defaults resolved by the pass manager at run time, so a zero
+// Options value still means "the paper's pipeline with default
+// thresholds".
 func New(opts Options) *Optimizer {
-	if opts.Phase4MinSavings == 0 {
-		opts.Phase4MinSavings = 1
-	}
-	if opts.Phase4MaxRedirect == 0 {
-		opts.Phase4MaxRedirect = defaultPhase4MaxRedirect
-	}
 	return &Optimizer{opts: opts}
 }
 
-// run carries the evolving state across phases.
+// run carries the evolving state across passes.
 type run struct {
 	opts       Options
+	mgr        *manager
 	tgt        tofino.Target
 	cfg        *rt.Config
 	trace      *trafficgen.Trace
+	traceDig   string
 	cur        *p4.Program
 	compile    *tofino.Result
 	prof       *profile.Profile
@@ -171,99 +213,24 @@ type run struct {
 	guards     []DependencyGuard
 	ctlProgram *p4.Program
 	phaseStart time.Time
+	// stat is the PassStat of the pass currently executing; pool workers
+	// record cache hits/misses into it under statMu.
+	statMu  sync.Mutex
+	stat    *PassStat
+	stats   []PassStat
+	reports []CandidateReport
 }
 
-// Optimize profiles the program on the trace and applies the three
-// optimization phases in the paper's order (offloading deliberately last,
-// §2.2: earlier phases may shrink segments enough that offloading them has
-// no benefit).
+// Optimize profiles the program on the trace and applies the scheduled
+// optimization passes — by default the paper's order (offloading
+// deliberately last, §2.2: earlier phases may shrink segments enough that
+// offloading them has no benefit), or exactly Options.Passes when set.
 func (o *Optimizer) Optimize(ast *p4.Program, cfg *rt.Config, trace *trafficgen.Trace) (*Result, error) {
-	if cfg == nil {
-		cfg = &rt.Config{}
-	}
-	if trace == nil || len(trace.Packets) == 0 {
-		return nil, fmt.Errorf("core: a traffic trace is required for profiling")
-	}
-	ctx := o.opts.Context
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	ctx, root := obs.Start(ctx, "optimize")
-	defer root.End()
-	r := &run{
-		opts:       o.opts,
-		tgt:        o.opts.target(),
-		cfg:        cfg,
-		trace:      trace,
-		cur:        p4.Clone(ast),
-		phaseStart: time.Now(),
-	}
-	if err := r.recompile(ctx); err != nil {
-		return nil, err
-	}
-	r.snapshot("initial")
-	root.SetAttr(obs.Int("stages_before", totalStages(r.compile.Mapping)))
-
-	// Phase 1: profiling.
-	p1ctx, p1 := obs.Start(ctx, "phase1.profile")
-	err := r.reprofile(p1ctx)
-	p1.End()
+	m, err := newManager(o.opts)
 	if err != nil {
 		return nil, err
 	}
-	originalProfile := r.prof
-
-	// Phase 2: removing dependencies.
-	if !o.opts.DisablePhase2 {
-		pctx, sp := obs.Start(ctx, "phase2.remove-dependencies")
-		err := r.phase2(pctx)
-		sp.End()
-		if err != nil {
-			return nil, err
-		}
-		r.snapshot("removing-dependencies")
-	}
-	// Phase 3: reducing memory.
-	if !o.opts.DisablePhase3 {
-		pctx, sp := obs.Start(ctx, "phase3.reduce-memory")
-		err := r.phase3(pctx)
-		sp.End()
-		if err != nil {
-			return nil, err
-		}
-		r.snapshot("reducing-memory")
-	}
-	// Phase 4: offloading code to the controller.
-	if !o.opts.DisablePhase4 {
-		pctx, sp := obs.Start(ctx, "phase4.offload")
-		err := r.phase4(pctx)
-		sp.End()
-		if err != nil {
-			return nil, err
-		}
-		r.snapshot("offloading-code")
-	}
-	root.SetAttr(
-		obs.Int("stages_after", totalStages(r.compile.Mapping)),
-		obs.Bool("fits", r.compile.Mapping.Fits),
-	)
-
-	res := &Result{
-		Original:          ast,
-		Optimized:         r.cur,
-		OptimizedConfig:   filterConfig(r.cfg, r.cur),
-		Profile:           originalProfile,
-		FinalProfile:      r.prof,
-		Observations:      r.obs,
-		History:           r.history,
-		OffloadedTables:   r.offloaded,
-		Guards:            r.guards,
-		ControllerProgram: r.ctlProgram,
-	}
-	if r.prof != nil && r.prof.TotalPackets > 0 {
-		res.RedirectedFraction = float64(r.prof.ToCPU) / float64(r.prof.TotalPackets)
-	}
-	return res, nil
+	return m.optimize(ast, cfg, trace)
 }
 
 // interrupted reports the run's context error, if a context was set and
@@ -279,14 +246,23 @@ func (r *run) interrupted() error {
 }
 
 // doCompile is the single funnel for every compile the pipeline issues.
-// The AST handed over is never mutated afterwards, so hook implementations
-// may key a cache on its printed source.
+// The AST handed over is never mutated afterwards, so the analysis cache
+// (and hook implementations) may key on its printed source. A cache hit
+// emits the same "compile" span with the same stages attr as a real
+// compile, so span trees are structurally identical either way.
 func (r *run) doCompile(ctx context.Context, ast *p4.Program) (*tofino.Result, error) {
 	if err := r.interrupted(); err != nil {
 		return nil, err
 	}
 	ctx, sp := obs.Start(ctx, "compile")
 	defer sp.End()
+	key := compileKey(ast, r.tgt)
+	if res, ok := r.mgr.cache.getCompile(key); ok {
+		r.noteCompile(true)
+		sp.SetAttr(obs.Int("stages", totalStages(res.Mapping)))
+		return res, nil
+	}
+	r.noteCompile(false)
 	res, err := func() (*tofino.Result, error) {
 		if r.opts.CompileHook != nil {
 			return r.opts.CompileHook(ctx, ast, r.tgt)
@@ -294,22 +270,37 @@ func (r *run) doCompile(ctx context.Context, ast *p4.Program) (*tofino.Result, e
 		return tofino.Compile(ast, r.tgt)
 	}()
 	if err == nil {
+		r.mgr.cache.putCompile(key, res)
 		sp.SetAttr(obs.Int("stages", totalStages(res.Mapping)))
 	}
 	return res, err
 }
 
-// doProfile is the single funnel for every trace replay.
+// doProfile is the single funnel for every trace replay. Cached replays
+// are returned under the usual "profile" span (with no replay children —
+// nothing was replayed).
 func (r *run) doProfile(ctx context.Context, ast *p4.Program, cfg *rt.Config) (*profile.Profile, error) {
 	if err := r.interrupted(); err != nil {
 		return nil, err
 	}
 	ctx, sp := obs.Start(ctx, "profile")
 	defer sp.End()
-	if r.opts.ProfileHook != nil {
-		return r.opts.ProfileHook(ctx, ast, cfg, r.trace)
+	key := profileKey(ast, cfg, r.traceDig)
+	if prof, ok := r.mgr.cache.getProfile(key); ok {
+		r.noteProfile(true)
+		return prof, nil
 	}
-	return profile.RunParallelContext(ctx, ast, cfg, r.trace, r.opts.parallelism())
+	r.noteProfile(false)
+	prof, err := func() (*profile.Profile, error) {
+		if r.opts.ProfileHook != nil {
+			return r.opts.ProfileHook(ctx, ast, cfg, r.trace)
+		}
+		return profile.RunParallelContext(ctx, ast, cfg, r.trace, r.opts.parallelism())
+	}()
+	if err == nil {
+		r.mgr.cache.putProfile(key, prof)
+	}
+	return prof, err
 }
 
 // recompile refreshes the compiler outputs for the current program.
@@ -376,23 +367,16 @@ func filterConfig(cfg *rt.Config, ast *p4.Program) *rt.Config {
 // OffloadCandidates profiles the program and reports the metrics of every
 // self-contained offload segment, without applying anything. Used by the
 // phase-ordering ablation (§2.2: offloading first would have offloaded both
-// ACLs).
+// ACLs). It runs the read-only offload-report pass through the same
+// manager as Optimize, so its compiles and profiles nest under a proper
+// "optimize" root span (mode=offload-report), record stage snapshots, and
+// share the analysis cache — ablation traces are no longer truncated.
 func (o *Optimizer) OffloadCandidates(ast *p4.Program, cfg *rt.Config, trace *trafficgen.Trace) ([]CandidateReport, error) {
-	if cfg == nil {
-		cfg = &rt.Config{}
-	}
-	ctx := o.opts.Context
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	r := &run{opts: o.opts, tgt: o.opts.target(), cfg: cfg, trace: trace, cur: p4.Clone(ast)}
-	if err := r.recompile(ctx); err != nil {
+	m, err := newManager(o.opts)
+	if err != nil {
 		return nil, err
 	}
-	if err := r.reprofile(ctx); err != nil {
-		return nil, err
-	}
-	return r.offloadCandidates(ctx)
+	return m.offloadReport(ast, cfg, trace)
 }
 
 // totalStages is the optimization objective: ingress plus egress stages

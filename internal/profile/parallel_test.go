@@ -66,6 +66,7 @@ func TestStatefulTablesPerWorkload(t *testing.T) {
 	want := map[string][]string{
 		"ex1":         {"Sketch_1", "Sketch_2"},
 		"failure":     {"retrans_cms_1", "retrans_cms_2", "retrans_detect"},
+		"l2l3_acl":    nil,
 		"natgre":      nil,
 		"quickstart":  nil,
 		"sourceguard": {"sg_bf1", "sg_bf2"},

@@ -1,0 +1,171 @@
+package programs
+
+// L2L3ACL calibration constants (tofino memory model; see DESIGN.md §3).
+const (
+	// L2L3ACLL2Size is the small L2 port table (64 x 10 B = 640 B).
+	L2L3ACLL2Size = 64
+	// L2L3ACLL3Size keeps the LPM routes within one TCAM stage: 1024
+	// entries x 4 key bytes x 2 (key+mask) = 8 KiB of the 64 KiB budget.
+	L2L3ACLL3Size = 1024
+	// L2L3ACLACLSize sizes each port ACL at 20480 entries x 6 B = 120 KiB,
+	// so the two ACLs together fill most of a 256 KiB stage: they can
+	// co-locate with each other (240 KiB) but with nothing else.
+	L2L3ACLACLSize = 20480
+	// L2L3ACLFlowSize sizes the accounting table at 24576 entries x 10 B =
+	// 240 KiB: it shares a stage with the 64-byte To_Ctl table but not
+	// with either ACL, so its placement is what the phase ordering fights
+	// over.
+	L2L3ACLFlowSize = 24576
+	// L2L3ACLBlockedDstPort and L2L3ACLBlockedSrcPort are the two ACL
+	// rules; the example traces never put both on one packet, which is
+	// the non-manifesting dependency Phase 2 exploits.
+	L2L3ACLBlockedDstPort = 6666
+	L2L3ACLBlockedSrcPort = 7777
+)
+
+// L2L3ACL is the §2.2 phase-ordering workload: an L2 port table, an L3
+// LPM router, two independent port ACLs, and a per-nexthop accounting
+// table that reads metadata the router writes. Every table except the
+// ACLs is hot, and the monotone stage allocator has to place the
+// accounting table after both ACLs, so the pipeline initially spans five
+// stages. Offloading first moves both ACLs out in one step (two stages
+// saved); removing the ACL1→ACL2 dependency first claims one of those
+// stages, leaving the offload only one.
+const L2L3ACL = `
+// L2/L3 router with two port ACLs and flow accounting (phase-ordering ablation).
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        diffserv : 8;
+        totalLen : 16;
+        identification : 16;
+        flags : 3;
+        fragOffset : 13;
+        ttl : 8;
+        protocol : 8;
+        hdrChecksum : 16;
+        srcAddr : 32;
+        dstAddr : 32;
+    }
+}
+header_type udp_t {
+    fields {
+        srcPort : 16;
+        dstPort : 16;
+        length_ : 16;
+        checksum : 16;
+    }
+}
+header_type l2l3_meta_t {
+    fields {
+        nhop : 16;
+        flow_class : 16;
+    }
+}
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+header udp_t udp;
+metadata l2l3_meta_t l2l3_meta;
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        0x0800 : parse_ipv4;
+        default : ingress;
+    }
+}
+parser parse_ipv4 {
+    extract(ipv4);
+    return select(ipv4.protocol) {
+        17 : parse_udp;
+        default : ingress;
+    }
+}
+parser parse_udp {
+    extract(udp);
+    return ingress;
+}
+
+action set_l2(port) {
+    modify_field(standard_metadata.egress_spec, port);
+}
+action set_nhop(nhop, port) {
+    modify_field(l2l3_meta.nhop, nhop);
+    modify_field(standard_metadata.egress_spec, port);
+}
+action acl1_drop() {
+    drop();
+}
+action acl2_drop() {
+    drop();
+}
+action count_flow(class) {
+    modify_field(l2l3_meta.flow_class, class);
+}
+
+table L2 {
+    reads {
+        standard_metadata.ingress_port : exact;
+    }
+    actions {
+        set_l2;
+    }
+    size : 64;
+}
+table L3 {
+    reads {
+        ipv4.dstAddr : lpm;
+    }
+    actions {
+        set_nhop;
+    }
+    size : 1024;
+}
+table ACL1 {
+    reads {
+        udp.dstPort : exact;
+    }
+    actions {
+        acl1_drop;
+    }
+    size : 20480;
+}
+table ACL2 {
+    reads {
+        udp.srcPort : exact;
+    }
+    actions {
+        acl2_drop;
+    }
+    size : 20480;
+}
+table Flow_Count {
+    reads {
+        l2l3_meta.nhop : exact;
+    }
+    actions {
+        count_flow;
+    }
+    size : 24576;
+}
+
+control ingress {
+    apply(L2);
+    if (valid(ipv4)) {
+        apply(L3);
+    }
+    if (valid(udp)) {
+        apply(ACL1);
+        apply(ACL2);
+    }
+    apply(Flow_Count);
+}
+`

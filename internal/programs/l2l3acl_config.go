@@ -1,0 +1,36 @@
+package programs
+
+import (
+	"fmt"
+
+	"p2go/internal/rt"
+)
+
+// L2L3ACLRulesText is the runtime configuration of the phase-ordering
+// workload: the trusted L2 port, two routes classed 1 and 2, one rule per
+// ACL, and the per-nexthop accounting entries.
+const L2L3ACLRulesText = `
+# L2 forwarding for the trusted ingress port.
+table_add L2 set_l2 1 => 2
+
+# L3 routes: the enterprise default plus one pod, next hops 1 and 2.
+table_add L3 set_nhop 10.0.0.0/8 => 1 3
+table_add L3 set_nhop 10.2.0.0/16 => 2 4
+
+# The two port ACLs; the traces never trigger both on one packet.
+table_add ACL1 acl1_drop 6666
+table_add ACL2 acl2_drop 7777
+
+# Per-nexthop flow accounting.
+table_add Flow_Count count_flow 1 => 1
+table_add Flow_Count count_flow 2 => 2
+`
+
+// L2L3ACLConfig parses the phase-ordering workload's configuration.
+func L2L3ACLConfig() *rt.Config {
+	cfg, err := rt.Parse(L2L3ACLRulesText)
+	if err != nil {
+		panic(fmt.Sprintf("programs: L2L3ACLRulesText does not parse: %v", err))
+	}
+	return cfg
+}

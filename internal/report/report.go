@@ -21,6 +21,7 @@ type JobResult struct {
 	StagesBefore       int           `json:"stages_before,omitempty"`
 	StagesAfter        int           `json:"stages_after,omitempty"`
 	History            []Stage       `json:"history,omitempty"`
+	Passes             []Pass        `json:"passes,omitempty"`
 	Observations       []Observation `json:"observations,omitempty"`
 	OffloadedTables    []string      `json:"offloaded_tables,omitempty"`
 	RedirectedFraction float64       `json:"redirected_fraction,omitempty"`
@@ -61,6 +62,20 @@ type Resilience struct {
 	DegradedVerdicts  int            `json:"degraded_verdicts"`
 	SilentDivergences int            `json:"silent_divergences"`
 	FaultsFired       map[string]int `json:"faults_fired,omitempty"`
+}
+
+// Pass is one executed optimization pass, in execution order (the
+// implicit phase1 profiling pass first): how long it ran, how many of its
+// compiles/profiles the analysis cache answered, and how many
+// observations it produced.
+type Pass struct {
+	ID              string  `json:"id"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	CompileHits     int     `json:"compile_cache_hits"`
+	CompileMisses   int     `json:"compile_cache_misses"`
+	ProfileHits     int     `json:"profile_cache_hits"`
+	ProfileMisses   int     `json:"profile_cache_misses"`
+	Observations    int     `json:"observations"`
 }
 
 // Stage is one row of the Table 2-style stage history.
@@ -161,6 +176,17 @@ func FromResult(workload string, seed int64, res *core.Result) *JobResult {
 			Fits:            h.Fits,
 			Summary:         h.Summary,
 			DurationSeconds: h.Duration.Seconds(),
+		})
+	}
+	for _, s := range res.PassStats {
+		out.Passes = append(out.Passes, Pass{
+			ID:              s.ID,
+			DurationSeconds: s.Duration.Seconds(),
+			CompileHits:     s.CompileHits,
+			CompileMisses:   s.CompileMisses,
+			ProfileHits:     s.ProfileHits,
+			ProfileMisses:   s.ProfileMisses,
+			Observations:    s.Observations,
 		})
 	}
 	for _, o := range res.Observations {

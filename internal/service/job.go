@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"strings"
 	"time"
 
+	"p2go/internal/core"
 	"p2go/internal/obs"
 	"p2go/internal/workloads"
 )
@@ -28,7 +30,16 @@ type JobSpec struct {
 	// Rules, when set, is an inline runtime configuration overriding the
 	// workload's rules.
 	Rules string `json:"rules,omitempty"`
+	// Passes selects which optimization passes run and in what order,
+	// mirroring the CLI's -passes (IDs from core.Passes(); only used for
+	// optimize jobs). Empty means the default schedule filtered by the
+	// deprecated phase toggles below. It is part of the artifact digest:
+	// different schedules produce different artifacts.
+	Passes []string `json:"passes,omitempty"`
 	// Phase toggles, mirroring the CLI's -no-deps/-no-mem/-no-offload.
+	//
+	// Deprecated: set Passes instead; the toggles only apply when Passes
+	// is empty.
 	NoDeps    bool `json:"no_deps,omitempty"`
 	NoMem     bool `json:"no_mem,omitempty"`
 	NoOffload bool `json:"no_offload,omitempty"`
@@ -67,6 +78,12 @@ func (s *JobSpec) normalize() error {
 	if s.Parallelism < 0 {
 		return fmt.Errorf("negative parallelism")
 	}
+	if len(s.Passes) == 0 {
+		s.Passes = nil // JSON cannot distinguish [] from absent; treat both as default
+	}
+	if err := core.ValidatePasses(s.Passes); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -74,7 +91,8 @@ func (s *JobSpec) normalize() error {
 // produce the same artifact.
 func (s JobSpec) digest() string {
 	return Digest(s.Kind, s.Workload, fmt.Sprintf("%d", s.Seed), s.Program, s.Rules,
-		fmt.Sprintf("%t/%t/%t", s.NoDeps, s.NoMem, s.NoOffload))
+		fmt.Sprintf("%t/%t/%t", s.NoDeps, s.NoMem, s.NoOffload),
+		strings.Join(s.Passes, ","))
 }
 
 // JobState is a job's lifecycle position.

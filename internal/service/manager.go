@@ -674,6 +674,7 @@ func (m *Manager) execute(ctx context.Context, job *Job) ([]byte, error) {
 
 	opts := core.Options{
 		Context:       ctx,
+		Passes:        spec.Passes, // nil = default schedule via the toggles below
 		DisablePhase2: spec.NoDeps,
 		DisablePhase3: spec.NoMem,
 		DisablePhase4: spec.NoOffload,

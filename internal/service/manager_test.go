@@ -276,3 +276,38 @@ func TestJobSpecDigest(t *testing.T) {
 		}
 	}
 }
+
+func TestJobSpecPasses(t *testing.T) {
+	base := JobSpec{Kind: "optimize", Workload: "ex1", Seed: 1}
+	reordered := JobSpec{Kind: "optimize", Workload: "ex1", Seed: 1,
+		Passes: []string{"phase4", "phase2", "phase3"}}
+	defaultOrder := JobSpec{Kind: "optimize", Workload: "ex1", Seed: 1,
+		Passes: []string{"phase2", "phase3", "phase4"}}
+	if base.digest() == reordered.digest() {
+		t.Error("an explicit pass schedule must change the artifact digest")
+	}
+	if reordered.digest() == defaultOrder.digest() {
+		t.Error("pass order must change the artifact digest")
+	}
+
+	// JSON cannot distinguish [] from absent: both normalize to nil and
+	// share the no-Passes digest.
+	empty := JobSpec{Kind: "optimize", Workload: "ex1", Seed: 1, Passes: []string{}}
+	if err := empty.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Passes != nil {
+		t.Errorf("normalize kept empty Passes %v, want nil", empty.Passes)
+	}
+	if err := base.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if empty.digest() != base.digest() {
+		t.Error("empty pass list must digest like an absent one")
+	}
+
+	bad := JobSpec{Kind: "optimize", Workload: "ex1", Seed: 1, Passes: []string{"phase5"}}
+	if err := bad.normalize(); err == nil {
+		t.Error("normalize accepted unknown pass phase5")
+	}
+}

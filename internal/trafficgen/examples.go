@@ -197,6 +197,75 @@ func FailureTrace(spec FailureSpec) *Trace {
 	return out
 }
 
+// L2L3ACLSpec parameterizes the phase-ordering workload.
+type L2L3ACLSpec struct {
+	Total int // 0 means 4000
+	Seed  int64
+	// UDPPeriod makes every UDPPeriod-th packet UDP (the rarely used ACL
+	// path); 0 means 20, i.e. a 5% redirect fraction when the ACLs are
+	// offloaded. Of the UDP packets, one in ten hits ACL1's blocked
+	// destination port and one in ten hits ACL2's blocked source port —
+	// never both on the same packet, so the ACL1→ACL2 dependency never
+	// manifests.
+	UDPPeriod int
+}
+
+// L2L3ACLTrace generates mostly-TCP routed traffic with a thin UDP slice
+// whose ACL1 and ACL2 violations are disjoint. Destinations alternate
+// between the two installed routes so both Flow_Count entries stay hot.
+func L2L3ACLTrace(spec L2L3ACLSpec) *Trace {
+	total := spec.Total
+	if total == 0 {
+		total = 4000
+	}
+	period := spec.UDPPeriod
+	if period == 0 {
+		period = 20
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	out := &Trace{}
+	for i := 0; i < total; i++ {
+		// Every 4th destination takes the 10.2/16 pod route (next hop 2);
+		// the rest take the 10/8 default (next hop 1).
+		dst := packet.IP(10, 0, byte(rng.Intn(256)), byte(1+rng.Intn(254)))
+		if i%4 == 1 {
+			dst = packet.IP(10, 2, byte(rng.Intn(256)), byte(1+rng.Intn(254)))
+		}
+		src := packet.IP(10, 8, byte(rng.Intn(256)), byte(1+rng.Intn(254)))
+		if i%period == period-1 {
+			// UDP slot. Benign ports stay clear of both blocked ports
+			// (10000+ source, 9000 destination) so only the designated
+			// slots ever hit an ACL.
+			sport := uint16(10000 + rng.Intn(50000))
+			dport := uint16(9000)
+			switch (i / period) % 10 {
+			case 0:
+				dport = programs.L2L3ACLBlockedDstPort // ACL1 drop
+			case 1:
+				sport = programs.L2L3ACLBlockedSrcPort // ACL2 drop
+			}
+			out.Packets = append(out.Packets, Packet{
+				Port: 1,
+				Data: packet.Serialize(
+					&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+					&packet.IPv4{Protocol: packet.ProtoUDP, Src: src, Dst: dst},
+					&packet.UDP{SrcPort: sport, DstPort: dport},
+				),
+			})
+			continue
+		}
+		out.Packets = append(out.Packets, Packet{
+			Port: 1,
+			Data: packet.Serialize(
+				&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+				&packet.IPv4{Protocol: packet.ProtoTCP, Src: src, Dst: dst},
+				&packet.TCP{SrcPort: uint16(1024 + rng.Intn(60000)), DstPort: 443, Seq: rng.Uint32(), Flags: packet.TCPAck},
+			),
+		})
+	}
+	return out
+}
+
 // StressTrace exercises the does-not-fit ACL chain: every packet matches at
 // most one ACL table.
 func StressTrace(total int, seed int64) *Trace {

@@ -34,6 +34,16 @@ var registry = map[string]Workload{
 		},
 		Paper: "Table 2: 8 -> 7 -> 6 -> 3 stages",
 	},
+	"l2l3_acl": {
+		Name:        "l2l3_acl",
+		Description: "L2/L3 router + two rarely hit port ACLs + flow accounting (phase-ordering ablation)",
+		Source:      programs.L2L3ACL,
+		Config:      programs.L2L3ACLConfig,
+		Trace: func(seed int64) (*trafficgen.Trace, error) {
+			return trafficgen.L2L3ACLTrace(trafficgen.L2L3ACLSpec{Seed: seed}), nil
+		},
+		Paper: "§2.2: offloading first removes both ACLs (5 -> 3); the default order saves one of those stages in Phase 2 first",
+	},
 	"natgre": {
 		Name:        "natgre",
 		Description: "NAT & GRE features from switch.p4 (dependency removal)",

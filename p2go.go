@@ -73,6 +73,14 @@ type (
 	Observation = core.Observation
 	// StageSnapshot records the pipeline length after one phase.
 	StageSnapshot = core.StageSnapshot
+	// PassInfo describes one registered optimization pass.
+	PassInfo = core.PassInfo
+	// PassStat is one executed pass's runtime and analysis-cache counters.
+	PassStat = core.PassStat
+	// AnalysisCache memoizes compiles and profiles by content digest;
+	// share one across runs (Options.AnalysisCache) so a re-run with
+	// changed Options replays mostly from cache.
+	AnalysisCache = core.AnalysisCache
 	// Controller executes an offloaded segment on redirected packets.
 	Controller = controller.Controller
 	// Deployment composes the optimized data plane with a controller.
@@ -191,6 +199,29 @@ func OptimizeContext(ctx context.Context, prog *Program, cfg *Config, trace *Tra
 // RenderHistory formats per-phase stage snapshots as a Table 2-style
 // report.
 func RenderHistory(history []StageSnapshot) string { return core.RenderHistory(history) }
+
+// Passes lists the registered optimization passes in default order. The
+// selectable ones (neither Implicit nor ReadOnly) may be scheduled in any
+// order and multiplicity via Options.Passes, `p2go optimize -passes`, or
+// a job spec's "passes" field.
+func Passes() []PassInfo { return core.Passes() }
+
+// DefaultPassIDs returns the default pass schedule (the paper's phase
+// order).
+func DefaultPassIDs() []string { return core.DefaultPassIDs() }
+
+// ValidatePasses checks a pass schedule against the registry without
+// running anything.
+func ValidatePasses(ids []string) error { return core.ValidatePasses(ids) }
+
+// NewAnalysisCache builds an empty analysis cache for Options.AnalysisCache.
+func NewAnalysisCache() *AnalysisCache { return core.NewAnalysisCache() }
+
+// Int returns a pointer to v, for the optional int Options fields.
+func Int(v int) *int { return core.Int(v) }
+
+// Float returns a pointer to v, for the optional float Options fields.
+func Float(v float64) *float64 { return core.Float(v) }
 
 // NewOnlineMonitor instruments the optimized program for online profiling
 // against the baseline profile (typically Result.FinalProfile): the
