@@ -1,0 +1,146 @@
+// The -fleet load test: thousands of device-jobs through an in-process
+// p2god manager, demonstrating the cross-device analysis cache (a
+// homogeneous fleet compiles its program once, not once per device) and
+// typed per-device fault attribution under data-plane fault injection.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"p2go/internal/faults"
+	"p2go/internal/fleet"
+	"p2go/internal/report"
+	"p2go/internal/service"
+)
+
+const fleetPacketsPerDevice = 40
+
+// runFleetLoad drives the two fleet experiments:
+//
+//  1. Cross-device dedup: one fleet per size on a fresh daemon; compiles
+//     stay flat while devices grow (the EXPERIMENTS.md table).
+//  2. Load under faults: every device-job through one daemon with a
+//     data-plane fault window, checking that failures are attributed to
+//     device rows rather than failing whole fleet jobs.
+func runFleetLoad(devices int, short bool, seed int64) error {
+	sizes := []int{1, 8, 64, 512}
+	batch := 256
+	if short {
+		sizes = []int{1, 4, 16}
+		batch = 32
+		if devices > 64 {
+			devices = 64
+		}
+	}
+
+	// A single device already compiles several times — the optimizer
+	// probes candidate programs — so the dedup claim is "compiles stay
+	// flat as devices grow", measured against the size-1 baseline.
+	fmt.Println("Cross-device compile dedup (one fleet per row, fresh daemon each):")
+	fmt.Printf("  %8s %10s %12s %12s %14s\n", "devices", "compiles", "cache hits", "profiles", "stages (fleet)")
+	solo := 0
+	for _, n := range sizes {
+		m := service.NewManager(service.ManagerConfig{Workers: 2, QueueDepth: 4})
+		m.Start()
+		res, err := runFleetJob(m, fleet.Synthetic("quickstart", n, seed, fleetPacketsPerDevice))
+		if err != nil {
+			return err
+		}
+		m.Drain(30 * time.Second)
+		if n == 1 {
+			solo = res.CompileMisses
+		} else if res.CompileMisses >= n*solo {
+			return fmt.Errorf("fleet of %d compiled %d times (solo device: %d); the shared analysis cache is not deduplicating",
+				n, res.CompileMisses, solo)
+		}
+		fmt.Printf("  %8d %10d %12d %12d %8d -> %-4d\n",
+			n, res.CompileMisses, res.CompileHits, res.ProfileMisses, res.StagesBefore, res.StagesAfter)
+	}
+
+	// One daemon, many fleet jobs, a fault window over the early
+	// data-plane events: the affected devices fail with attributed
+	// errors while every job still completes.
+	set := faults.MustSet(faults.Spec{
+		Point: faults.SimStep,
+		From:  fleetPacketsPerDevice,
+		To:    3 * fleetPacketsPerDevice,
+	})
+	m := service.NewManager(service.ManagerConfig{Workers: 4, QueueDepth: 64, Faults: set})
+	m.Start()
+	defer m.Drain(60 * time.Second)
+
+	start := time.Now()
+	var ids []string
+	for submitted := 0; submitted < devices; submitted += batch {
+		n := batch
+		if devices-submitted < n {
+			n = devices - submitted
+		}
+		spec := fleet.Synthetic("quickstart", n, seed+int64(submitted), fleetPacketsPerDevice)
+		spec.Name = fmt.Sprintf("load-%04d", submitted)
+		st, err := m.Submit(service.JobSpec{Kind: "fleet", Fleet: &spec})
+		if err != nil {
+			return fmt.Errorf("submit %s: %w", spec.Name, err)
+		}
+		ids = append(ids, st.ID)
+	}
+	var optimized, skipped, failed, compiles int
+	for _, id := range ids {
+		res, err := awaitFleetJob(m, id)
+		if err != nil {
+			return err
+		}
+		optimized += res.Optimized
+		skipped += res.Skipped
+		failed += res.Failed
+		compiles += res.CompileMisses
+	}
+	elapsed := time.Since(start)
+	if optimized+skipped+failed != devices {
+		return fmt.Errorf("device rows do not add up: %d+%d+%d != %d", optimized, skipped, failed, devices)
+	}
+	if failed == 0 {
+		return fmt.Errorf("the fault window [%d,%d) hit no device; attribution untested", fleetPacketsPerDevice, 3*fleetPacketsPerDevice)
+	}
+	fmt.Printf("\nLoad under faults: %d device-jobs across %d fleets in %.2fs (%.0f devices/s)\n",
+		devices, len(ids), elapsed.Seconds(), float64(devices)/elapsed.Seconds())
+	fmt.Printf("  optimized %d, skipped %d, failed %d (fault window [%d,%d) over data-plane events)\n",
+		optimized, skipped, failed, fleetPacketsPerDevice, 3*fleetPacketsPerDevice)
+	fmt.Printf("  compiles across the whole run: %d (daemon-wide analysis cache; %d would be uncached)\n",
+		compiles, devices)
+	return nil
+}
+
+// runFleetJob submits one fleet spec and waits for its aggregated result.
+func runFleetJob(m *service.Manager, spec fleet.Spec) (*report.FleetResult, error) {
+	st, err := m.Submit(service.JobSpec{Kind: "fleet", Fleet: &spec})
+	if err != nil {
+		return nil, err
+	}
+	return awaitFleetJob(m, st.ID)
+}
+
+// awaitFleetJob polls the manager until the fleet job is terminal.
+func awaitFleetJob(m *service.Manager, id string) (*report.FleetResult, error) {
+	deadline := time.Now().Add(10 * time.Minute)
+	for time.Now().Before(deadline) {
+		st, ok := m.Get(id, true)
+		if !ok {
+			return nil, fmt.Errorf("fleet job %s vanished", id)
+		}
+		if st.State.Terminal() {
+			if st.State != service.StateDone {
+				return nil, fmt.Errorf("fleet job %s %s: %s", id, st.State, st.Error)
+			}
+			var res report.FleetResult
+			if err := json.Unmarshal(st.Result, &res); err != nil {
+				return nil, fmt.Errorf("fleet job %s result: %w", id, err)
+			}
+			return &res, nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("fleet job %s did not finish in time", id)
+}

@@ -4,7 +4,10 @@
 // -run <id> for one experiment (EX1, FIG1, TAB1, TAB2, TAB3, ABL1, ABL2,
 // ABL3, ABL4). With -bench <file>, it instead runs the micro-benchmark
 // suite (compile, profile, optimize per workload) and writes the results
-// as JSON — the committed BENCH_p2go.json is produced this way.
+// as JSON — the committed BENCH_p2go.json is produced this way. With
+// -fleet, it runs the fleet load test instead: thousands of device-jobs
+// through an in-process p2god manager under fault injection, plus the
+// cross-device compile-dedup table (-fleet-short shrinks it for CI).
 package main
 
 import (
@@ -31,7 +34,19 @@ func main() {
 	bench := flag.String("bench", "", "run the micro-benchmark suite instead and write results to this JSON file (e.g. BENCH_p2go.json)")
 	benchWorkload := flag.String("bench-workload", "", "restrict -bench to one workload (CI smoke)")
 	benchBaseline := flag.String("bench-baseline", "", "compare -bench replay throughput against this committed JSON and fail on a >30% regression")
+	fleetRun := flag.Bool("fleet", false, "run the fleet load test instead: device-jobs through an in-process p2god under fault injection")
+	fleetDevices := flag.Int("fleet-devices", 2048, "total device-jobs for the -fleet load test")
+	fleetShort := flag.Bool("fleet-short", false, "CI smoke: shrink the -fleet load test (caps devices at 64)")
 	flag.Parse()
+
+	if *fleetRun {
+		fmt.Println("===== FLEET =====")
+		if err := runFleetLoad(*fleetDevices, *fleetShort, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: fleet: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *bench != "" {
 		fmt.Println("===== BENCH =====")

@@ -12,6 +12,9 @@
 //	p2go submit   -server http://127.0.0.1:9095 -workload ex1 [-wait]
 //	p2go status   -server http://127.0.0.1:9095 -id j-000001
 //	p2go jobs     -server http://127.0.0.1:9095
+//	p2go fleet submit -server http://127.0.0.1:9095 -devices 64 -workload quickstart [-wait]
+//	p2go fleet submit -server http://127.0.0.1:9095 -spec fleet.json [-wait]
+//	p2go fleet status -server http://127.0.0.1:9095 -id j-000001
 //	p2go passes
 //	p2go list
 //
@@ -19,6 +22,9 @@
 // -rules override the program/rules while borrowing a workload's trace.
 // The submit/status/jobs subcommands are clients for the p2god service;
 // -json emits the same machine-readable job-result schema p2god returns.
+// The fleet verbs submit network-wide jobs: p2god optimizes every device
+// in the topology against its own observed traffic and returns one
+// aggregated report.
 package main
 
 import (
@@ -60,6 +66,8 @@ func main() {
 		err = cmdStatus(os.Args[2:])
 	case "jobs":
 		err = cmdJobs(os.Args[2:])
+	case "fleet":
+		err = cmdFleet(os.Args[2:])
 	case "passes":
 		err = cmdPasses()
 	case "list":
@@ -90,6 +98,10 @@ func usage() {
   p2go submit   -server <url> -workload <name> [-kind profile|optimize] [-wait] [-timeout d]   (p2god client)
   p2go status   -server <url> -id <job-id> [-timeout d]
   p2go jobs     -server <url> [-timeout d]
+  p2go fleet submit -server <url> [-spec fleet.json | -devices N -workload <name> -seed S -packets N]
+                [-passes id,id,...] [-device-parallelism N] [-wait]   (network-wide job)
+  p2go fleet status -server <url> -id <fleet-job-id>
+  p2go fleet jobs   -server <url>
   p2go passes   (list the registered optimization passes)
   p2go list`)
 }

@@ -173,6 +173,81 @@ func TestClientSubcommands(t *testing.T) {
 	}
 }
 
+// TestFleetSubcommands drives fleet submit/status/jobs against an
+// in-process p2god instance, both synthetic and from a spec file.
+func TestFleetSubcommands(t *testing.T) {
+	m := service.NewManager(service.ManagerConfig{Workers: 1, QueueDepth: 4})
+	m.Start()
+	srv := httptest.NewServer(service.NewHandler(m))
+	t.Cleanup(func() {
+		srv.Close()
+		m.Drain(5 * time.Second)
+	})
+
+	out := captureStdout(t, func() error {
+		return cmdFleet([]string{"submit", "-server", srv.URL, "-devices", "3",
+			"-workload", "quickstart", "-packets", "30", "-wait", "-poll", "20ms"})
+	})
+	var st service.JobStatus
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		t.Fatalf("fleet submit output not JSON: %v\n%s", err, out)
+	}
+	if st.Kind != "fleet" || st.State != service.StateDone {
+		t.Fatalf("fleet submit -wait = kind %q state %s: %s", st.Kind, st.State, st.Error)
+	}
+	var res report.FleetResult
+	if err := json.Unmarshal(st.Result, &res); err != nil {
+		t.Fatalf("fleet result not JSON: %v", err)
+	}
+	if res.DeviceCount != 3 || res.Optimized != 3 {
+		t.Errorf("fleet result = %d devices, %d optimized; want 3/3", res.DeviceCount, res.Optimized)
+	}
+
+	// A spec file is the POST /fleets body verbatim.
+	specFile := filepath.Join(t.TempDir(), "fleet.json")
+	spec, _ := json.Marshal(map[string]any{
+		"name":       "from-file",
+		"devices":    []map[string]any{{"name": "edge", "workload": "quickstart"}},
+		"injections": []map[string]any{{"device": "edge", "workload": "quickstart", "count": 20}},
+	})
+	if err := os.WriteFile(specFile, spec, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = captureStdout(t, func() error {
+		return cmdFleet([]string{"submit", "-server", srv.URL, "-spec", specFile})
+	})
+	var st2 service.JobStatus
+	if err := json.Unmarshal([]byte(out), &st2); err != nil {
+		t.Fatalf("spec-file submit output not JSON: %v\n%s", err, out)
+	}
+	if st2.Workload != "from-file" {
+		t.Errorf("spec-file fleet named %q, want from-file", st2.Workload)
+	}
+
+	out = captureStdout(t, func() error {
+		return cmdFleet([]string{"status", "-server", srv.URL, "-id", st.ID})
+	})
+	if !strings.Contains(out, st.ID) {
+		t.Errorf("fleet status output lacks the job ID: %s", out)
+	}
+	out = captureStdout(t, func() error {
+		return cmdFleet([]string{"jobs", "-server", srv.URL})
+	})
+	if !strings.Contains(out, st.ID) || !strings.Contains(out, st2.ID) {
+		t.Errorf("fleet jobs output lacks submitted IDs: %s", out)
+	}
+
+	if err := cmdFleet([]string{"bogus"}); err == nil {
+		t.Error("unknown fleet verb should fail")
+	}
+	if err := cmdFleet(nil); err == nil {
+		t.Error("bare 'p2go fleet' should fail with usage")
+	}
+	if err := cmdFleet([]string{"status", "-server", srv.URL}); err == nil {
+		t.Error("fleet status without -id should fail")
+	}
+}
+
 func TestLoadOverrides(t *testing.T) {
 	dir := t.TempDir()
 	prog := filepath.Join(dir, "p.p4")

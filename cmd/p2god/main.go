@@ -2,7 +2,12 @@
 // profile/optimize jobs over HTTP, runs them on a bounded worker pool with
 // per-job timeouts and cancellation, serves repeated work from a
 // content-addressed artifact cache, and exposes Prometheus metrics and
-// per-job execution traces.
+// per-job execution traces. POST /fleets submits network-wide jobs: the
+// daemon collects each device's observed traffic across the topology,
+// optimizes every device against its own trace, and aggregates the rows
+// into one fleet report — a daemon-wide analysis cache dedups compiles
+// and profiles across devices and across fleet jobs, so homogeneous
+// fleets compile each distinct program once.
 //
 // Usage:
 //
@@ -14,6 +19,7 @@
 //
 //	curl -s -X POST localhost:9095/jobs -d '{"kind":"optimize","workload":"ex1"}'
 //	curl -s localhost:9095/jobs/j-000001
+//	p2go fleet submit -devices 64 -workload quickstart -wait   (network-wide job)
 //	curl -s localhost:9095/jobs/j-000001/trace > trace.json   (load in Perfetto)
 //	curl -s localhost:9095/metrics
 //

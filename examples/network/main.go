@@ -95,6 +95,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	for _, s := range report.Skipped {
+		fmt.Printf("  skipped %-8s %s\n", s.Device, s.Reason)
+	}
+	if err := report.Err(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nper-device optimization:")
 	for _, r := range report.Results {
 		fmt.Printf("  %-8s %d -> %d stages", r.Device, r.Result.StagesBefore(), r.Result.StagesAfter())

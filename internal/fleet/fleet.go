@@ -1,0 +1,428 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p2go/internal/core"
+	"p2go/internal/faults"
+	"p2go/internal/network"
+	"p2go/internal/obs"
+	"p2go/internal/p4"
+	"p2go/internal/report"
+	"p2go/internal/rt"
+	"p2go/internal/trafficgen"
+	"p2go/internal/workloads"
+)
+
+// skipEmptyTrace is the recorded reason for devices no traffic reached.
+const skipEmptyTrace = "no packets reached the device (empty trace; P2GO needs a representative trace)"
+
+// DeviceCache stores finished per-device rows across fleet runs, keyed by
+// a content digest of the device's inputs (program, rules, observed
+// trace, pass schedule, target). p2god plugs its LRU + disk-spill cache
+// in here, which is what lets a fleet job killed mid-run recompute only
+// the devices that had not finished. Implementations must be safe for
+// concurrent use; Get returning false means "compute it".
+type DeviceCache interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, data []byte)
+}
+
+// Options configures a fleet run.
+type Options struct {
+	// Core is the per-device optimization template: target, hooks,
+	// thresholds, context. The fleet runner copies it per device and
+	// overrides Passes/Parallelism from the spec and AnalysisCache from
+	// the shared cache below.
+	Core core.Options
+	// AnalysisCache is the compile/profile cache shared across every
+	// device in the fleet — the core of the network-wide story: a
+	// homogeneous fleet of N same-program devices compiles far fewer than
+	// N times. nil means a fresh cache per fleet (still shared across the
+	// fleet's devices, just not across fleets).
+	AnalysisCache *core.AnalysisCache
+	// DeviceCache, when non-nil, serves and stores whole per-device rows
+	// across runs (see DeviceCache). Only optimized rows are stored —
+	// failures are always recomputed.
+	DeviceCache DeviceCache
+	// OnDevice, when non-nil, is called once per finished device row, in
+	// completion order — the journal/metrics progress hook. It must be
+	// safe for concurrent use; rows run on the device fan-out workers.
+	OnDevice func(report.FleetDevice)
+	// Faults injects failures into trace collection (faults.SimStep).
+	Faults *faults.Set
+}
+
+// resolvedDevice is a DeviceSpec with its program parsed and rules
+// loaded, plus the canonical printed forms the device digest uses.
+type resolvedDevice struct {
+	spec    DeviceSpec
+	prog    *p4.Program
+	cfg     *rt.Config
+	printed string // canonical program text
+	rules   string // canonical rules text
+}
+
+// Run executes the fleet job: collect each device's observed trace by
+// replaying the injections through the topology, fan per-device P2GO
+// runs across a bounded pool sharing one analysis cache, and aggregate
+// the per-device rows into a fleet-level result. Per-device failures are
+// attributed in their row (Status "failed") and never abort the fleet;
+// the error return is reserved for fleet-level problems — an invalid
+// spec, an unbuildable topology, or context cancellation.
+func Run(ctx context.Context, spec Spec, opts Options) (*report.FleetResult, error) {
+	start := time.Now()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	ctx, root := obs.Start(ctx, "fleet",
+		obs.String("fleet.name", spec.Name),
+		obs.Int("fleet.devices", len(spec.Devices)),
+		obs.Int("fleet.injections", len(spec.Injections)))
+	defer root.End()
+
+	devices, topo, err := resolve(spec)
+	if err != nil {
+		return nil, err
+	}
+	topo.SetFaults(opts.Faults)
+
+	injections, err := buildInjections(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	_, collectSpan := obs.Start(ctx, "fleet.collect",
+		obs.Int("packets", len(injections)))
+	traces, devErrs := topo.CollectDeviceTracesPartial(injections)
+	collectSpan.SetAttr(obs.Int("device_errors", len(devErrs)))
+	collectSpan.End()
+
+	// A device whose data plane errored mid-collection saw a trace that
+	// under-represents its traffic; fail its row instead of optimizing
+	// against bad evidence. Several errors on one device join into one
+	// row.
+	collectFailed := map[string][]string{}
+	for _, e := range devErrs {
+		collectFailed[e.Device] = append(collectFailed[e.Device], e.Error())
+	}
+
+	shared := opts.AnalysisCache
+	if shared == nil {
+		shared = core.NewAnalysisCache()
+	}
+	statsBefore := shared.Stats()
+
+	rows := make([]report.FleetDevice, len(devices))
+	runErr := forEach(ctx, len(devices), spec.DeviceParallelism, func(i int) error {
+		dev := devices[i]
+		trace := traces[dev.spec.Name]
+		row, err := runDevice(ctx, spec, opts, shared, dev, trace, collectFailed[dev.spec.Name])
+		if err != nil {
+			return err
+		}
+		rows[i] = row
+		if opts.OnDevice != nil {
+			opts.OnDevice(row)
+		}
+		return nil
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	statsAfter := shared.Stats()
+	out := report.AggregateFleet(spec.Name, rows)
+	out.CompileHits = statsAfter.CompileHits - statsBefore.CompileHits
+	out.CompileMisses = statsAfter.CompileMisses - statsBefore.CompileMisses
+	out.ProfileHits = statsAfter.ProfileHits - statsBefore.ProfileHits
+	out.ProfileMisses = statsAfter.ProfileMisses - statsBefore.ProfileMisses
+	out.DurationSeconds = time.Since(start).Seconds()
+	root.SetAttr(
+		obs.Int("fleet.optimized", out.Optimized),
+		obs.Int("fleet.skipped", out.Skipped),
+		obs.Int("fleet.failed", out.Failed),
+		obs.Int("fleet.stages_before", out.StagesBefore),
+		obs.Int("fleet.stages_after", out.StagesAfter),
+		obs.Int("fleet.compile_hits", out.CompileHits),
+		obs.Int("fleet.compile_misses", out.CompileMisses))
+	return out, nil
+}
+
+// runDevice produces one device's row: failed (collection errors),
+// skipped (empty trace), cached (device-cache hit), or optimized (a
+// fresh P2GO run against the device's observed trace). The error return
+// aborts the whole fleet and is reserved for context cancellation —
+// every per-device failure becomes a row instead.
+func runDevice(ctx context.Context, spec Spec, opts Options, shared *core.AnalysisCache,
+	dev resolvedDevice, trace *trafficgen.Trace, collectErrs []string) (report.FleetDevice, error) {
+	name := dev.spec.Name
+	packets := 0
+	if trace != nil {
+		packets = len(trace.Packets)
+	}
+	devCtx, span := obs.Start(ctx, "fleet.device", obs.String("device", name))
+	defer span.End()
+
+	if len(collectErrs) > 0 {
+		span.SetAttr(obs.String("status", report.FleetFailed))
+		return report.FleetDevice{
+			Device:  name,
+			Status:  report.FleetFailed,
+			Error:   strings.Join(collectErrs, "; "),
+			Packets: packets,
+		}, nil
+	}
+	if packets == 0 {
+		span.SetAttr(obs.String("status", report.FleetSkipped))
+		return report.FleetDevice{
+			Device: name,
+			Status: report.FleetSkipped,
+			Reason: skipEmptyTrace,
+		}, nil
+	}
+
+	key := deviceKey(dev, trace, spec.Passes, opts.Core)
+	if opts.DeviceCache != nil {
+		if data, ok := opts.DeviceCache.Get(key); ok {
+			var row report.FleetDevice
+			if err := json.Unmarshal(data, &row); err == nil && row.Status == report.FleetOptimized {
+				row.Device = name
+				row.Cached = true
+				span.SetAttr(obs.String("status", row.Status), obs.Bool("cached", true))
+				return row, nil
+			}
+			// A corrupt or mismatched entry falls through to recompute.
+		}
+	}
+
+	devOpts := opts.Core
+	devOpts.Context = devCtx
+	devOpts.AnalysisCache = shared
+	if spec.Passes != nil {
+		devOpts.Passes = spec.Passes
+	}
+	if spec.Parallelism > 0 {
+		devOpts.Parallelism = spec.Parallelism
+	}
+	res, err := core.New(devOpts).Optimize(dev.prog, dev.cfg, trace)
+	if err != nil {
+		// Cancellation is fleet-level: stop fanning out instead of
+		// recording every remaining device as failed.
+		if ctx.Err() != nil {
+			return report.FleetDevice{}, ctx.Err()
+		}
+		span.SetAttr(obs.String("status", report.FleetFailed))
+		return report.FleetDevice{
+			Device:  name,
+			Status:  report.FleetFailed,
+			Error:   fmt.Sprintf("optimize: %v", err),
+			Packets: packets,
+		}, nil
+	}
+	row := report.FleetDevice{
+		Device:  name,
+		Status:  report.FleetOptimized,
+		Packets: packets,
+		Result:  report.FromResult(dev.spec.Workload, 0, res),
+	}
+	span.SetAttr(obs.String("status", row.Status),
+		obs.Int("stages_before", row.Result.StagesBefore),
+		obs.Int("stages_after", row.Result.StagesAfter))
+	if opts.DeviceCache != nil {
+		if data, err := json.Marshal(row); err == nil {
+			opts.DeviceCache.Put(key, data)
+		}
+	}
+	return row, nil
+}
+
+// resolve parses every device's program, loads its rules, and boots the
+// topology. Returned devices are in spec order (the row order of the
+// result).
+func resolve(spec Spec) ([]resolvedDevice, *network.Topology, error) {
+	topo := network.NewTopology()
+	devices := make([]resolvedDevice, 0, len(spec.Devices))
+	for _, d := range spec.Devices {
+		src := d.Program
+		var cfg *rt.Config
+		if d.Workload != "" {
+			w, err := workloads.Get(d.Workload)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fleet: device %q: %w", d.Name, err)
+			}
+			if src == "" {
+				src = w.Source
+			}
+			cfg = w.Config()
+		}
+		if d.Rules != "" {
+			parsed, err := rt.Parse(d.Rules)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fleet: device %q rules: %w", d.Name, err)
+			}
+			cfg = parsed
+		}
+		prog, err := p4.Parse(src)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fleet: device %q program: %w", d.Name, err)
+		}
+		if err := topo.AddDevice(d.Name, prog, cfg); err != nil {
+			return nil, nil, fmt.Errorf("fleet: %w", err)
+		}
+		rules := ""
+		if cfg != nil {
+			rules = rt.Format(cfg)
+		}
+		devices = append(devices, resolvedDevice{
+			spec:    d,
+			prog:    prog,
+			cfg:     cfg,
+			printed: p4.Print(prog),
+			rules:   rules,
+		})
+	}
+	for _, l := range spec.Links {
+		if err := topo.Link(network.Hop{Device: l.From.Device, Port: l.From.Port},
+			network.Hop{Device: l.To.Device, Port: l.To.Port}); err != nil {
+			return nil, nil, fmt.Errorf("fleet: %w", err)
+		}
+	}
+	return devices, topo, nil
+}
+
+// buildInjections expands every injection spec into per-packet network
+// injections: the workload's generated trace (optionally capped) entering
+// at the named device on each packet's own recorded port.
+func buildInjections(spec Spec) ([]network.Injection, error) {
+	var out []network.Injection
+	for i, inj := range spec.Injections {
+		w, err := workloads.Get(inj.Workload)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: injection %d: %w", i, err)
+		}
+		seed := inj.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		trace, err := w.Trace(seed)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: injection %d (%s): %w", i, inj.Workload, err)
+		}
+		pkts := trace.Packets
+		if inj.Count > 0 && inj.Count < len(pkts) {
+			pkts = pkts[:inj.Count]
+		}
+		for _, pkt := range pkts {
+			out = append(out, network.Injection{
+				At:   network.Hop{Device: inj.Device, Port: pkt.Port},
+				Data: pkt.Data,
+			})
+		}
+	}
+	return out, nil
+}
+
+// deviceKey content-addresses one device's optimization: the canonical
+// program text, rules, observed trace, effective pass schedule, and
+// hardware model. Two devices (or two runs) with the same key produce
+// the same row, which is what makes the DeviceCache safe to share across
+// fleets and after crashes.
+func deviceKey(dev resolvedDevice, trace *trafficgen.Trace, passes []string, copts core.Options) string {
+	tgt := copts.Target
+	return digest("fleet-device",
+		dev.printed,
+		dev.rules,
+		traceDigest(trace),
+		strings.Join(passes, ","),
+		fmt.Sprintf("%d/%d/%d/%d/%d", tgt.Stages, tgt.StageSRAMBytes, tgt.StageTCAMBytes,
+			tgt.MaxTablesPerStage, tgt.StageALUs),
+	)
+}
+
+// traceDigest hashes a trace's packets (port + payload, length-prefixed)
+// — the same content addressing the service layer uses for profile keys.
+func traceDigest(t *trafficgen.Trace) string {
+	parts := make([]string, 0, 2*len(t.Packets))
+	for _, pkt := range t.Packets {
+		parts = append(parts, fmt.Sprintf("%d", pkt.Port), string(pkt.Data))
+	}
+	return digest(parts...)
+}
+
+// forEach runs fn(0..n-1) on up to workers goroutines — the same bounded
+// fan-out contract as the optimizer core's probe pool: deterministic
+// lowest-index error, inline execution at workers<=1 so span order
+// matches the sequential code, a failure (or cancellation) stops workers
+// from claiming further indices while in-flight calls finish.
+func forEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
+		failed   atomic.Bool
+		wg       sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil || i < firstIdx {
+			firstErr, firstIdx = err, i
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					record(int(next.Load()), err)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

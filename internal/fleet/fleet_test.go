@@ -1,0 +1,348 @@
+package fleet
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"p2go/internal/core"
+	"p2go/internal/faults"
+	"p2go/internal/p4"
+	"p2go/internal/profile"
+	"p2go/internal/report"
+	"p2go/internal/rt"
+	"p2go/internal/tofino"
+	"p2go/internal/trafficgen"
+)
+
+// testHooks wraps the real compiler and profiler with call counters — the
+// same stand-in for the service artifact cache the core package's
+// TestIncrementalRerunUsesCache uses, here counting across a whole fleet.
+type testHooks struct {
+	compiles atomic.Int64
+	profiles atomic.Int64
+}
+
+func (h *testHooks) core() core.Options {
+	return core.Options{
+		Parallelism: 1,
+		CompileHook: func(_ context.Context, ast *p4.Program, tgt tofino.Target) (*tofino.Result, error) {
+			h.compiles.Add(1)
+			return tofino.Compile(ast, tgt)
+		},
+		ProfileHook: func(ctx context.Context, ast *p4.Program, cfg *rt.Config, tr *trafficgen.Trace) (*profile.Profile, error) {
+			h.profiles.Add(1)
+			return profile.RunParallelContext(ctx, ast, cfg, tr, 1)
+		},
+	}
+}
+
+// mapCache is an in-memory DeviceCache.
+type mapCache struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func newMapCache() *mapCache { return &mapCache{m: map[string][]byte{}} }
+
+func (c *mapCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.m[key]
+	return d, ok
+}
+
+func (c *mapCache) Put(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = append([]byte(nil), data...)
+}
+
+func TestValidate(t *testing.T) {
+	good := Synthetic("quickstart", 2, 1, 10)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("synthetic spec invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"no devices", func(s *Spec) { s.Devices = nil }, "no devices"},
+		{"duplicate device", func(s *Spec) { s.Devices[1].Name = s.Devices[0].Name }, "duplicate"},
+		{"unnamed device", func(s *Spec) { s.Devices[0].Name = "" }, "no name"},
+		{"no program", func(s *Spec) { s.Devices[0].Workload = "" }, "neither a workload"},
+		{"unknown workload", func(s *Spec) { s.Devices[0].Workload = "nope" }, "unknown workload"},
+		{"no injections", func(s *Spec) { s.Injections = nil }, "no injections"},
+		{"injection at unknown device", func(s *Spec) { s.Injections[0].Device = "ghost" }, "unknown device"},
+		{"injection unknown workload", func(s *Spec) { s.Injections[0].Workload = "nope" }, "unknown workload"},
+		{"negative count", func(s *Spec) { s.Injections[0].Count = -1 }, "negative count"},
+		{"link unknown device", func(s *Spec) {
+			s.Links = []LinkSpec{{From: HopSpec{Device: "ghost"}, To: HopSpec{Device: s.Devices[0].Name}}}
+		}, "unknown device"},
+		{"bad pass", func(s *Spec) { s.Passes = []string{"phase99"} }, "unknown pass"},
+		{"negative parallelism", func(s *Spec) { s.DeviceParallelism = -1 }, "negative parallelism"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := Synthetic("quickstart", 2, 1, 10)
+			tc.mut(&s)
+			err := s.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFingerprintIgnoresParallelism(t *testing.T) {
+	a := Synthetic("quickstart", 2, 1, 10)
+	b := Synthetic("quickstart", 2, 1, 10)
+	b.DeviceParallelism = 8
+	b.Parallelism = 4
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprint depends on parallelism knobs; fan-out must not change the artifact key")
+	}
+	c := Synthetic("quickstart", 3, 1, 10)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("fingerprints collide across different fleets")
+	}
+	d := Synthetic("quickstart", 2, 1, 10)
+	d.Injections[0].Seed = 99
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Error("fingerprint ignores injection seeds")
+	}
+}
+
+// TestRunSyntheticAggregates: a homogeneous fleet optimizes every device
+// against its own trace and the aggregate counts add up, with rows in
+// spec order.
+func TestRunSyntheticAggregates(t *testing.T) {
+	spec := Synthetic("quickstart", 3, 1, 40)
+	spec.DeviceParallelism = 2
+	res, err := Run(context.Background(), spec, Options{Core: core.Options{Parallelism: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "fleet" || res.Name != spec.Name {
+		t.Errorf("kind/name = %q/%q", res.Kind, res.Name)
+	}
+	if res.DeviceCount != 3 || res.Optimized != 3 || res.Skipped != 0 || res.Failed != 0 {
+		t.Fatalf("counts = %d/%d/%d/%d, want 3 optimized", res.DeviceCount, res.Optimized, res.Skipped, res.Failed)
+	}
+	if res.TotalPackets != 3*40 {
+		t.Errorf("total packets = %d, want 120", res.TotalPackets)
+	}
+	// Quickstart is 2 stages with nothing to optimize.
+	if res.StagesBefore != 6 || res.StagesAfter != 6 {
+		t.Errorf("stages = %d -> %d, want 6 -> 6", res.StagesBefore, res.StagesAfter)
+	}
+	for i, row := range res.Devices {
+		if row.Device != spec.Devices[i].Name {
+			t.Errorf("row %d = %q, want spec order (%q)", i, row.Device, spec.Devices[i].Name)
+		}
+		if row.Status != report.FleetOptimized || row.Result == nil {
+			t.Errorf("row %s: status %q, result %v", row.Device, row.Status, row.Result != nil)
+		}
+		if row.Packets != 40 {
+			t.Errorf("row %s saw %d packets, want 40", row.Device, row.Packets)
+		}
+	}
+	if res.DurationSeconds <= 0 {
+		t.Error("duration not recorded")
+	}
+}
+
+// TestFleetSharedCacheDedup is the tentpole acceptance check: a fleet of
+// N devices running the same program issues strictly fewer compiles than
+// N independent runs would — the shared AnalysisCache answers every
+// device after the first.
+func TestFleetSharedCacheDedup(t *testing.T) {
+	const n = 4
+	solo := &testHooks{}
+	if _, err := Run(context.Background(), Synthetic("quickstart", 1, 1, 30),
+		Options{Core: solo.core()}); err != nil {
+		t.Fatal(err)
+	}
+	soloCompiles := solo.compiles.Load()
+	if soloCompiles == 0 {
+		t.Fatal("solo run issued no compiles; hooks not exercised")
+	}
+
+	fleet := &testHooks{}
+	spec := Synthetic("quickstart", n, 1, 30)
+	spec.DeviceParallelism = 1 // deterministic hook counts: no racing first-misses
+	res, err := Run(context.Background(), spec, Options{Core: fleet.core()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleetCompiles := fleet.compiles.Load()
+	if fleetCompiles >= n*soloCompiles {
+		t.Errorf("fleet of %d issued %d compiles, want strictly fewer than %d×%d=%d (shared cache not deduping)",
+			n, fleetCompiles, n, soloCompiles, n*soloCompiles)
+	}
+	// Same program on every device: the fleet compiles exactly what one
+	// device does, and the other n-1 devices hit.
+	if fleetCompiles != soloCompiles {
+		t.Errorf("fleet compiles = %d, want %d (one device's worth)", fleetCompiles, soloCompiles)
+	}
+	if res.CompileHits == 0 {
+		t.Error("report shows zero cross-device compile cache hits")
+	}
+	if int64(res.CompileMisses) != fleetCompiles {
+		t.Errorf("report compile misses = %d, hook saw %d", res.CompileMisses, fleetCompiles)
+	}
+}
+
+// TestExternalAnalysisCacheAcrossFleets: an explicitly shared cache
+// carries analyses across fleet jobs — the p2god-wide incremental story.
+func TestExternalAnalysisCacheAcrossFleets(t *testing.T) {
+	shared := core.NewAnalysisCache()
+	hooks := &testHooks{}
+	spec := Synthetic("quickstart", 2, 1, 30)
+	spec.DeviceParallelism = 1
+	if _, err := Run(context.Background(), spec, Options{Core: hooks.core(), AnalysisCache: shared}); err != nil {
+		t.Fatal(err)
+	}
+	cold := hooks.compiles.Load()
+	res, err := Run(context.Background(), spec, Options{Core: hooks.core(), AnalysisCache: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm := hooks.compiles.Load() - cold; warm != 0 {
+		t.Errorf("re-run of the same fleet recompiled %d times, want 0", warm)
+	}
+	if res.CompileMisses != 0 {
+		t.Errorf("re-run reports %d compile misses, want 0", res.CompileMisses)
+	}
+	if res.Optimized != 2 {
+		t.Errorf("re-run optimized %d devices, want 2", res.Optimized)
+	}
+}
+
+// TestDeviceCacheServesRows: a second run with the same DeviceCache
+// serves every row from cache without recomputing anything, and marks
+// the rows cached.
+func TestDeviceCacheServesRows(t *testing.T) {
+	cache := newMapCache()
+	hooks := &testHooks{}
+	spec := Synthetic("quickstart", 2, 1, 30)
+	first, err := Run(context.Background(), spec, Options{Core: hooks.core(), DeviceCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range first.Devices {
+		if row.Cached {
+			t.Errorf("cold run marked %s cached", row.Device)
+		}
+	}
+	cold := hooks.compiles.Load()
+
+	second, err := Run(context.Background(), spec, Options{Core: hooks.core(), DeviceCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm := hooks.compiles.Load() - cold; warm != 0 {
+		t.Errorf("device-cached re-run still compiled %d times", warm)
+	}
+	for _, row := range second.Devices {
+		if !row.Cached || row.Status != report.FleetOptimized || row.Result == nil {
+			t.Errorf("row %s: cached=%v status=%q", row.Device, row.Cached, row.Status)
+		}
+	}
+	if second.Optimized != first.Optimized || second.StagesAfter != first.StagesAfter {
+		t.Errorf("cached aggregate diverged: %d/%d vs %d/%d",
+			second.Optimized, second.StagesAfter, first.Optimized, first.StagesAfter)
+	}
+}
+
+// TestRunRecordsSkipped: a device no traffic reaches lands in the result
+// as a skipped row with a reason, not an error and not silently absent.
+func TestRunRecordsSkipped(t *testing.T) {
+	spec := Synthetic("quickstart", 2, 1, 20)
+	spec.Devices = append(spec.Devices, DeviceSpec{Name: "idle", Workload: "quickstart"})
+	res, err := Run(context.Background(), spec, Options{Core: core.Options{Parallelism: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Optimized != 2 || res.Skipped != 1 || res.Failed != 0 {
+		t.Fatalf("counts = %d/%d/%d, want 2 optimized + 1 skipped", res.Optimized, res.Skipped, res.Failed)
+	}
+	var idle *report.FleetDevice
+	for i := range res.Devices {
+		if res.Devices[i].Device == "idle" {
+			idle = &res.Devices[i]
+		}
+	}
+	if idle == nil || idle.Status != report.FleetSkipped || idle.Reason == "" {
+		t.Errorf("idle row = %+v, want skipped with a reason", idle)
+	}
+}
+
+// TestRunAttributesDeviceFaults: an injected data-plane failure fails
+// that device's row (with the error text naming it) while the rest of
+// the fleet completes.
+func TestRunAttributesDeviceFaults(t *testing.T) {
+	spec := Synthetic("quickstart", 3, 1, 20)
+	// Each device sees 20 events (its own packets, devices are
+	// disconnected). Failing events 0..19 lands every failure on the
+	// first device injected, sw-0000.
+	set := faults.MustSet(faults.Spec{Point: faults.SimStep, From: 0, To: 20})
+	res, err := Run(context.Background(), spec, Options{Core: core.Options{Parallelism: 1}, Faults: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 || res.Optimized != 2 {
+		t.Fatalf("counts = %d failed / %d optimized, want 1/2", res.Failed, res.Optimized)
+	}
+	row := res.Devices[0]
+	if row.Device != "sw-0000" || row.Status != report.FleetFailed {
+		t.Fatalf("row 0 = %+v, want sw-0000 failed", row)
+	}
+	if !strings.Contains(row.Error, "sw-0000") {
+		t.Errorf("error %q does not name the device", row.Error)
+	}
+}
+
+// TestRunCanceledContext: cancellation is a fleet-level error, not n
+// failed rows.
+func TestRunCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, Synthetic("quickstart", 2, 1, 10), Options{Core: core.Options{Parallelism: 1}})
+	if err == nil {
+		t.Fatal("canceled fleet returned no error")
+	}
+}
+
+// TestRunLinkedTopology: injections propagate across links, so a
+// downstream device optimizes against the traffic its upstream forwarded.
+func TestRunLinkedTopology(t *testing.T) {
+	spec := Spec{
+		Name: "linked",
+		Devices: []DeviceSpec{
+			{Name: "edge", Workload: "quickstart"},
+			{Name: "downstream", Workload: "quickstart"},
+		},
+		// Quickstart routes 10/8 to port 1 (7 of every 10 trace packets);
+		// wire that port onward.
+		Links:      []LinkSpec{{From: HopSpec{Device: "edge", Port: 1}, To: HopSpec{Device: "downstream", Port: 1}}},
+		Injections: []InjectionSpec{{Device: "edge", Workload: "quickstart", Seed: 1, Count: 50}},
+	}
+	res, err := Run(context.Background(), spec, Options{Core: core.Options{Parallelism: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, down := res.Devices[0], res.Devices[1]
+	if edge.Packets != 50 {
+		t.Errorf("edge saw %d packets, want all 50", edge.Packets)
+	}
+	if down.Status == report.FleetOptimized && (down.Packets == 0 || down.Packets >= 50) {
+		t.Errorf("downstream saw %d packets, want a forwarded subset", down.Packets)
+	}
+	if down.Status == report.FleetSkipped && edge.Status != report.FleetOptimized {
+		t.Errorf("unexpected statuses: edge %q downstream %q", edge.Status, down.Status)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"p2go/internal/core"
 	"p2go/internal/faults"
 )
 
@@ -60,6 +61,43 @@ func TestInjectDeviceFailureNamed(t *testing.T) {
 	}
 	if devErr.Injection != -1 {
 		t.Errorf("Injection = %d, want -1 (not trace collection)", devErr.Injection)
+	}
+}
+
+// TestOptimizeAllPartialOnDeviceFailure: one failing device no longer
+// aborts the fleet. The healthy device's completed result is kept, the
+// failing device is attributed via a typed *DeviceError in the report,
+// and the joined FleetReport.Err names it.
+func TestOptimizeAllPartialOnDeviceFailure(t *testing.T) {
+	topo := buildTopology(t)
+	injections := enterpriseInjections(t)
+	// Event 1 is the core router's first step (the second hop of
+	// injection 0): the failure lands on corert, not the edge.
+	topo.SetFaults(faults.MustSet(faults.Spec{Point: faults.SimStep, From: 1, To: 2}))
+
+	report, err := topo.OptimizeAll(injections[:50], core.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatalf("fleet-level error %v; device failures belong in the report", err)
+	}
+	if len(report.Results) != 1 || report.Results[0].Device != "edge" {
+		t.Fatalf("results = %+v, want the edge's completed result kept", report.Results)
+	}
+	if report.Results[0].Result == nil || report.Results[0].Result.StagesBefore() == 0 {
+		t.Error("edge result is empty")
+	}
+	if len(report.Errors) != 1 {
+		t.Fatalf("errors = %+v, want exactly the failing core router", report.Errors)
+	}
+	devErr := report.Errors[0]
+	if devErr.Device != "corert" || devErr.Injection != 0 {
+		t.Errorf("attributed to %s (injection %d), want corert (injection 0)", devErr.Device, devErr.Injection)
+	}
+	if joined := report.Err(); joined == nil || !strings.Contains(joined.Error(), "corert") {
+		t.Errorf("FleetReport.Err() = %v, want a joined error naming corert", joined)
+	}
+	var asDev *DeviceError
+	if !errors.As(report.Err(), &asDev) {
+		t.Error("joined error lost the *DeviceError type")
 	}
 }
 

@@ -12,6 +12,7 @@
 package network
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -199,8 +200,23 @@ type Injection struct {
 // CollectDeviceTraces replays the injections through the topology and
 // records, per device, the traffic it actually saw — the representative
 // per-device traces P2GO needs ("the network programmer has access to the
-// device of interest").
+// device of interest"). It fails fast on the first device error; fleet
+// runs that want to keep going use CollectDeviceTracesPartial.
 func (t *Topology) CollectDeviceTraces(injections []Injection) (map[string]*trafficgen.Trace, error) {
+	traces, errs := t.CollectDeviceTracesPartial(injections)
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return traces, nil
+}
+
+// CollectDeviceTracesPartial replays the injections and keeps going past
+// device failures: a step error abandons that injection's remaining path,
+// is recorded as a typed *DeviceError naming the device, and collection
+// continues with the next injection. The returned traces hold everything
+// the healthy part of the network saw; a fleet run attributes the errors
+// per device instead of throwing the whole collection away.
+func (t *Topology) CollectDeviceTracesPartial(injections []Injection) (map[string]*trafficgen.Trace, []*DeviceError) {
 	// Fresh switch state so collection is reproducible.
 	for _, d := range t.devices {
 		d.sw.Reset()
@@ -209,25 +225,32 @@ func (t *Topology) CollectDeviceTraces(injections []Injection) (map[string]*traf
 	for name := range t.devices {
 		traces[name] = &trafficgen.Trace{}
 	}
+	var devErrs []*DeviceError
 	for i, inj := range injections {
 		cur := inj.At
 		payload := append([]byte(nil), inj.Data...)
 		for hop := 0; ; hop++ {
 			if hop >= maxHops {
-				return nil, fmt.Errorf("network: injection %d exceeded %d hops", i, maxHops)
+				devErrs = append(devErrs, &DeviceError{Device: cur.Device, Injection: i,
+					Err: fmt.Errorf("network: injection %d exceeded %d hops (forwarding loop?)", i, maxHops)})
+				break
 			}
 			dev := t.devices[cur.Device]
 			if dev == nil {
-				return nil, fmt.Errorf("network: unknown device %q", cur.Device)
+				devErrs = append(devErrs, &DeviceError{Device: cur.Device, Injection: i,
+					Err: fmt.Errorf("network: unknown device %q", cur.Device)})
+				break
 			}
 			traces[cur.Device].Packets = append(traces[cur.Device].Packets,
 				trafficgen.Packet{Port: cur.Port, Data: append([]byte(nil), payload...)})
 			if ferr := t.faults.Err(faults.SimStep); ferr != nil {
-				return nil, &DeviceError{Device: cur.Device, Injection: i, Err: ferr}
+				devErrs = append(devErrs, &DeviceError{Device: cur.Device, Injection: i, Err: ferr})
+				break
 			}
 			out, err := dev.sw.Process(sim.Input{Port: cur.Port, Data: payload})
 			if err != nil {
-				return nil, &DeviceError{Device: cur.Device, Injection: i, Err: err}
+				devErrs = append(devErrs, &DeviceError{Device: cur.Device, Injection: i, Err: err})
+				break
 			}
 			if out.Dropped || out.ToCPU {
 				break
@@ -240,7 +263,7 @@ func (t *Topology) CollectDeviceTraces(injections []Injection) (map[string]*traf
 			cur = next
 		}
 	}
-	return traces, nil
+	return traces, devErrs
 }
 
 // DeviceResult is one device's optimization outcome.
@@ -249,9 +272,35 @@ type DeviceResult struct {
 	Result *core.Result
 }
 
-// FleetReport aggregates per-device optimizations.
+// SkippedDevice is a device the fleet run deliberately did not optimize,
+// with the reason why.
+type SkippedDevice struct {
+	Device string
+	Reason string
+}
+
+// FleetReport aggregates per-device optimizations. Every registered
+// device lands in exactly one of the three lists: Results (optimized),
+// Skipped (not optimizable, with a reason), or Errors (its collection or
+// optimization failed, attributed via *DeviceError).
 type FleetReport struct {
 	Results []DeviceResult
+	Skipped []SkippedDevice
+	Errors  []*DeviceError
+}
+
+// Err joins the per-device errors into one error, nil when every device
+// succeeded or was skipped. Callers that want the historical fail-on-any
+// behavior check this; callers that want partial results read Errors.
+func (f *FleetReport) Err() error {
+	if len(f.Errors) == 0 {
+		return nil
+	}
+	errs := make([]error, len(f.Errors))
+	for i, e := range f.Errors {
+		errs[i] = e
+	}
+	return errors.Join(errs...)
 }
 
 // TotalStagesBefore sums the fleet's initial stage counts.
@@ -274,23 +323,43 @@ func (f *FleetReport) TotalStagesAfter() int {
 
 // OptimizeAll runs P2GO independently on every device using its collected
 // trace — the per-device baseline the paper's network-wide research
-// question starts from. Devices whose trace is empty are skipped (P2GO
-// needs a representative trace).
+// question starts from. It never fails fast on a single device: devices
+// whose collection or optimization errored are attributed in
+// FleetReport.Errors (typed *DeviceError), devices whose trace is empty
+// are recorded in FleetReport.Skipped with the reason (P2GO needs a
+// representative trace), and every successfully optimized device keeps
+// its result in FleetReport.Results. The error return is reserved for
+// fleet-level problems; per-device failures live in the report (join
+// them with FleetReport.Err if failure should be fatal).
 func (t *Topology) OptimizeAll(injections []Injection, opts core.Options) (*FleetReport, error) {
-	traces, err := t.CollectDeviceTraces(injections)
-	if err != nil {
-		return nil, err
-	}
+	traces, devErrs := t.CollectDeviceTracesPartial(injections)
 	report := &FleetReport{}
+	// A device whose data plane errored mid-collection saw a trace that
+	// under-represents its real traffic; attribute the error instead of
+	// optimizing against bad evidence.
+	failed := map[string]bool{}
+	for _, e := range devErrs {
+		report.Errors = append(report.Errors, e)
+		failed[e.Device] = true
+	}
 	for _, name := range t.Devices() {
+		if failed[name] {
+			continue
+		}
 		dev := t.devices[name]
 		trace := traces[name]
 		if len(trace.Packets) == 0 {
+			report.Skipped = append(report.Skipped, SkippedDevice{
+				Device: name,
+				Reason: "no packets reached the device (empty trace; P2GO needs a representative trace)",
+			})
 			continue
 		}
 		res, err := core.New(opts).Optimize(dev.Program, dev.Config, trace)
 		if err != nil {
-			return nil, fmt.Errorf("network: optimizing %s: %w", name, err)
+			report.Errors = append(report.Errors, &DeviceError{Device: name, Injection: -1,
+				Err: fmt.Errorf("optimize: %w", err)})
+			continue
 		}
 		report.Results = append(report.Results, DeviceResult{Device: name, Result: res})
 	}

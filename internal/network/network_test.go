@@ -163,6 +163,35 @@ func TestOptimizeFleet(t *testing.T) {
 	}
 }
 
+// TestOptimizeAllRecordsSkippedDevices: a device no traffic reaches is
+// recorded as skipped with a reason instead of silently vanishing from
+// the report.
+func TestOptimizeAllRecordsSkippedDevices(t *testing.T) {
+	topo := buildTopology(t)
+	if err := topo.AddDevice("idle", p4.MustParse(programs.Quickstart), programs.QuickstartConfig()); err != nil {
+		t.Fatal(err)
+	}
+	report, err := topo.OptimizeAll(enterpriseInjections(t)[:50], core.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 2 {
+		t.Errorf("results = %d devices, want 2 (edge, corert)", len(report.Results))
+	}
+	if len(report.Skipped) != 1 {
+		t.Fatalf("skipped = %+v, want exactly the idle device", report.Skipped)
+	}
+	if report.Skipped[0].Device != "idle" {
+		t.Errorf("skipped device = %q, want idle", report.Skipped[0].Device)
+	}
+	if report.Skipped[0].Reason == "" {
+		t.Error("skip recorded without a reason")
+	}
+	if report.Err() != nil {
+		t.Errorf("skips are not errors, got %v", report.Err())
+	}
+}
+
 func TestTopologyErrors(t *testing.T) {
 	topo := NewTopology()
 	if err := topo.AddDevice("a", p4.MustParse(programs.Quickstart), programs.QuickstartConfig()); err != nil {

@@ -42,6 +42,103 @@ type JobResult struct {
 	Resilience *Resilience `json:"resilience,omitempty"`
 }
 
+// Fleet device statuses.
+const (
+	// FleetOptimized: the device was optimized and carries a Result.
+	FleetOptimized = "optimized"
+	// FleetSkipped: the device was deliberately not optimized (Reason says
+	// why — typically an empty trace).
+	FleetSkipped = "skipped"
+	// FleetFailed: the device's collection or optimization errored.
+	FleetFailed = "failed"
+)
+
+// FleetDevice is one device's row in a fleet result: exactly one of
+// Result (optimized), Reason (skipped), or Error (failed) is meaningful,
+// selected by Status.
+type FleetDevice struct {
+	Device string `json:"device"`
+	Status string `json:"status"`
+	// Reason says why a skipped device was not optimized.
+	Reason string `json:"reason,omitempty"`
+	// Error is the failure text of a failed device.
+	Error string `json:"error,omitempty"`
+	// Packets is how much of the injected traffic this device saw.
+	Packets int `json:"packets"`
+	// Cached reports the row was served from the device artifact cache
+	// (a previous fleet run already optimized identical inputs).
+	Cached bool `json:"cached,omitempty"`
+	// Result is the device's optimize outcome, in the same schema as a
+	// single-program optimize job.
+	Result *JobResult `json:"result,omitempty"`
+}
+
+// FleetResult is the outcome of one network-wide fleet optimization job:
+// per-device rows plus the fleet-level aggregates.
+type FleetResult struct {
+	Kind string `json:"kind"` // always "fleet"
+	Name string `json:"name,omitempty"`
+
+	DeviceCount int `json:"device_count"`
+	Optimized   int `json:"optimized"`
+	Skipped     int `json:"skipped"`
+	Failed      int `json:"failed"`
+
+	// StagesBefore/After sum the optimized devices' pipeline lengths.
+	StagesBefore int `json:"stages_before"`
+	StagesAfter  int `json:"stages_after"`
+
+	// TotalPackets sums the traffic every device saw; Redirected*
+	// aggregate the optimized programs' controller redirections.
+	TotalPackets       int     `json:"total_packets"`
+	RedirectedPackets  int     `json:"redirected_packets"`
+	RedirectedFraction float64 `json:"redirected_fraction"`
+
+	// Cross-device analysis-cache counters: with a shared cache, devices
+	// running the same program dedup compiles and profiles, so hits grow
+	// with fleet homogeneity while misses track unique analyses.
+	CompileHits   int `json:"compile_cache_hits"`
+	CompileMisses int `json:"compile_cache_misses"`
+	ProfileHits   int `json:"profile_cache_hits"`
+	ProfileMisses int `json:"profile_cache_misses"`
+
+	Devices []FleetDevice `json:"devices"`
+
+	DurationSeconds float64 `json:"duration_seconds,omitempty"`
+}
+
+// AggregateFleet folds per-device rows into a FleetResult: status counts,
+// fleet stage totals, and aggregate redirected traffic. Cache counters
+// and duration are the caller's to fill (they come from the shared
+// analysis cache, not the rows).
+func AggregateFleet(name string, devices []FleetDevice) *FleetResult {
+	out := &FleetResult{Kind: "fleet", Name: name, DeviceCount: len(devices), Devices: devices}
+	replayed := 0
+	for _, d := range devices {
+		out.TotalPackets += d.Packets
+		switch d.Status {
+		case FleetOptimized:
+			out.Optimized++
+			if d.Result != nil {
+				out.StagesBefore += d.Result.StagesBefore
+				out.StagesAfter += d.Result.StagesAfter
+				if fp := d.Result.FinalProfile; fp != nil {
+					out.RedirectedPackets += fp.ToCPU
+					replayed += fp.TotalPackets
+				}
+			}
+		case FleetSkipped:
+			out.Skipped++
+		case FleetFailed:
+			out.Failed++
+		}
+	}
+	if replayed > 0 {
+		out.RedirectedFraction = float64(out.RedirectedPackets) / float64(replayed)
+	}
+	return out
+}
+
 // Resilience is the machine-readable view of every degradation path a
 // fault-injected run took. All counters are zero on a clean run; the
 // invariant the chaos harness enforces is that divergences are counted

@@ -159,6 +159,44 @@ func (c *Cache) spillPath(key string) string {
 	return filepath.Join(c.dir, strings.ReplaceAll(key, ":", "_"))
 }
 
+// GetBytes returns a byte artifact when present, checking the in-memory
+// LRU first and the on-disk spill second (a spill hit is promoted back
+// into memory). Unlike Do it never fills: a miss just reports false.
+// This is the lookup path for artifacts whose fill is owned elsewhere,
+// like fleet device rows computed inside a running fleet job.
+func (c *Cache) GetBytes(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		if data, isBytes := e.Value.(*cacheEntry).val.([]byte); isBytes {
+			c.lru.MoveToFront(e)
+			c.hits++
+			return data, true
+		}
+	}
+	if c.dir != "" {
+		if data, err := os.ReadFile(c.spillPath(key)); err == nil {
+			c.hits++
+			c.storeLocked(key, data)
+			return data, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// PutBytes stores a byte artifact, writing through to the spill when one
+// is configured — the companion to GetBytes for externally-filled
+// artifacts.
+func (c *Cache) PutBytes(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.storeLocked(key, data)
+	if c.dir != "" {
+		c.writeSpill(key, data)
+	}
+}
+
 // Delete purges an entry from both the in-memory LRU and the on-disk
 // spill. Used when a cached artifact is detected to be corrupted so the
 // next lookup recomputes it.

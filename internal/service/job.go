@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"p2go/internal/core"
+	"p2go/internal/fleet"
 	"p2go/internal/obs"
 	"p2go/internal/workloads"
 )
@@ -17,7 +18,8 @@ import (
 // workload's own), exactly mirroring the `p2go profile` / `p2go optimize`
 // CLI inputs.
 type JobSpec struct {
-	// Kind is "profile" or "optimize". Empty defaults to "optimize".
+	// Kind is "profile", "optimize", or "fleet". Empty defaults to
+	// "optimize".
 	Kind string `json:"kind"`
 	// Workload names the registered workload supplying the program,
 	// rules, and calibrated trace. Empty defaults to "ex1".
@@ -52,6 +54,11 @@ type JobSpec struct {
 	// Like the timeout it is not part of the artifact digest: the result
 	// is parallelism-independent.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Fleet is the network-wide job description for Kind "fleet": the
+	// topology, injections, and per-device optimization configuration.
+	// The other workload fields above are ignored for fleet jobs — every
+	// device carries its own.
+	Fleet *fleet.Spec `json:"fleet,omitempty"`
 }
 
 // normalize applies defaults and validates cheaply (the expensive parsing
@@ -60,8 +67,29 @@ func (s *JobSpec) normalize() error {
 	if s.Kind == "" {
 		s.Kind = "optimize"
 	}
+	if s.Kind == "fleet" {
+		if s.Fleet == nil {
+			return fmt.Errorf("fleet job without a fleet spec")
+		}
+		if err := s.Fleet.Validate(); err != nil {
+			return err
+		}
+		if s.TimeoutSeconds < 0 {
+			return fmt.Errorf("negative timeout_seconds")
+		}
+		if s.Parallelism < 0 {
+			return fmt.Errorf("negative parallelism")
+		}
+		// The single-workload fields don't apply; Workload doubles as the
+		// fleet's display name in job listings.
+		s.Workload = s.Fleet.Name
+		return nil
+	}
 	if s.Kind != "profile" && s.Kind != "optimize" {
-		return fmt.Errorf("unknown job kind %q (want \"profile\" or \"optimize\")", s.Kind)
+		return fmt.Errorf("unknown job kind %q (want \"profile\", \"optimize\", or \"fleet\")", s.Kind)
+	}
+	if s.Fleet != nil {
+		return fmt.Errorf("fleet spec on a %s job (set kind \"fleet\")", s.Kind)
 	}
 	if s.Workload == "" {
 		s.Workload = "ex1"
@@ -90,6 +118,9 @@ func (s *JobSpec) normalize() error {
 // digest content-addresses the job: two specs with the same digest
 // produce the same artifact.
 func (s JobSpec) digest() string {
+	if s.Kind == "fleet" {
+		return Digest(s.Kind, s.Fleet.Fingerprint())
+	}
 	return Digest(s.Kind, s.Workload, fmt.Sprintf("%d", s.Seed), s.Program, s.Rules,
 		fmt.Sprintf("%t/%t/%t", s.NoDeps, s.NoMem, s.NoOffload),
 		strings.Join(s.Passes, ","))

@@ -26,14 +26,17 @@ type Journal struct {
 
 // journalEntry is one journal line.
 type journalEntry struct {
-	// Op is "accepted", "finished", or "requeued".
+	// Op is "accepted", "finished", "requeued", or "device".
 	Op string `json:"op"`
 	// ID is the job ID the entry refers to.
 	ID string `json:"id"`
 	// Spec is present on accepted entries.
 	Spec *JobSpec `json:"spec,omitempty"`
-	// State is the terminal state on finished entries.
+	// State is the terminal state on finished entries, or the device row
+	// status on device entries.
 	State string `json:"state,omitempty"`
+	// Device is the device name on device entries (fleet job progress).
+	Device string `json:"device,omitempty"`
 	// Time is RFC3339Nano, informational only.
 	Time string `json:"time"`
 }
@@ -81,6 +84,10 @@ func (j *Journal) Recover() ([]JobSpec, error) {
 			delete(pending, e.ID)
 		case "requeued":
 			// still pending; the entry only documents the drain
+		case "device":
+			// mid-fleet progress; the fleet job itself is re-run on
+			// recovery and its finished device rows come back from the
+			// spilled device cache, so the entry is informational
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -122,6 +129,17 @@ func (j *Journal) Finished(id string, state JobState) {
 		return
 	}
 	j.append(journalEntry{Op: "finished", ID: id, State: string(state)})
+}
+
+// Device records one finished device row of a running fleet job, so an
+// operator reading the journal after a crash can see how far the fleet
+// got. Recovery does not replay these — the re-run fleet job recovers
+// finished rows from the spilled device cache instead.
+func (j *Journal) Device(id, device, status string) {
+	if j == nil {
+		return
+	}
+	j.append(journalEntry{Op: "device", ID: id, Device: device, State: status})
 }
 
 // Requeued documents that a drain left the job pending on purpose; it

@@ -121,6 +121,13 @@ type Manager struct {
 	cache   *Cache
 	metrics *Metrics
 
+	// fleetAnalysis is the daemon-wide analysis cache shared by every
+	// fleet job's devices: content-addressed compiles and profiles, so
+	// homogeneous fleets dedup across devices and across jobs. Entries
+	// live for the process lifetime; the byte-artifact LRU + spill behind
+	// the hooks provides the bounded, restart-surviving layer.
+	fleetAnalysis *core.AnalysisCache
+
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
@@ -179,14 +186,15 @@ func NewManager(cfg ManagerConfig) *Manager {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:        cfg,
-		cache:      cfg.Cache,
-		metrics:    cfg.Metrics,
-		baseCtx:    ctx,
-		baseCancel: cancel,
-		jobs:       map[string]*Job{},
-		queue:      make(chan *Job, cfg.QueueDepth),
-		breakers:   map[string]*breakerState{},
+		cfg:           cfg,
+		cache:         cfg.Cache,
+		metrics:       cfg.Metrics,
+		fleetAnalysis: core.NewAnalysisCache(),
+		baseCtx:       ctx,
+		baseCancel:    cancel,
+		jobs:          map[string]*Job{},
+		queue:         make(chan *Job, cfg.QueueDepth),
+		breakers:      map[string]*breakerState{},
 	}
 	m.execFn = m.execute
 	m.sleep = time.Sleep
@@ -635,6 +643,9 @@ func (m *Manager) pruneLocked() {
 // shared report schema.
 func (m *Manager) execute(ctx context.Context, job *Job) ([]byte, error) {
 	spec := job.Spec
+	if spec.Kind == "fleet" {
+		return m.executeFleet(ctx, job)
+	}
 	w, err := workloads.Get(spec.Workload)
 	if err != nil {
 		return nil, err

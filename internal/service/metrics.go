@@ -35,6 +35,16 @@ type Metrics struct {
 	packetsReplayed int64
 	replaySeconds   float64
 
+	// Fleet counters: network-wide jobs, their per-device fan-out by row
+	// status, and the cross-device analysis-cache traffic that measures
+	// how much a homogeneous fleet deduped.
+	fleetJobs         int64
+	fleetDevices      map[string]int64 // by row status: optimized, skipped, failed
+	fleetCrossHits    map[string]int64 // by analysis kind: compile, profile
+	fleetCrossMisses  map[string]int64
+	fleetDeviceFanout *obs.Histogram // devices per fleet job
+	fleetJobDuration  *obs.Histogram
+
 	// Resilience counters: every degradation path the daemon takes is
 	// counted here, so failures are observable rather than silent.
 	jobRetries       int64
@@ -50,13 +60,19 @@ type Metrics struct {
 // NewMetrics creates an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		jobsFinished:  map[string]int64{},
-		cacheHits:     map[string]int64{},
-		cacheMisses:   map[string]int64{},
-		phaseDuration: map[string]*obs.Histogram{},
-		jobDuration:   map[string]*obs.Histogram{},
-		queueWait:     obs.NewHistogram(obs.DurationBuckets()...),
-		replayRate:    obs.NewHistogram(obs.ThroughputBuckets()...),
+		jobsFinished:     map[string]int64{},
+		cacheHits:        map[string]int64{},
+		cacheMisses:      map[string]int64{},
+		phaseDuration:    map[string]*obs.Histogram{},
+		jobDuration:      map[string]*obs.Histogram{},
+		queueWait:        obs.NewHistogram(obs.DurationBuckets()...),
+		replayRate:       obs.NewHistogram(obs.ThroughputBuckets()...),
+		fleetDevices:     map[string]int64{},
+		fleetCrossHits:   map[string]int64{},
+		fleetCrossMisses: map[string]int64{},
+		fleetDeviceFanout: obs.NewHistogram(
+			1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096),
+		fleetJobDuration: obs.NewHistogram(obs.DurationBuckets()...),
 	}
 }
 
@@ -129,6 +145,28 @@ func (m *Metrics) Replayed(packets int, seconds float64) {
 	if seconds > 0 {
 		m.replayRate.Observe(float64(packets) / seconds)
 	}
+}
+
+// FleetDevice counts one finished device row of a fleet job by status.
+func (m *Metrics) FleetDevice(status string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fleetDevices[status]++
+}
+
+// FleetJobCompleted records one finished fleet job: its device fan-out,
+// wall time, and the cross-device analysis-cache traffic its shared
+// cache saw (hits grow with fleet homogeneity).
+func (m *Metrics) FleetJobCompleted(devices int, seconds float64, compileHits, compileMisses, profileHits, profileMisses int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fleetJobs++
+	m.fleetDeviceFanout.Observe(float64(devices))
+	m.fleetJobDuration.Observe(seconds)
+	m.fleetCrossHits["compile"] += int64(compileHits)
+	m.fleetCrossMisses["compile"] += int64(compileMisses)
+	m.fleetCrossHits["profile"] += int64(profileHits)
+	m.fleetCrossMisses["profile"] += int64(profileMisses)
 }
 
 // JobRetried counts one transient-failure retry of a job.
@@ -263,6 +301,14 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]float64) {
 		nil, map[string]float64{"": jobSeconds})
 	counter("p2god_replayed_packets_total", "Packets replayed through the behavioral simulator.",
 		nil, map[string]float64{"": float64(m.packetsReplayed)})
+	counter("p2god_fleet_jobs_total", "Fleet (network-wide) jobs completed.",
+		nil, map[string]float64{"": float64(m.fleetJobs)})
+	counter("p2god_fleet_devices_total", "Fleet device rows finished, by row status.",
+		map[string]string{"label": "status"}, toF(m.fleetDevices))
+	counter("p2god_fleet_cross_device_cache_hits_total", "Shared analysis-cache hits across a fleet's devices, by analysis kind.",
+		map[string]string{"label": "kind"}, toF(m.fleetCrossHits))
+	counter("p2god_fleet_cross_device_cache_misses_total", "Shared analysis-cache misses across a fleet's devices, by analysis kind.",
+		map[string]string{"label": "kind"}, toF(m.fleetCrossMisses))
 	counter("p2god_job_retries_total", "Transient job failures retried with backoff.",
 		nil, map[string]float64{"": float64(m.jobRetries)})
 	counter("p2god_worker_panics_total", "Worker panics recovered into failed jobs.",
@@ -286,6 +332,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]float64) {
 		"outcome", m.jobDuration)
 	histogram("p2god_queue_wait_seconds", "Time jobs spent queued before a worker picked them up.",
 		"", map[string]*obs.Histogram{"": m.queueWait})
+	histogram("p2god_fleet_device_fanout", "Devices per fleet job.",
+		"", map[string]*obs.Histogram{"": m.fleetDeviceFanout})
+	histogram("p2god_fleet_job_duration_seconds", "Fleet job wall time distribution.",
+		"", map[string]*obs.Histogram{"": m.fleetJobDuration})
 	histogram("p2god_replay_rate_packets_per_second", "Per-replay simulator throughput distribution.",
 		"", map[string]*obs.Histogram{"": m.replayRate})
 

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"net/http"
 
+	"p2go/internal/fleet"
 	"p2go/internal/obs"
 	"p2go/internal/workloads"
 )
@@ -22,17 +23,15 @@ import (
 //	GET  /jobs/{id}        one job; result attached once done
 //	GET  /jobs/{id}/trace  the job's span tree as Chrome trace-event JSON
 //	POST /jobs/{id}/cancel request cancellation
+//	POST /fleets           submit a fleet.Spec (network-wide job); 202 + JobStatus
+//	GET  /fleets           list fleet jobs (no results)
+//	GET  /fleets/{id}      one fleet job; FleetResult attached once done
 //	GET  /workloads        registered workload names and descriptions
 //	GET  /metrics          Prometheus text exposition
 //	GET  /healthz          liveness + queue occupancy
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
-		var spec JobSpec
-		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-			writeError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
-			return
-		}
+	submit := func(w http.ResponseWriter, spec JobSpec) {
 		st, err := m.Submit(spec)
 		switch {
 		case errors.Is(err, ErrQueueFull):
@@ -48,6 +47,42 @@ func NewHandler(m *Manager) http.Handler {
 		default:
 			writeJSON(w, http.StatusAccepted, st)
 		}
+	}
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
+			return
+		}
+		submit(w, spec)
+	})
+	mux.HandleFunc("POST /fleets", func(w http.ResponseWriter, r *http.Request) {
+		var spec fleet.Spec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, "bad fleet spec: "+err.Error())
+			return
+		}
+		submit(w, JobSpec{Kind: "fleet", Fleet: &spec})
+	})
+	mux.HandleFunc("GET /fleets", func(w http.ResponseWriter, r *http.Request) {
+		var out []JobStatus
+		for _, st := range m.List() {
+			if st.Kind == "fleet" {
+				out = append(out, st)
+			}
+		}
+		if out == nil {
+			out = []JobStatus{}
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /fleets/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := m.Get(r.PathValue("id"), true)
+		if !ok || st.Kind != "fleet" {
+			writeError(w, http.StatusNotFound, "unknown fleet job "+r.PathValue("id"))
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
 	})
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.List())
