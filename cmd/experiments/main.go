@@ -8,6 +8,10 @@
 // -fleet, it runs the fleet load test instead: thousands of device-jobs
 // through an in-process p2god manager under fault injection, plus the
 // cross-device compile-dedup table (-fleet-short shrinks it for CI).
+// With -ha, it runs the replica-group chaos proof instead: a fleet
+// workload against 2-3 in-process p2god replicas with one kill -9'd
+// mid-run, asserting the survivors' final report is equivalent to an
+// uninterrupted run (-ha-short shrinks it for CI).
 package main
 
 import (
@@ -37,7 +41,18 @@ func main() {
 	fleetRun := flag.Bool("fleet", false, "run the fleet load test instead: device-jobs through an in-process p2god under fault injection")
 	fleetDevices := flag.Int("fleet-devices", 2048, "total device-jobs for the -fleet load test")
 	fleetShort := flag.Bool("fleet-short", false, "CI smoke: shrink the -fleet load test (caps devices at 64)")
+	haRun := flag.Bool("ha", false, "run the replica-group chaos proof instead: kill -9 one of N in-process p2god replicas mid-fleet-job")
+	haShort := flag.Bool("ha-short", false, "CI smoke: shrink the -ha chaos proof (2 replicas, small fleet)")
 	flag.Parse()
+
+	if *haRun {
+		fmt.Println("===== HA CHAOS =====")
+		if err := runHAChaos(*haShort, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: ha: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *fleetRun {
 		fmt.Println("===== FLEET =====")

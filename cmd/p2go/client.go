@@ -2,35 +2,65 @@
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"strings"
 	"time"
 
 	"p2go/internal/service"
 )
 
-// serverFlag registers the -server flag.
-func serverFlag(fs *flag.FlagSet) *string {
-	return fs.String("server", "http://127.0.0.1:9095", "p2god base URL")
+// serverFlags registers the replica-set flags: -server for the classic
+// single endpoint and -servers for an HA replica set. The two compose
+// (duplicates are dropped), so pointing -servers at a 2-replica group
+// while keeping the default -server just works.
+type serverFlags struct {
+	server  *string
+	servers *string
+	timeout *time.Duration
 }
 
-// httpTimeoutFlag registers the -timeout flag: the per-request HTTP
-// deadline. Without it a dead or wedged p2god would hang the CLI forever
-// (the zero-timeout http.DefaultClient trap).
-func httpTimeoutFlag(fs *flag.FlagSet) *time.Duration {
-	return fs.Duration("timeout", 30*time.Second, "HTTP request timeout (0 = wait forever)")
+func addServerFlags(fs *flag.FlagSet) *serverFlags {
+	return &serverFlags{
+		server:  fs.String("server", "http://127.0.0.1:9095", "p2god base URL"),
+		servers: fs.String("servers", "", "comma-separated p2god replica set, e.g. http://h1:9095,http://h2:9095 (overrides -server)"),
+		// The per-request HTTP deadline. Without it a dead or wedged p2god
+		// would hang the CLI forever (the zero-timeout http.DefaultClient
+		// trap); with a replica set it also bounds how long one dead
+		// replica can delay failover to the next.
+		timeout: fs.Duration("timeout", 30*time.Second, "HTTP request timeout (0 = wait forever)"),
+	}
+}
+
+// client builds the replica-set-aware service client from the parsed
+// flags. All verbs share its retry policy: jittered exponential backoff
+// honoring Retry-After, failing over across the set.
+func (sf *serverFlags) client() *service.Client {
+	var servers []string
+	if *sf.servers != "" {
+		servers = strings.Split(*sf.servers, ",")
+	} else {
+		servers = []string{*sf.server}
+	}
+	return service.NewClient(servers, *sf.timeout)
+}
+
+// printStatus renders a JobStatus the way the server would.
+func printStatus(st service.JobStatus) error {
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
 }
 
 // cmdSubmit posts a job to p2god; with -wait it polls until the job is
 // terminal and prints the full status (result included).
 func cmdSubmit(args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
-	server := serverFlag(fs)
+	sf := addServerFlags(fs)
 	kind := fs.String("kind", "optimize", `job kind: "profile" or "optimize"`)
 	workload := fs.String("workload", "ex1", "named workload")
 	seed := fs.Int64("seed", 1, "trace generator seed")
@@ -40,13 +70,13 @@ func cmdSubmit(args []string) error {
 	noOffload := fs.Bool("no-offload", false, "disable Phase 4 (offloading); deprecated, use -passes")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job timeout on the server (0 = server default)")
 	parallelism := fs.Int("parallelism", 0, "job workers for replay shards and candidate probes (0 = server default)")
-	httpTimeout := httpTimeoutFlag(fs)
 	wait := fs.Bool("wait", false, "poll until the job finishes and print the result")
 	poll := fs.Duration("poll", 200*time.Millisecond, "poll interval with -wait")
+	waitTimeout := fs.Duration("wait-timeout", 10*time.Minute, "give up on -wait after this long (0 = wait forever)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	client := newClient(*httpTimeout)
+	client := sf.client()
 	spec := service.JobSpec{
 		Kind:           *kind,
 		Workload:       *workload,
@@ -58,44 +88,30 @@ func cmdSubmit(args []string) error {
 		TimeoutSeconds: jobTimeout.Seconds(),
 		Parallelism:    *parallelism,
 	}
-	body, err := json.Marshal(spec)
+	st, err := client.SubmitJob(spec)
 	if err != nil {
 		return err
-	}
-	data, err := httpDo(client, http.MethodPost, *server+"/jobs", body)
-	if err != nil {
-		return err
-	}
-	var st service.JobStatus
-	if err := json.Unmarshal(data, &st); err != nil {
-		return fmt.Errorf("bad response: %w", err)
 	}
 	if !*wait {
-		fmt.Println(string(data))
-		return nil
+		return printStatus(st)
 	}
-	for !st.State.Terminal() {
-		time.Sleep(*poll)
-		data, err = httpDo(client, http.MethodGet, *server+"/jobs/"+st.ID, nil)
-		if err != nil {
-			return err
-		}
-		if err := json.Unmarshal(data, &st); err != nil {
-			return fmt.Errorf("bad response: %w", err)
-		}
+	if st, err = client.AwaitJob(st.ID, *poll, *waitTimeout); err != nil {
+		return err
 	}
-	fmt.Println(string(data))
+	if err := printStatus(st); err != nil {
+		return err
+	}
 	if st.State != service.StateDone {
 		return fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
 	}
 	return nil
 }
 
-// cmdStatus prints one job's status (result included once done).
+// cmdStatus prints one job's status (result included once done), asking
+// every configured replica until one knows the ID.
 func cmdStatus(args []string) error {
 	fs := flag.NewFlagSet("status", flag.ContinueOnError)
-	server := serverFlag(fs)
-	httpTimeout := httpTimeoutFlag(fs)
+	sf := addServerFlags(fs)
 	id := fs.String("id", "", "job ID (from 'p2go submit')")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,61 +119,31 @@ func cmdStatus(args []string) error {
 	if *id == "" {
 		return fmt.Errorf("missing -id")
 	}
-	data, err := httpDo(newClient(*httpTimeout), http.MethodGet, *server+"/jobs/"+*id, nil)
+	st, err := sf.client().Job(*id)
 	if err != nil {
 		return err
 	}
-	fmt.Println(string(data))
-	return nil
+	return printStatus(st)
 }
 
-// cmdJobs lists the server's jobs.
+// cmdJobs lists jobs merged across the replica set.
 func cmdJobs(args []string) error {
 	fs := flag.NewFlagSet("jobs", flag.ContinueOnError)
-	server := serverFlag(fs)
-	httpTimeout := httpTimeoutFlag(fs)
+	sf := addServerFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	data, err := httpDo(newClient(*httpTimeout), http.MethodGet, *server+"/jobs", nil)
+	sts, err := sf.client().Jobs()
+	if err != nil {
+		return err
+	}
+	if sts == nil {
+		sts = []service.JobStatus{}
+	}
+	data, err := json.MarshalIndent(sts, "", "  ")
 	if err != nil {
 		return err
 	}
 	fmt.Println(string(data))
 	return nil
-}
-
-// newClient builds a dedicated client with the request deadline; the
-// shared http.DefaultClient (no timeout) is deliberately not used.
-func newClient(timeout time.Duration) *http.Client {
-	return &http.Client{Timeout: timeout}
-}
-
-// httpDo performs one request and returns the body, turning non-2xx
-// statuses into errors carrying the server's message.
-func httpDo(client *http.Client, method, url string, body []byte) ([]byte, error) {
-	var rd io.Reader
-	if body != nil {
-		rd = bytes.NewReader(body)
-	}
-	req, err := http.NewRequest(method, url, rd)
-	if err != nil {
-		return nil, err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode >= 300 {
-		return nil, fmt.Errorf("%s %s: %s: %s", method, url, resp.Status, strings.TrimSpace(string(data)))
-	}
-	return data, nil
 }

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"time"
 
@@ -39,7 +38,7 @@ func cmdFleet(args []string) error {
 // the shared analysis cache collapses N compiles into one.
 func cmdFleetSubmit(args []string) error {
 	fs := flag.NewFlagSet("fleet submit", flag.ContinueOnError)
-	server := serverFlag(fs)
+	sf := addServerFlags(fs)
 	specFile := fs.String("spec", "", "fleet spec JSON file (the POST /fleets body); overrides the synthetic flags")
 	devices := fs.Int("devices", 4, "synthetic fleet: number of devices")
 	workload := fs.String("workload", "quickstart", "synthetic fleet: workload for every device")
@@ -47,9 +46,9 @@ func cmdFleetSubmit(args []string) error {
 	packets := fs.Int("packets", 200, "synthetic fleet: packets injected per device")
 	passes := fs.String("passes", "", "comma-separated pass schedule for every device (empty = default order)")
 	deviceParallelism := fs.Int("device-parallelism", 0, "devices optimized concurrently (0 = all CPUs)")
-	httpTimeout := httpTimeoutFlag(fs)
 	wait := fs.Bool("wait", false, "poll until the fleet finishes and print the aggregated report")
 	poll := fs.Duration("poll", 200*time.Millisecond, "poll interval with -wait")
+	waitTimeout := fs.Duration("wait-timeout", 30*time.Minute, "give up on -wait after this long (0 = wait forever)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,34 +70,20 @@ func cmdFleetSubmit(args []string) error {
 	if *deviceParallelism > 0 {
 		spec.DeviceParallelism = *deviceParallelism
 	}
-	body, err := json.Marshal(spec)
+	client := sf.client()
+	st, err := client.SubmitFleet(spec)
 	if err != nil {
 		return err
-	}
-	client := newClient(*httpTimeout)
-	data, err := httpDo(client, http.MethodPost, *server+"/fleets", body)
-	if err != nil {
-		return err
-	}
-	var st service.JobStatus
-	if err := json.Unmarshal(data, &st); err != nil {
-		return fmt.Errorf("bad response: %w", err)
 	}
 	if !*wait {
-		fmt.Println(string(data))
-		return nil
+		return printStatus(st)
 	}
-	for !st.State.Terminal() {
-		time.Sleep(*poll)
-		data, err = httpDo(client, http.MethodGet, *server+"/fleets/"+st.ID, nil)
-		if err != nil {
-			return err
-		}
-		if err := json.Unmarshal(data, &st); err != nil {
-			return fmt.Errorf("bad response: %w", err)
-		}
+	if st, err = client.AwaitFleet(st.ID, *poll, *waitTimeout); err != nil {
+		return err
 	}
-	fmt.Println(string(data))
+	if err := printStatus(st); err != nil {
+		return err
+	}
 	if st.State != service.StateDone {
 		return fmt.Errorf("fleet job %s %s: %s", st.ID, st.State, st.Error)
 	}
@@ -106,11 +91,10 @@ func cmdFleetSubmit(args []string) error {
 }
 
 // cmdFleetStatus prints one fleet job's status (the aggregated
-// FleetResult attached once done).
+// FleetResult attached once done), asking every configured replica.
 func cmdFleetStatus(args []string) error {
 	fs := flag.NewFlagSet("fleet status", flag.ContinueOnError)
-	server := serverFlag(fs)
-	httpTimeout := httpTimeoutFlag(fs)
+	sf := addServerFlags(fs)
 	id := fs.String("id", "", "fleet job ID (from 'p2go fleet submit')")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -118,23 +102,28 @@ func cmdFleetStatus(args []string) error {
 	if *id == "" {
 		return fmt.Errorf("missing -id")
 	}
-	data, err := httpDo(newClient(*httpTimeout), http.MethodGet, *server+"/fleets/"+*id, nil)
+	st, err := sf.client().Fleet(*id)
 	if err != nil {
 		return err
 	}
-	fmt.Println(string(data))
-	return nil
+	return printStatus(st)
 }
 
-// cmdFleetJobs lists the server's fleet jobs.
+// cmdFleetJobs lists fleet jobs merged across the replica set.
 func cmdFleetJobs(args []string) error {
 	fs := flag.NewFlagSet("fleet jobs", flag.ContinueOnError)
-	server := serverFlag(fs)
-	httpTimeout := httpTimeoutFlag(fs)
+	sf := addServerFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	data, err := httpDo(newClient(*httpTimeout), http.MethodGet, *server+"/fleets", nil)
+	sts, err := sf.client().Fleets()
+	if err != nil {
+		return err
+	}
+	if sts == nil {
+		sts = []service.JobStatus{}
+	}
+	data, err := json.MarshalIndent(sts, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -14,6 +14,17 @@
 //	p2god [-listen addr] [-workers N] [-queue N] [-job-timeout d]
 //	      [-parallelism N] [-cache-entries N] [-cache-dir dir] [-drain-timeout d]
 //	      [-journal path] [-trace-dir dir] [-pprof] [-log-level level]
+//	      [-cluster-dir dir] [-replica-id id] [-peers addrs] [-lease-ttl d]
+//
+// High availability: -cluster-dir joins the daemon to a replica group.
+// Replicas of one group share the directory (and, by default, spill the
+// artifact cache and journal into it), announce themselves with fsynced
+// membership leases, guard each job with a per-digest ownership lease
+// (TTL -lease-ttl, epoch-fenced), and reclaim accepted-but-unfinished
+// jobs from peers whose lease expired — kill -9 one replica mid-job and
+// a survivor completes it under the original job ID. -peers lists the
+// replica set's HTTP addresses for clients (served at GET /cluster;
+// `p2go -servers` routes jobs by digest and fails over automatically).
 //
 // Submit with curl (or `p2go submit`):
 //
@@ -46,9 +57,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"p2go/internal/cluster"
 	"p2go/internal/obs"
 	"p2go/internal/service"
 )
@@ -67,6 +81,10 @@ type options struct {
 	traceDir     string
 	pprofOn      bool
 	logLevel     string
+	clusterDir   string
+	replicaID    string
+	peers        string
+	leaseTTL     time.Duration
 }
 
 func main() {
@@ -83,6 +101,10 @@ func main() {
 	flag.StringVar(&o.traceDir, "trace-dir", "", "persist each job's Chrome trace-event JSON to this directory (optional)")
 	flag.BoolVar(&o.pprofOn, "pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.StringVar(&o.logLevel, "log-level", "", "log verbosity on stderr: debug, info (default), warn, error")
+	flag.StringVar(&o.clusterDir, "cluster-dir", "", "join the replica group coordinating through this shared directory (optional)")
+	flag.StringVar(&o.replicaID, "replica-id", "", "this replica's unique, stable ID within the group (required with -cluster-dir)")
+	flag.StringVar(&o.peers, "peers", "", "comma-separated HTTP addresses of the replica set, served at GET /cluster for client routing")
+	flag.DurationVar(&o.leaseTTL, "lease-ttl", cluster.DefaultTTL, "membership/job lease time-to-live; a replica missing renewal this long is presumed dead")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -98,6 +120,42 @@ func run(o options) error {
 	}
 	logger := obs.NewLogger(os.Stderr, level)
 
+	// Joining a replica group defaults the journal and cache spill into
+	// the shared directory: peers read our journal to reclaim work, and
+	// the shared spill is what lets a survivor serve our results.
+	var node *cluster.Node
+	if o.clusterDir != "" {
+		if o.replicaID == "" {
+			return fmt.Errorf("-cluster-dir requires -replica-id")
+		}
+		node, err = cluster.Join(cluster.Config{Dir: o.clusterDir, ID: o.replicaID, TTL: o.leaseTTL})
+		if err != nil {
+			return err
+		}
+		if o.journalPath == "" {
+			o.journalPath = node.JournalPath(o.replicaID)
+		} else if o.journalPath != node.JournalPath(o.replicaID) {
+			// Peers can only reclaim our jobs if they can find our
+			// journal, and they look for it at the group's well-known
+			// path. A journal anywhere else silently disables takeover.
+			return fmt.Errorf("-journal must be left unset with -cluster-dir (the group journal lives at %s)", node.JournalPath(o.replicaID))
+		}
+		if o.cacheDir == "" {
+			o.cacheDir = filepath.Join(o.clusterDir, "spill")
+			if err := os.MkdirAll(o.cacheDir, 0o755); err != nil {
+				return fmt.Errorf("cluster spill dir: %w", err)
+			}
+		} else if o.cacheDir != filepath.Join(o.clusterDir, "spill") {
+			// Not fatal — a survivor just recomputes rows it cannot find
+			// in its own spill — but it defeats the shared-cache half of
+			// the HA story, so say so.
+			logger.Warn("custom -cache-dir with -cluster-dir: peers cannot re-serve this replica's spilled results",
+				"cache_dir", o.cacheDir, "shared", filepath.Join(o.clusterDir, "spill"))
+		}
+		logger.Info("joined replica group", "dir", o.clusterDir, "replica", o.replicaID,
+			"lease_ttl", o.leaseTTL.String(), "peers", o.peers)
+	}
+
 	var journal *service.Journal
 	if o.journalPath != "" {
 		journal, err = service.OpenJournal(o.journalPath)
@@ -111,6 +169,12 @@ func run(o options) error {
 			return fmt.Errorf("trace dir: %w", err)
 		}
 	}
+	var peers []string
+	for _, p := range strings.Split(o.peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
 	m := service.NewManager(service.ManagerConfig{
 		Workers:     o.workers,
 		QueueDepth:  o.queue,
@@ -119,11 +183,16 @@ func run(o options) error {
 		Cache:       service.NewCache(o.cacheEntries, o.cacheDir),
 		Journal:     journal,
 		TraceDir:    o.traceDir,
+		Cluster:     node,
+		Peers:       peers,
 	})
 	if journal != nil {
-		pending, err := journal.Recover()
+		pending, warnings, err := journal.Recover()
 		if err != nil {
 			return fmt.Errorf("journal recovery: %w", err)
+		}
+		for _, w := range warnings {
+			logger.Warn("journal recovery", "warning", w)
 		}
 		if len(pending) > 0 {
 			accepted, dropped := m.Requeue(pending)

@@ -1,0 +1,278 @@
+package cluster
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"p2go/internal/faults"
+)
+
+// fakeClock is a mutable clock shared by the replicas in a test so lease
+// expiry is driven deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testNode(t *testing.T, dir, id string, clk *fakeClock, fs *faults.Set) *Node {
+	t.Helper()
+	n, err := Join(Config{Dir: dir, ID: id, TTL: time.Second, Faults: fs, Now: clk.Now})
+	if err != nil {
+		t.Fatalf("Join(%s): %v", id, err)
+	}
+	return n
+}
+
+func TestJobLeaseLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	a := testNode(t, dir, "a", clk, nil)
+	b := testNode(t, dir, "b", clk, nil)
+
+	lease, err := a.AcquireJob("job:abc")
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if lease.Epoch != 1 || lease.Holder != "a" {
+		t.Fatalf("lease = %+v, want epoch 1 holder a", lease)
+	}
+
+	// B cannot take the live lease.
+	if _, err := b.AcquireJob("job:abc"); !errors.Is(err, ErrHeld) {
+		t.Fatalf("b acquire while held = %v, want ErrHeld", err)
+	}
+
+	// Renewal extends expiry; the fence check passes for the holder.
+	clk.Advance(500 * time.Millisecond)
+	if err := a.RenewJob(lease); err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	if err := a.CheckJob(lease); err != nil {
+		t.Fatalf("check after renew: %v", err)
+	}
+
+	// Past TTL without renewal B steals at epoch 2; A is fenced.
+	clk.Advance(1500 * time.Millisecond)
+	stolen, err := b.AcquireJob("job:abc")
+	if err != nil {
+		t.Fatalf("b takeover: %v", err)
+	}
+	if stolen.Epoch != 2 || stolen.Holder != "b" {
+		t.Fatalf("stolen = %+v, want epoch 2 holder b", stolen)
+	}
+	if err := a.CheckJob(lease); !errors.Is(err, ErrFenced) {
+		t.Fatalf("a check after takeover = %v, want ErrFenced", err)
+	}
+	if err := a.RenewJob(lease); !errors.Is(err, ErrFenced) {
+		t.Fatalf("a renew after takeover = %v, want ErrFenced", err)
+	}
+
+	// A fenced holder's release is a no-op; the owner's release works.
+	if err := a.ReleaseJob(lease); err != nil {
+		t.Fatalf("fenced release: %v", err)
+	}
+	if _, ok, _ := b.JobLeaseState("job:abc"); !ok {
+		t.Fatal("owner's lease vanished after fenced release")
+	}
+	if err := b.ReleaseJob(stolen); err != nil {
+		t.Fatalf("owner release: %v", err)
+	}
+	if _, ok, _ := b.JobLeaseState("job:abc"); ok {
+		t.Fatal("lease still present after owner release")
+	}
+}
+
+func TestAcquireOwnLeaseRenews(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	a := testNode(t, dir, "a", clk, nil)
+
+	l1, err := a.AcquireJob("job:self")
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	clk.Advance(700 * time.Millisecond)
+	l2, err := a.AcquireJob("job:self")
+	if err != nil {
+		t.Fatalf("re-acquire own lease: %v", err)
+	}
+	if l2.Epoch != l1.Epoch {
+		t.Fatalf("re-acquire bumped epoch %d -> %d", l1.Epoch, l2.Epoch)
+	}
+	if !l2.Expires.After(l1.Expires) {
+		t.Fatalf("re-acquire did not extend expiry: %v -> %v", l1.Expires, l2.Expires)
+	}
+}
+
+func TestConcurrentStealSingleWinner(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	dead := testNode(t, dir, "dead", clk, nil)
+	if _, err := dead.AcquireJob("job:contested"); err != nil {
+		t.Fatalf("seed lease: %v", err)
+	}
+	clk.Advance(2 * time.Second) // expire it
+
+	const contenders = 8
+	nodes := make([]*Node, contenders)
+	for i := range nodes {
+		nodes[i] = testNode(t, dir, "n"+string(rune('a'+i)), clk, nil)
+	}
+	var wins atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for _, n := range nodes {
+		wg.Add(1)
+		go func(n *Node) {
+			defer wg.Done()
+			<-start
+			lease, err := n.AcquireJob("job:contested")
+			if err == nil {
+				if lease.Epoch != 2 {
+					t.Errorf("%s won at epoch %d, want 2", n.ID(), lease.Epoch)
+				}
+				wins.Add(1)
+			} else if !errors.Is(err, ErrHeld) {
+				t.Errorf("%s: unexpected error %v", n.ID(), err)
+			}
+		}(n)
+	}
+	close(start)
+	wg.Wait()
+	if wins.Load() != 1 {
+		t.Fatalf("%d contenders won the steal, want exactly 1", wins.Load())
+	}
+}
+
+func TestMembership(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	a := testNode(t, dir, "a", clk, nil)
+	b := testNode(t, dir, "b", clk, nil)
+
+	members, err := a.Members()
+	if err != nil {
+		t.Fatalf("members: %v", err)
+	}
+	if len(members) != 2 || members[0].ID != "a" || members[1].ID != "b" {
+		t.Fatalf("members = %+v, want [a b]", members)
+	}
+	for _, m := range members {
+		if !a.Alive(m) {
+			t.Fatalf("member %s should be alive", m.ID)
+		}
+	}
+
+	// B stops renewing; after TTL it reads as dead, A (renewing) stays
+	// alive.
+	clk.Advance(800 * time.Millisecond)
+	if err := a.Renew(); err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	clk.Advance(400 * time.Millisecond)
+	members, _ = a.Members()
+	for _, m := range members {
+		alive := a.Alive(m)
+		if m.ID == "a" && !alive {
+			t.Fatal("a renewed but reads dead")
+		}
+		if m.ID == "b" && alive {
+			t.Fatal("b stopped renewing but reads alive")
+		}
+	}
+
+	// Graceful leave removes the lease entirely.
+	if err := b.Leave(); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	members, _ = a.Members()
+	if len(members) != 1 || members[0].ID != "a" {
+		t.Fatalf("members after leave = %+v, want [a]", members)
+	}
+}
+
+func TestLeaseFaultInjection(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	// First two lease operations fail (injected loss), then recover.
+	fs := faults.MustSet(faults.Spec{Point: faults.LeaseLost, From: 0, To: 2})
+	a := testNode(t, dir, "a", clk, nil)
+	a.cfg.Faults = fs
+
+	if err := a.Renew(); !faults.IsInjected(err) {
+		t.Fatalf("renew #1 = %v, want injected", err)
+	}
+	if _, err := a.AcquireJob("job:x"); !faults.IsInjected(err) {
+		t.Fatalf("acquire = %v, want injected", err)
+	}
+	if err := a.Renew(); err != nil {
+		t.Fatalf("renew after window: %v", err)
+	}
+	if _, err := a.AcquireJob("job:x"); err != nil {
+		t.Fatalf("acquire after window: %v", err)
+	}
+}
+
+func TestPartitionFault(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	a := testNode(t, dir, "a", clk, nil)
+	lease, err := a.AcquireJob("job:p")
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	// Partition everything from now on.
+	a.cfg.Faults = faults.MustSet(faults.Spec{Point: faults.Partition, Probability: 1})
+	if err := a.Renew(); !faults.IsInjected(err) {
+		t.Fatalf("partitioned renew = %v, want injected", err)
+	}
+	if err := a.CheckJob(lease); !faults.IsInjected(err) {
+		t.Fatalf("partitioned check = %v, want injected", err)
+	}
+	if _, err := a.Members(); !faults.IsInjected(err) {
+		t.Fatalf("partitioned members = %v, want injected", err)
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	clk := newFakeClock()
+	if _, err := Join(Config{Dir: "", ID: "a", Now: clk.Now}); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	if _, err := Join(Config{Dir: t.TempDir(), ID: "", Now: clk.Now}); err == nil {
+		t.Fatal("empty ID accepted")
+	}
+	if _, err := Join(Config{Dir: t.TempDir(), ID: "a/b", Now: clk.Now}); err == nil {
+		t.Fatal("ID with slash accepted")
+	}
+}
+
+func TestJournalPath(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	a := testNode(t, dir, "r1", clk, nil)
+	want := filepath.Join(dir, "journal-r1.jsonl")
+	if got := a.JournalPath("r1"); got != want {
+		t.Fatalf("JournalPath = %q, want %q", got, want)
+	}
+}

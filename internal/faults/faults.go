@@ -41,6 +41,16 @@ const (
 	// JobTransient injects a transient (retryable) pipeline error into a
 	// p2god job.
 	JobTransient = "job.transient"
+	// LeaseLost makes a replica-group lease acquisition or renewal attempt
+	// fail (the replica believes it lost contact with the lease store for
+	// that attempt; its lease keeps aging toward expiry).
+	LeaseLost = "cluster.lease-lost"
+	// Partition cuts a replica off from the shared coordination/spill
+	// directory: lease reads and writes error out while it fires.
+	Partition = "cluster.partition"
+	// SlowDisk delays a spill-layer disk operation (artifact spill reads
+	// and writes, lease-file writes), modeling a degraded shared disk.
+	SlowDisk = "disk.slow"
 )
 
 // Spec describes one fault stream at one point.

@@ -5,6 +5,8 @@
 package report
 
 import (
+	"fmt"
+
 	"p2go/internal/controller"
 	"p2go/internal/core"
 	"p2go/internal/p4"
@@ -105,6 +107,102 @@ type FleetResult struct {
 	Devices []FleetDevice `json:"devices"`
 
 	DurationSeconds float64 `json:"duration_seconds,omitempty"`
+
+	// Replica names the p2god replica that produced this result, when the
+	// job ran in a replica group. Attribution only: FleetEquivalent
+	// ignores it, so a report computed by a survivor after takeover
+	// compares equal to one computed uninterrupted.
+	Replica string `json:"replica,omitempty"`
+}
+
+// FleetEquivalent compares two fleet results for semantic equality: same
+// devices, same per-device outcomes, same optimized programs, same
+// fleet-level aggregates. Fields that legitimately differ between an
+// uninterrupted run and a kill/takeover re-run — timings, cache-hit
+// counters, per-row Cached flags, and replica attribution — are ignored.
+// It returns the differences found (empty means equivalent), so a chaos
+// harness can say exactly what diverged.
+func FleetEquivalent(a, b *FleetResult) []string {
+	var diffs []string
+	diff := func(format string, args ...any) { diffs = append(diffs, fmt.Sprintf(format, args...)) }
+	if a == nil || b == nil {
+		if a != b {
+			diff("one result is nil (a=%v b=%v)", a == nil, b == nil)
+		}
+		return diffs
+	}
+	if a.Kind != b.Kind || a.Name != b.Name {
+		diff("identity: %s/%s vs %s/%s", a.Kind, a.Name, b.Kind, b.Name)
+	}
+	if a.DeviceCount != b.DeviceCount || a.Optimized != b.Optimized ||
+		a.Skipped != b.Skipped || a.Failed != b.Failed {
+		diff("status counts: %d/%d/%d/%d vs %d/%d/%d/%d (devices/optimized/skipped/failed)",
+			a.DeviceCount, a.Optimized, a.Skipped, a.Failed,
+			b.DeviceCount, b.Optimized, b.Skipped, b.Failed)
+	}
+	if a.StagesBefore != b.StagesBefore || a.StagesAfter != b.StagesAfter {
+		diff("fleet stages: %d->%d vs %d->%d", a.StagesBefore, a.StagesAfter, b.StagesBefore, b.StagesAfter)
+	}
+	if a.TotalPackets != b.TotalPackets || a.RedirectedPackets != b.RedirectedPackets {
+		diff("traffic: %d total/%d redirected vs %d/%d",
+			a.TotalPackets, a.RedirectedPackets, b.TotalPackets, b.RedirectedPackets)
+	}
+	rows := func(r *FleetResult) map[string]FleetDevice {
+		m := make(map[string]FleetDevice, len(r.Devices))
+		for _, d := range r.Devices {
+			m[d.Device] = d
+		}
+		return m
+	}
+	am, bm := rows(a), rows(b)
+	for name, ad := range am {
+		bd, ok := bm[name]
+		if !ok {
+			diff("device %s: only in first result", name)
+			continue
+		}
+		if ad.Status != bd.Status || ad.Reason != bd.Reason || ad.Packets != bd.Packets {
+			diff("device %s: %s/%q/%d pkts vs %s/%q/%d pkts",
+				name, ad.Status, ad.Reason, ad.Packets, bd.Status, bd.Reason, bd.Packets)
+			continue
+		}
+		ar, br := ad.Result, bd.Result
+		if (ar == nil) != (br == nil) {
+			diff("device %s: result present in one run only", name)
+			continue
+		}
+		if ar == nil {
+			continue
+		}
+		if ar.StagesBefore != br.StagesBefore || ar.StagesAfter != br.StagesAfter {
+			diff("device %s: stages %d->%d vs %d->%d",
+				name, ar.StagesBefore, ar.StagesAfter, br.StagesBefore, br.StagesAfter)
+		}
+		if ar.OptimizedP4 != br.OptimizedP4 {
+			diff("device %s: optimized programs differ", name)
+		}
+		if !slicesEqual(ar.OffloadedTables, br.OffloadedTables) {
+			diff("device %s: offloaded tables %v vs %v", name, ar.OffloadedTables, br.OffloadedTables)
+		}
+	}
+	for name := range bm {
+		if _, ok := am[name]; !ok {
+			diff("device %s: only in second result", name)
+		}
+	}
+	return diffs
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // AggregateFleet folds per-device rows into a FleetResult: status counts,

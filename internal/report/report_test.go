@@ -96,3 +96,52 @@ func TestFromProfileNil(t *testing.T) {
 		t.Error("nil profile must serialize to nil")
 	}
 }
+
+// TestFleetEquivalent: the kill/takeover equivalence check ignores what
+// legitimately differs between runs (timings, cache counters, Cached
+// flags, replica attribution) and catches what must not (outcomes,
+// programs, traffic).
+func TestFleetEquivalent(t *testing.T) {
+	mk := func() *FleetResult {
+		return &FleetResult{
+			Kind: "fleet", Name: "ha", DeviceCount: 2, Optimized: 2,
+			StagesBefore: 8, StagesAfter: 5, TotalPackets: 80,
+			Devices: []FleetDevice{
+				{Device: "sw1", Status: FleetOptimized, Packets: 40,
+					Result: &JobResult{StagesBefore: 4, StagesAfter: 2, OptimizedP4: "p1"}},
+				{Device: "sw2", Status: FleetOptimized, Packets: 40,
+					Result: &JobResult{StagesBefore: 4, StagesAfter: 3, OptimizedP4: "p2"}},
+			},
+		}
+	}
+	a, b := mk(), mk()
+	// The survivor's run differs only in what equivalence must ignore.
+	b.Replica = "r2"
+	b.DurationSeconds = 99
+	b.CompileHits = 17
+	b.Devices[0].Cached = true
+	if diffs := FleetEquivalent(a, b); len(diffs) != 0 {
+		t.Fatalf("ignorable differences reported: %v", diffs)
+	}
+
+	c := mk()
+	c.Devices[1].Status = FleetFailed
+	c.Devices[1].Result = nil
+	c.Optimized, c.Failed = 1, 1
+	if diffs := FleetEquivalent(a, c); len(diffs) == 0 {
+		t.Fatal("a failed device row went unnoticed")
+	}
+
+	d := mk()
+	d.Devices[0].Result.OptimizedP4 = "different"
+	if diffs := FleetEquivalent(a, d); len(diffs) == 0 {
+		t.Fatal("a diverging optimized program went unnoticed")
+	}
+
+	e := mk()
+	e.Devices = e.Devices[:1]
+	e.DeviceCount = 1
+	if diffs := FleetEquivalent(a, e); len(diffs) == 0 {
+		t.Fatal("a missing device went unnoticed")
+	}
+}

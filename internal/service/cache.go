@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
+
+	"p2go/internal/faults"
 )
 
 // Cache is the content-addressed artifact cache: a bounded in-memory LRU
@@ -26,6 +29,10 @@ type Cache struct {
 	inflight map[string]*flight
 	max      int
 	dir      string
+
+	// faults injects disk degradation (faults.SlowDisk) into spill reads
+	// and writes; nil is inert. Set via SetFaults.
+	faults *faults.Set
 
 	hits, misses int64
 }
@@ -61,6 +68,18 @@ func NewCache(maxEntries int, dir string) *Cache {
 	}
 }
 
+// SetFaults wires a fault-injection set into the spill layer: SlowDisk
+// events delay spill reads and writes, modeling a degraded shared disk.
+// Call before the cache sees traffic.
+func (c *Cache) SetFaults(fs *faults.Set) { c.faults = fs }
+
+// slowDisk pays the injected latency of one degraded disk operation.
+func (c *Cache) slowDisk() {
+	if c.faults.Fire(faults.SlowDisk) {
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 // Do returns the cached value for key, or runs fill once (single-flight)
 // and stores the result. The second return reports whether the value was
 // served without running this caller's fill.
@@ -89,6 +108,7 @@ func (c *Cache) do(key string, fill func() (any, error), spill bool) (any, bool,
 			return v, true, nil
 		}
 		if spill && c.dir != "" {
+			c.slowDisk()
 			if data, err := os.ReadFile(c.spillPath(key)); err == nil {
 				c.hits++
 				c.storeLocked(key, data)
@@ -117,11 +137,13 @@ func (c *Cache) do(key string, fill func() (any, error), spill bool) (any, bool,
 		delete(c.inflight, key)
 		if err == nil {
 			c.storeLocked(key, v)
-			if spill && c.dir != "" {
-				c.writeSpill(key, v.([]byte))
-			}
 		}
 		c.mu.Unlock()
+		if err == nil && spill && c.dir != "" {
+			// Outside the mutex: the fsync in the crash-atomic spill write
+			// must not stall every other cache operation.
+			c.writeSpill(key, v.([]byte))
+		}
 		f.val, f.err = v, err
 		close(f.done)
 		if err != nil {
@@ -145,13 +167,42 @@ func (c *Cache) storeLocked(key string, v any) {
 	}
 }
 
-// writeSpill persists a byte artifact; failures are deliberately ignored
-// (the spill is an optimization, not a durability guarantee).
+// writeSpill persists a byte artifact crash-atomically: a uniquely named
+// temp file is written and fsynced, then renamed over the target, and
+// the directory is fsynced so the rename itself is durable. kill -9 at
+// any point leaves either no entry or the complete entry — never a torn
+// file (the read-side detect-and-purge stays as a second line of defense
+// for media corruption). The unique temp name also makes concurrent
+// writers safe — including two replica processes spilling the same
+// content-addressed key into a shared directory; whichever rename lands
+// last wins with identical bytes. Failures are deliberately ignored: the
+// spill is an optimization, not a durability guarantee.
 func (c *Cache) writeSpill(key string, data []byte) {
+	c.slowDisk()
 	path := c.spillPath(key)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err == nil {
-		_ = os.Rename(tmp, path)
+	tmp, err := os.CreateTemp(c.dir, ".spill-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	defer os.Remove(name) // no-op once renamed
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		return
+	}
+	if err := os.Rename(name, path); err != nil {
+		return
+	}
+	if d, err := os.Open(c.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
 	}
 }
 
@@ -175,6 +226,7 @@ func (c *Cache) GetBytes(key string) ([]byte, bool) {
 		}
 	}
 	if c.dir != "" {
+		c.slowDisk()
 		if data, err := os.ReadFile(c.spillPath(key)); err == nil {
 			c.hits++
 			c.storeLocked(key, data)
@@ -190,9 +242,10 @@ func (c *Cache) GetBytes(key string) ([]byte, bool) {
 // artifacts.
 func (c *Cache) PutBytes(key string, data []byte) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.storeLocked(key, data)
-	if c.dir != "" {
+	dir := c.dir
+	c.mu.Unlock()
+	if dir != "" {
 		c.writeSpill(key, data)
 	}
 }

@@ -51,6 +51,11 @@ func (m *Manager) executeFleet(ctx context.Context, job *Job) ([]byte, error) {
 	}
 	m.metrics.FleetJobCompleted(res.DeviceCount, time.Since(start).Seconds(),
 		res.CompileHits, res.CompileMisses, res.ProfileHits, res.ProfileMisses)
+	if job.replica != "" {
+		// Attribution only; report.FleetEquivalent ignores it, so the
+		// survivor's result after a takeover still compares equal.
+		res.Replica = job.replica
+	}
 	return json.Marshal(res)
 }
 

@@ -297,12 +297,15 @@ func TestFleetJournalRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer j2.Close()
-	pending, err := j2.Recover()
+	pending, _, err := j2.Recover()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pending) != 1 || pending[0].Kind != "fleet" || pending[0].Fleet == nil {
+	if len(pending) != 1 || pending[0].Spec.Kind != "fleet" || pending[0].Spec.Fleet == nil {
 		t.Fatalf("recovered %d specs (%+v), want the one unfinished fleet", len(pending), pending)
+	}
+	if pending[0].ID != "j-000042" {
+		t.Fatalf("recovered ID %q, want the original j-000042", pending[0].ID)
 	}
 	m2 := NewManager(ManagerConfig{Workers: 1, QueueDepth: 4, Cache: NewCache(0, cacheDir), Journal: j2})
 	accepted, dropped := m2.Requeue(pending)
@@ -341,7 +344,7 @@ func TestFleetJournalRecovery(t *testing.T) {
 
 	// The journal is clean again: the recovered job finished, so a second
 	// recovery finds nothing pending.
-	pending2, err := j2.Recover()
+	pending2, _, err := j2.Recover()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"p2go/internal/cluster"
 	"p2go/internal/core"
 	"p2go/internal/fleet"
 	"p2go/internal/obs"
@@ -165,6 +166,15 @@ type Job struct {
 	canceled   bool // user requested cancellation
 	requeue    bool // drain persisted the job for recovery on restart
 	retries    int  // transient-failure re-runs this job consumed
+	// lease is the cluster ownership lease the worker holds while the job
+	// runs; nil outside replica groups or before the worker acquired it.
+	lease *cluster.JobLease
+	// replica names the replica that ran (or is running) the job; set in
+	// cluster mode only.
+	replica string
+	// takenOverFrom names the dead replica this job was reclaimed from,
+	// when the job entered via TakeoverScan rather than a live submission.
+	takenOverFrom string
 	// trace collects the job's spans; set when the job starts running.
 	// The collector is internally synchronized, so readers only need the
 	// manager's mutex to read the pointer.
@@ -184,10 +194,15 @@ type JobStatus struct {
 	Cached bool   `json:"cached,omitempty"`
 	Error  string `json:"error,omitempty"`
 	// Retries counts transient-failure re-runs this job consumed.
-	Retries    int    `json:"retries,omitempty"`
-	CreatedAt  string `json:"created_at"`
-	StartedAt  string `json:"started_at,omitempty"`
-	FinishedAt string `json:"finished_at,omitempty"`
+	Retries int `json:"retries,omitempty"`
+	// Replica names the replica serving the job (cluster mode only);
+	// TakenOverFrom names the dead replica it was reclaimed from, when the
+	// job arrived by lease takeover instead of a client submission.
+	Replica       string `json:"replica,omitempty"`
+	TakenOverFrom string `json:"taken_over_from,omitempty"`
+	CreatedAt     string `json:"created_at"`
+	StartedAt     string `json:"started_at,omitempty"`
+	FinishedAt    string `json:"finished_at,omitempty"`
 	// Result is the report.JobResult JSON, present once the job is done
 	// and the caller asked for it.
 	Result json.RawMessage `json:"result,omitempty"`
@@ -196,16 +211,18 @@ type JobStatus struct {
 // statusLocked builds the JSON view; the manager's mutex must be held.
 func (j *Job) statusLocked(includeResult bool) JobStatus {
 	st := JobStatus{
-		ID:        j.ID,
-		State:     j.state,
-		Kind:      j.Spec.Kind,
-		Workload:  j.Spec.Workload,
-		Seed:      j.Spec.Seed,
-		Digest:    j.Digest,
-		Cached:    j.cached,
-		Error:     j.errText,
-		Retries:   j.retries,
-		CreatedAt: j.createdAt.UTC().Format(time.RFC3339Nano),
+		ID:            j.ID,
+		State:         j.state,
+		Kind:          j.Spec.Kind,
+		Workload:      j.Spec.Workload,
+		Seed:          j.Spec.Seed,
+		Digest:        j.Digest,
+		Cached:        j.cached,
+		Error:         j.errText,
+		Retries:       j.retries,
+		Replica:       j.replica,
+		TakenOverFrom: j.takenOverFrom,
+		CreatedAt:     j.createdAt.UTC().Format(time.RFC3339Nano),
 	}
 	if !j.startedAt.IsZero() {
 		st.StartedAt = j.startedAt.UTC().Format(time.RFC3339Nano)

@@ -1,10 +1,11 @@
 package service
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"time"
 )
@@ -14,10 +15,19 @@ import (
 // outcome is recorded when the job finishes. On restart, Recover replays
 // the log: jobs with an accepted record but no terminal record — queued
 // or running when the process died, whether by graceful drain or kill
-// -9 — are returned for re-submission.
+// -9 — are returned for re-submission under their original IDs.
+//
+// In a replica group the journal is also the takeover substrate: each
+// replica journals into the shared cluster directory, and a survivor
+// that claims a dead peer's lease reads the peer's journal (ReadPending)
+// to learn which jobs to reclaim, then appends a "takeover" record to it
+// so a second scan — or the dead replica restarting — sees the job as
+// already re-owned.
 //
 // The format is one JSON object per line, fsynced per append. A torn
-// final line (the crash happened mid-write) is tolerated and skipped.
+// final line (the crash happened mid-write) is tolerated and reported as
+// a warning; corruption anywhere before the final record is an error,
+// because a journal that lies in the middle cannot be trusted at all.
 type Journal struct {
 	mu   sync.Mutex
 	f    *os.File
@@ -26,7 +36,7 @@ type Journal struct {
 
 // journalEntry is one journal line.
 type journalEntry struct {
-	// Op is "accepted", "finished", "requeued", or "device".
+	// Op is "accepted", "finished", "requeued", "device", or "takeover".
 	Op string `json:"op"`
 	// ID is the job ID the entry refers to.
 	ID string `json:"id"`
@@ -37,8 +47,18 @@ type journalEntry struct {
 	State string `json:"state,omitempty"`
 	// Device is the device name on device entries (fleet job progress).
 	Device string `json:"device,omitempty"`
+	// By is the reclaiming replica on takeover entries.
+	By string `json:"by,omitempty"`
 	// Time is RFC3339Nano, informational only.
 	Time string `json:"time"`
+}
+
+// PendingJob is one accepted-but-unfinished job recovered from a
+// journal, keyed by the ID it was originally accepted under — recovery
+// and takeover both re-serve results under that ID.
+type PendingJob struct {
+	ID   string
+	Spec JobSpec
 }
 
 // OpenJournal opens (creating if needed) the journal at path.
@@ -50,37 +70,90 @@ func OpenJournal(path string) (*Journal, error) {
 	return &Journal{f: f, path: path}, nil
 }
 
-// Recover replays the journal and returns the specs of every job that
-// was accepted but never finished, in acceptance order. It then compacts
-// the journal to empty: the caller re-submits the pending specs, and
-// each re-submission appends a fresh accepted record (under a new job
-// ID), so the log never grows across restarts.
-func (j *Journal) Recover() ([]JobSpec, error) {
+// Recover replays the journal and returns every job that was accepted
+// but never finished, in acceptance order, plus warnings for tolerated
+// damage (a torn final record). It then compacts the journal to empty:
+// the caller re-submits the pending jobs, and each re-submission appends
+// a fresh accepted record, so the log never grows across restarts.
+func (j *Journal) Recover() ([]PendingJob, []string, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if _, err := j.f.Seek(0, 0); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	type pendingJob struct {
-		spec JobSpec
-		seq  int
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: read journal: %w", err)
 	}
-	pending := map[string]pendingJob{}
+	pending, warnings, err := replayJournal(data, j.path)
+	if err != nil {
+		return nil, warnings, err
+	}
+	if err := j.f.Truncate(0); err != nil {
+		return nil, warnings, err
+	}
+	if _, err := j.f.Seek(0, 0); err != nil {
+		return nil, warnings, err
+	}
+	return pending, warnings, nil
+}
+
+// ReadPending replays a journal file read-only — no truncation, no open
+// handle kept — and returns its accepted-but-unfinished jobs. This is
+// how a surviving replica inspects a dead peer's journal before taking
+// its work over; tolerated damage comes back as warnings.
+func ReadPending(path string) ([]PendingJob, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, nil // peer never journaled anything
+		}
+		return nil, nil, fmt.Errorf("service: read journal: %w", err)
+	}
+	return replayJournal(data, path)
+}
+
+// replayJournal folds journal bytes into the pending set. A final line
+// that fails to parse is a torn tail from a crash mid-append: it is
+// skipped with a warning, because the fsync discipline guarantees every
+// earlier record was durable before it was written. An unparseable line
+// anywhere else is corruption and fails the replay.
+func replayJournal(data []byte, path string) ([]PendingJob, []string, error) {
+	type pendingAt struct {
+		job PendingJob
+		seq int
+	}
+	pending := map[string]pendingAt{}
+	var warnings []string
 	seq := 0
-	sc := bufio.NewScanner(j.f)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	for sc.Scan() {
+	lines := bytes.Split(data, []byte("\n"))
+	// A well-formed journal ends with '\n', leaving one empty trailing
+	// element; drop empties at the end but not in the middle.
+	for len(lines) > 0 && len(bytes.TrimSpace(lines[len(lines)-1])) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	for i, line := range lines {
 		var e journalEntry
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			continue // torn write from a crash; skip
+		if err := json.Unmarshal(line, &e); err != nil {
+			if i == len(lines)-1 {
+				warnings = append(warnings, fmt.Sprintf(
+					"journal %s: dropping torn final record (%d bytes): %v", path, len(line), err))
+				continue
+			}
+			return nil, warnings, fmt.Errorf(
+				"service: journal %s corrupt at line %d (not a torn tail): %v", path, i+1, err)
 		}
 		switch e.Op {
 		case "accepted":
 			if e.Spec != nil {
-				pending[e.ID] = pendingJob{spec: *e.Spec, seq: seq}
+				pending[e.ID] = pendingAt{job: PendingJob{ID: e.ID, Spec: *e.Spec}, seq: seq}
 				seq++
 			}
 		case "finished":
+			delete(pending, e.ID)
+		case "takeover":
+			// Another replica reclaimed the job; it is no longer this
+			// journal's responsibility.
 			delete(pending, e.ID)
 		case "requeued":
 			// still pending; the entry only documents the drain
@@ -90,29 +163,16 @@ func (j *Journal) Recover() ([]JobSpec, error) {
 			// spilled device cache, so the entry is informational
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("service: read journal: %w", err)
-	}
-	out := make([]JobSpec, 0, len(pending))
-	order := make([]pendingJob, 0, len(pending))
+	order := make([]pendingAt, 0, len(pending))
 	for _, p := range pending {
 		order = append(order, p)
 	}
-	for i := range order { // insertion sort by acceptance order; n is tiny
-		for k := i; k > 0 && order[k-1].seq > order[k].seq; k-- {
-			order[k-1], order[k] = order[k], order[k-1]
-		}
-	}
+	sort.Slice(order, func(a, b int) bool { return order[a].seq < order[b].seq })
+	out := make([]PendingJob, 0, len(order))
 	for _, p := range order {
-		out = append(out, p.spec)
+		out = append(out, p.job)
 	}
-	if err := j.f.Truncate(0); err != nil {
-		return nil, err
-	}
-	if _, err := j.f.Seek(0, 0); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return out, warnings, nil
 }
 
 // Accepted records an admitted job before its submitter is answered.
@@ -151,6 +211,32 @@ func (j *Journal) Requeued(id string) {
 	j.append(journalEntry{Op: "requeued", ID: id})
 }
 
+// AppendTakeover appends a takeover record to the journal at path (a
+// dead peer's journal, not the caller's own): the named job is now owned
+// by replica `by`. The append is direct — open, write one fsynced line,
+// close — because the dead peer's journal has no live *Journal handle.
+func AppendTakeover(path, jobID, by string) error {
+	e := journalEntry{
+		Op:   "takeover",
+		ID:   jobID,
+		By:   by,
+		Time: time.Now().UTC().Format(time.RFC3339Nano),
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: append takeover: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("service: append takeover: %w", err)
+	}
+	return f.Sync()
+}
+
 // append writes one line and fsyncs. Errors are swallowed after marking
 // nothing: the journal is a recovery aid; a full disk must not take the
 // daemon down with it.
@@ -178,7 +264,8 @@ func (j *Journal) Path() string {
 	return j.path
 }
 
-// Close closes the underlying file.
+// Close closes the underlying file. Further appends are silent no-ops —
+// which is exactly what Manager.Kill leans on to simulate kill -9.
 func (j *Journal) Close() error {
 	if j == nil {
 		return nil

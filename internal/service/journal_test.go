@@ -1,7 +1,9 @@
 package service
 
 import (
+	"bytes"
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -33,16 +35,22 @@ func TestJournalCrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer j2.Close()
-	pending, err := j2.Recover()
+	pending, warnings, err := j2.Recover()
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("clean journal produced warnings: %v", warnings)
 	}
 	if len(pending) != len(seeds) {
 		t.Fatalf("recovered %d job(s), want %d", len(pending), len(seeds))
 	}
-	for i, spec := range pending {
-		if spec.Seed != seeds[i] {
-			t.Errorf("recovered[%d].Seed = %d, want %d (acceptance order)", i, spec.Seed, seeds[i])
+	for i, p := range pending {
+		if p.Spec.Seed != seeds[i] {
+			t.Errorf("recovered[%d].Spec.Seed = %d, want %d (acceptance order)", i, p.Spec.Seed, seeds[i])
+		}
+		if p.ID == "" {
+			t.Errorf("recovered[%d] lost its original ID", i)
 		}
 	}
 
@@ -66,7 +74,7 @@ func TestJournalCrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer j3.Close()
-	left, err := j3.Recover()
+	left, _, err := j3.Recover()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,12 +127,16 @@ func TestDrainRequeuesQueuedJobs(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer j2.Close()
-	pending, err := j2.Recover()
+	pending, _, err := j2.Recover()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pending) != 2 || pending[0].Seed != 2 || pending[1].Seed != 3 {
+	if len(pending) != 2 || pending[0].Spec.Seed != 2 || pending[1].Spec.Seed != 3 {
 		t.Fatalf("recovered %+v, want the two drained specs (seeds 2, 3)", pending)
+	}
+	if pending[0].ID != q1.ID || pending[1].ID != q2.ID {
+		t.Fatalf("recovered IDs %s, %s, want the originals %s, %s",
+			pending[0].ID, pending[1].ID, q1.ID, q2.ID)
 	}
 }
 
@@ -173,12 +185,80 @@ func TestJournalTornLineTolerated(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer j2.Close()
-	pending, err := j2.Recover()
+	pending, warnings, err := j2.Recover()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pending) != 1 || pending[0].Seed != 9 {
+	if len(pending) != 1 || pending[0].Spec.Seed != 9 {
 		t.Fatalf("recovered %+v, want the one complete record", pending)
+	}
+	if len(warnings) != 1 {
+		t.Fatalf("torn final line produced %d warning(s), want 1: %v", len(warnings), warnings)
+	}
+}
+
+// TestJournalTruncationEveryOffset: recovery must be well-defined no
+// matter where inside the last record a crash cut the write short. The
+// journal is truncated at every byte offset of its final record; at each
+// point recovery succeeds, always keeps the earlier record, never
+// invents state, and warns exactly when a partial tail was dropped.
+func TestJournalTruncationEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	master := filepath.Join(dir, "journal.jsonl")
+	j, err := OpenJournal(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Accepted("j-000001", JobSpec{Kind: "optimize", Workload: "quickstart", Seed: 1})
+	j.Accepted("j-000002", JobSpec{Kind: "optimize", Workload: "quickstart", Seed: 2})
+	j.Close()
+	data, err := os.ReadFile(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// base = end of the first record including its newline; everything
+	// past it belongs to the last record.
+	base := bytes.IndexByte(data, '\n') + 1
+	if base <= 0 || base >= len(data) {
+		t.Fatalf("journal layout unexpected: base %d of %d bytes", base, len(data))
+	}
+
+	for cut := base; cut <= len(data); cut++ {
+		path := filepath.Join(dir, fmt.Sprintf("cut-%04d.jsonl", cut))
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jr, err := OpenJournal(path)
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		pending, warnings, err := jr.Recover()
+		jr.Close()
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		// The last record survives only when every byte of its JSON made
+		// it to disk (the trailing newline itself is optional).
+		wantJobs := 1
+		if cut >= len(data)-1 {
+			wantJobs = 2
+		}
+		if len(pending) != wantJobs {
+			t.Fatalf("cut %d: recovered %d job(s), want %d", cut, len(pending), wantJobs)
+		}
+		if pending[0].ID != "j-000001" || pending[0].Spec.Seed != 1 {
+			t.Fatalf("cut %d: first record damaged: %+v", cut, pending[0])
+		}
+		if wantJobs == 2 && (pending[1].ID != "j-000002" || pending[1].Spec.Seed != 2) {
+			t.Fatalf("cut %d: intact last record damaged: %+v", cut, pending[1])
+		}
+		wantWarnings := 0
+		if cut > base && wantJobs == 1 {
+			wantWarnings = 1 // a non-empty torn tail was dropped, loudly
+		}
+		if len(warnings) != wantWarnings {
+			t.Fatalf("cut %d: %d warning(s) %v, want %d", cut, len(warnings), warnings, wantWarnings)
+		}
 	}
 }
 

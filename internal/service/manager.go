@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"p2go/internal/cluster"
 	"p2go/internal/core"
 	"p2go/internal/faults"
 	"p2go/internal/obs"
@@ -102,6 +103,22 @@ type ManagerConfig struct {
 	// parallelism-independent, so this does not enter cache keys or job
 	// digests.
 	Parallelism int
+	// Cluster, when set, joins this manager to a replica group: job
+	// ownership is guarded by per-digest leases with epoch fencing, job
+	// IDs are replica-prefixed, and the manager reclaims
+	// accepted-but-unfinished work from dead peers' journals. nil means
+	// standalone (all lease machinery is skipped).
+	Cluster *cluster.Node
+	// ClusterRenewEvery is the period of the background cluster loop
+	// (membership + job-lease renewal, then a takeover scan). 0 means
+	// TTL/3. Negative disables the loop so tests can drive renewal and
+	// takeover manually with RenewJobLeases/TakeoverScan.
+	ClusterRenewEvery time.Duration
+	// Peers is the replica set's advertised HTTP addresses, served at
+	// GET /cluster so clients can discover the set for digest routing and
+	// failover. Informational only — coordination runs over the shared
+	// directory, not these addresses.
+	Peers []string
 }
 
 // jobTraceSpanCap bounds the spans retained per job; past it the
@@ -138,10 +155,15 @@ type Manager struct {
 	queued   int
 	running  int
 	draining bool
+	killed   bool // Kill() simulated kill -9; suppress journal/lease writes
 	seq      int
 	breakers map[string]*breakerState // by job digest
 
 	wg sync.WaitGroup
+	// clusterWG tracks the background cluster loop; it is separate from wg
+	// because Drain waits on the workers before canceling baseCtx, and the
+	// cluster loop only exits on that cancel.
+	clusterWG sync.WaitGroup
 
 	// execFn computes a job's result bytes; replaced in tests to make
 	// job behavior controllable. Production value is (*Manager).execute.
@@ -208,17 +230,34 @@ func (m *Manager) Metrics() *Metrics { return m.metrics }
 // Cache returns the artifact cache.
 func (m *Manager) Cache() *Cache { return m.cache }
 
-// Start launches the worker pool.
+// Start launches the worker pool, and — in cluster mode — the background
+// lease loop (membership + job-lease renewal, then a takeover scan).
 func (m *Manager) Start() {
 	for i := 0; i < m.cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
+	}
+	if m.cfg.Cluster != nil && m.cfg.ClusterRenewEvery >= 0 {
+		every := m.cfg.ClusterRenewEvery
+		if every == 0 {
+			every = m.cfg.Cluster.TTL() / 3
+		}
+		m.clusterWG.Add(1)
+		go m.clusterLoop(every)
 	}
 }
 
 // Submit validates, registers, and enqueues a job. It returns ErrQueueFull
 // when the bounded queue has no room and ErrDraining during shutdown.
 func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
+	return m.submit(spec, "", "", nil)
+}
+
+// submit is the shared admission path. presetID keeps a recovered or
+// taken-over job's original ID; takenOverFrom and lease are set when the
+// job was reclaimed from a dead replica (the lease was acquired by the
+// takeover scan and is handed to the worker).
+func (m *Manager) submit(spec JobSpec, presetID, takenOverFrom string, lease *cluster.JobLease) (JobStatus, error) {
 	if err := spec.normalize(); err != nil {
 		return JobStatus{}, err
 	}
@@ -237,18 +276,30 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 		// burst of re-submissions cannot stampede a failing spec.
 		b.openUntil = m.now().Add(m.cfg.BreakerCooldown)
 	}
-	m.seq++
+	id := presetID
+	if id == "" {
+		id = m.nextIDLocked()
+	} else if _, taken := m.jobs[id]; taken {
+		return JobStatus{}, fmt.Errorf("service: job %q already tracked", id)
+	}
 	job := &Job{
-		ID:        fmt.Sprintf("j-%06d", m.seq),
-		Spec:      spec,
-		Digest:    digest,
-		state:     StateQueued,
-		createdAt: time.Now(),
+		ID:            id,
+		Spec:          spec,
+		Digest:        digest,
+		state:         StateQueued,
+		createdAt:     time.Now(),
+		lease:         lease,
+		takenOverFrom: takenOverFrom,
+	}
+	if m.cfg.Cluster != nil {
+		job.replica = m.cfg.Cluster.ID()
 	}
 	select {
 	case m.queue <- job:
 	default:
-		m.seq-- // not admitted; reuse the ID
+		if presetID == "" {
+			m.seq-- // not admitted; reuse the ID
+		}
 		m.metrics.QueueRejected()
 		return JobStatus{}, ErrQueueFull
 	}
@@ -263,12 +314,30 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	return job.statusLocked(false), nil
 }
 
-// Requeue re-submits specs recovered from the journal, before Start.
-// It returns how many were accepted; specs bounced by a full queue (or
-// an open breaker) are dropped with a count.
-func (m *Manager) Requeue(specs []JobSpec) (accepted, dropped int) {
-	for _, spec := range specs {
-		if _, err := m.Submit(spec); err != nil {
+// nextIDLocked mints the next job ID: replica-prefixed in cluster mode
+// so IDs are unique across the group, and skipping IDs already tracked
+// (a recovered job re-submitted under its original ID can occupy a slot
+// the sequence would otherwise mint).
+func (m *Manager) nextIDLocked() string {
+	for {
+		m.seq++
+		id := fmt.Sprintf("j-%06d", m.seq)
+		if m.cfg.Cluster != nil {
+			id = m.cfg.Cluster.ID() + "-" + id
+		}
+		if _, taken := m.jobs[id]; !taken {
+			return id
+		}
+	}
+}
+
+// Requeue re-submits jobs recovered from the journal, before Start,
+// preserving their original IDs so clients polling a pre-crash ID get
+// the result. It returns how many were accepted; jobs bounced by a full
+// queue (or an open breaker) are dropped with a count.
+func (m *Manager) Requeue(pending []PendingJob) (accepted, dropped int) {
+	for _, p := range pending {
+		if _, err := m.submit(p.Spec, p.ID, "", nil); err != nil {
 			dropped++
 			continue
 		}
@@ -390,13 +459,26 @@ func (m *Manager) Drain(timeout time.Duration) DrainReport {
 		<-done
 	}
 	m.baseCancel()
+	m.clusterWG.Wait()
+	if m.cfg.Cluster != nil {
+		// Graceful goodbye: drop the membership lease so peers treat this
+		// replica as gone immediately instead of after TTL.
+		_ = m.cfg.Cluster.Leave()
+	}
 	return rep
 }
 
-// worker pops jobs until the queue is closed and drained.
+// worker pops jobs until the queue is closed and drained. After Kill, a
+// "dead" worker discards whatever is still queued without running it.
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for job := range m.queue {
+		m.mu.Lock()
+		killed := m.killed
+		m.mu.Unlock()
+		if killed {
+			continue
+		}
 		m.runJob(job)
 	}
 }
@@ -446,13 +528,54 @@ func (m *Manager) runJob(job *Job) {
 		obs.String("workload", job.Spec.Workload),
 		obs.Int64("seed", job.Spec.Seed),
 		obs.String("digest", job.Digest))
+	if job.replica != "" {
+		root.SetAttr(obs.String("replica", job.replica))
+	}
+	if job.takenOverFrom != "" {
+		// The job arrived by lease takeover; record the provenance in the
+		// trace so a reclaimed job is distinguishable from a fresh one.
+		tracer.Emit(root, "cluster.takeover", job.createdAt, 0,
+			obs.String("from", job.takenOverFrom),
+			obs.String("by", job.replica))
+		root.SetAttr(obs.String("taken_over_from", job.takenOverFrom))
+	}
 	// The queue wait happened before the root span started; emit it as an
 	// already-measured child so the trace shows wait vs. run time.
 	tracer.Emit(root, "job.queue-wait", job.createdAt, queueWait,
 		obs.Float("seconds", queueWait.Seconds()))
 
 	key := "job:" + job.Digest
-	out, hit, err := m.lookupJob(ctx, key, job)
+	var (
+		out    []byte
+		hit    bool
+		err    error
+		served bool
+	)
+	// In cluster mode the worker owns the job's digest lease before
+	// computing. A takeover job arrives with the lease pre-acquired by the
+	// scan; everything else acquires here. Losing the acquisition means a
+	// peer is computing the same digest: serve its result from the shared
+	// cache if it already landed, otherwise fail — the client's failover
+	// retry will find it.
+	if m.cfg.Cluster != nil && job.lease == nil {
+		lease, lerr := m.cfg.Cluster.AcquireJob(key)
+		switch {
+		case lerr == nil:
+			m.mu.Lock()
+			job.lease = lease
+			m.mu.Unlock()
+		default:
+			m.metrics.LeaseAcquireFailed()
+			if b, ok := m.cache.GetBytes(key); ok && json.Valid(b) {
+				out, hit, served = b, true, true
+			} else {
+				err, served = lerr, true
+			}
+		}
+	}
+	if !served {
+		out, hit, err = m.lookupJob(ctx, key, job)
+	}
 	if err == nil && hit {
 		// Job results are JSON by construction; a cached artifact that
 		// no longer parses was corrupted (bit rot, torn spill write, or
@@ -485,12 +608,25 @@ func (m *Manager) runJob(job *Job) {
 		job.errText = err.Error()
 	}
 	outcome := job.state
+	lease := job.lease
+	killed := m.killed
 	m.breakerUpdateLocked(job.Digest, outcome)
 	m.mu.Unlock()
 	root.SetAttr(obs.String("outcome", string(outcome)), obs.Bool("cache_hit", hit))
 	root.End()
+	if killed {
+		// The process is "dead": no terminal journal record, no trace
+		// file, and the lease is left to age out — exactly the debris a
+		// real kill -9 leaves for the survivors to reclaim.
+		return
+	}
 	m.persistTrace(job.ID, collector)
 	m.cfg.Journal.Finished(job.ID, outcome)
+	if lease != nil && m.cfg.Cluster != nil {
+		// The outcome is durable; drop the lease. For a fenced job this is
+		// a no-op (the superseding epoch survives).
+		_ = m.cfg.Cluster.ReleaseJob(lease)
+	}
 	m.metrics.JobFinished(string(outcome), seconds)
 }
 
@@ -501,10 +637,41 @@ func (m *Manager) lookupJob(ctx context.Context, key string, job *Job) ([]byte, 
 		obs.String("kind", "job"), obs.String("key", key))
 	defer sp.End()
 	out, hit, err := m.cache.DoBytes(key, func() ([]byte, error) {
-		return m.runExec(ctx, job)
+		b, ferr := m.runExec(ctx, job)
+		if ferr != nil {
+			return nil, ferr
+		}
+		// Commit-time fence: a worker whose lease was superseded while it
+		// computed (paused, partitioned, presumed dead) must not publish
+		// into the shared cache — the error aborts the fill, so nothing is
+		// stored in memory or spilled to disk.
+		if cerr := m.fenceCheck(job); cerr != nil {
+			return nil, cerr
+		}
+		return b, nil
 	})
 	sp.SetAttr(obs.Bool("hit", hit))
 	return out, hit, err
+}
+
+// fenceCheck re-verifies the job's lease epoch against the group state.
+func (m *Manager) fenceCheck(job *Job) error {
+	if m.cfg.Cluster == nil {
+		return nil
+	}
+	m.mu.Lock()
+	lease := job.lease
+	m.mu.Unlock()
+	if lease == nil {
+		return nil
+	}
+	if err := m.cfg.Cluster.CheckJob(lease); err != nil {
+		if errors.Is(err, cluster.ErrFenced) {
+			m.metrics.FencedCommit()
+		}
+		return err
+	}
+	return nil
 }
 
 // persistTrace writes the job's Chrome trace to TraceDir, when set.
@@ -561,7 +728,15 @@ func (m *Manager) breakerUpdateLocked(digest string, outcome JobState) {
 			if b.fails == m.cfg.BreakerThreshold {
 				m.metrics.CircuitOpened()
 			}
-			b.openUntil = m.now().Add(m.cfg.BreakerCooldown)
+			// Escalating backoff: each failure past the threshold — i.e.
+			// each half-open probe that fails again — doubles the cooldown,
+			// capped at 64x, so a persistently broken spec is probed ever
+			// more rarely instead of once per fixed cooldown forever.
+			shift := b.fails - m.cfg.BreakerThreshold
+			if shift > 6 {
+				shift = 6
+			}
+			b.openUntil = m.now().Add(m.cfg.BreakerCooldown << shift)
 		}
 	}
 }

@@ -55,6 +55,16 @@ type Metrics struct {
 	journalRequeued  int64
 	cacheCorruptions int64
 	traceWriteErrors int64
+
+	// Cluster counters: replica-group lease traffic and failover events.
+	// Takeovers and fenced commits are the two that matter on a dashboard —
+	// the first says a replica died and its work moved, the second says
+	// fencing did its job on a stale replica.
+	takeoverJobs         int64
+	fencedCommits        int64
+	leaseRenewals        int64
+	leaseRenewFailures   int64
+	leaseAcquireFailures int64
 }
 
 // NewMetrics creates an empty registry.
@@ -227,6 +237,40 @@ func (m *Metrics) TraceWriteFailed() {
 	m.traceWriteErrors++
 }
 
+// TakeoverJob counts a job reclaimed from a dead replica's journal.
+func (m *Metrics) TakeoverJob() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.takeoverJobs++
+}
+
+// FencedCommit counts a result commit rejected because the job's lease
+// was superseded (the stale-replica write that fencing exists to stop).
+func (m *Metrics) FencedCommit() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fencedCommits++
+}
+
+// LeaseRenewed counts one membership/job lease renewal attempt.
+func (m *Metrics) LeaseRenewed(ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ok {
+		m.leaseRenewals++
+	} else {
+		m.leaseRenewFailures++
+	}
+}
+
+// LeaseAcquireFailed counts a job-lease acquisition that lost to another
+// replica (held or raced).
+func (m *Metrics) LeaseAcquireFailed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.leaseAcquireFailures++
+}
+
 // WritePrometheus renders every metric, plus the caller-supplied gauges
 // (queue depth, running jobs, cache entries — values owned by the
 // manager), in the Prometheus text exposition format. Every family gets
@@ -325,6 +369,16 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]float64) {
 		nil, map[string]float64{"": float64(m.cacheCorruptions)})
 	counter("p2god_trace_write_errors_total", "Per-job trace files that failed to persist.",
 		nil, map[string]float64{"": float64(m.traceWriteErrors)})
+	counter("p2god_cluster_takeover_jobs_total", "Jobs reclaimed from dead replicas' journals.",
+		nil, map[string]float64{"": float64(m.takeoverJobs)})
+	counter("p2god_cluster_fenced_commits_total", "Result commits rejected by stale-lease fencing.",
+		nil, map[string]float64{"": float64(m.fencedCommits)})
+	counter("p2god_cluster_lease_renewals_total", "Successful lease renewals.",
+		nil, map[string]float64{"": float64(m.leaseRenewals)})
+	counter("p2god_cluster_lease_renew_failures_total", "Failed lease renewal attempts.",
+		nil, map[string]float64{"": float64(m.leaseRenewFailures)})
+	counter("p2god_cluster_lease_acquire_failures_total", "Job-lease acquisitions lost to another replica.",
+		nil, map[string]float64{"": float64(m.leaseAcquireFailures)})
 
 	histogram("p2god_phase_duration_seconds", "Pipeline phase wall time distribution, by phase.",
 		"phase", m.phaseDuration)

@@ -211,6 +211,78 @@ func TestCircuitBreaker(t *testing.T) {
 	}
 }
 
+// TestCircuitBreakerEscalation: every failed half-open trial doubles the
+// cooldown, so a spec that keeps failing probes ever more slowly instead
+// of hammering on a fixed period.
+func TestCircuitBreakerEscalation(t *testing.T) {
+	var fail atomic.Bool
+	fail.Store(true)
+	var clock atomic.Int64
+	base := time.Now()
+
+	m := NewManager(ManagerConfig{
+		Workers: 1, MaxJobRetries: -1,
+		BreakerThreshold: 2, BreakerCooldown: time.Minute,
+	})
+	m.now = func() time.Time { return base.Add(time.Duration(clock.Load())) }
+	m.execFn = func(ctx context.Context, job *Job) ([]byte, error) {
+		if fail.Load() {
+			return nil, errors.New("broken spec")
+		}
+		return []byte(`{}`), nil
+	}
+	m.Start()
+	defer m.Drain(time.Second)
+
+	spec := JobSpec{Workload: "quickstart", Seed: 99}
+	for i := 0; i < 2; i++ {
+		st, err := m.Submit(spec)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		waitTerminal(t, m, st.ID)
+	}
+	// Open at cooldown 1m (shift 0). Run the half-open probe at t=2m; its
+	// failure re-opens at 2x: openUntil = 2m + 2m.
+	clock.Store(int64(2 * time.Minute))
+	trial, err := m.Submit(spec)
+	if err != nil {
+		t.Fatalf("first probe rejected: %v", err)
+	}
+	waitTerminal(t, m, trial.ID)
+	// At t=3m30s the original 1m cooldown has long passed — only the
+	// escalated 2m one explains a bounce.
+	clock.Store(int64(3*time.Minute + 30*time.Second))
+	if _, err := m.Submit(spec); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("cooldown did not escalate after failed probe: err = %v", err)
+	}
+	// Second failed probe at t=4m30s: re-opens at 4x → openUntil = 8m30s.
+	clock.Store(int64(4*time.Minute + 30*time.Second))
+	trial2, err := m.Submit(spec)
+	if err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	waitTerminal(t, m, trial2.ID)
+	clock.Store(int64(7 * time.Minute))
+	if _, err := m.Submit(spec); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("cooldown did not double again: err = %v", err)
+	}
+	// A probe that finally succeeds closes the breaker and clears the
+	// escalation — the next submission sails through.
+	fail.Store(false)
+	clock.Store(int64(9 * time.Minute))
+	ok, err := m.Submit(spec)
+	if err != nil {
+		t.Fatalf("succeeding probe rejected: %v", err)
+	}
+	if st := waitTerminal(t, m, ok.ID); st.State != StateDone {
+		t.Fatalf("probe = %s, want done", st.State)
+	}
+	if _, err := m.Submit(spec); err != nil {
+		t.Fatalf("breaker still open after successful probe: %v", err)
+	}
+}
+
 // TestCacheCorruptionDetected: a corrupted cached artifact is detected on
 // hit, purged, and recomputed — never served.
 func TestCacheCorruptionDetected(t *testing.T) {

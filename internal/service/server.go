@@ -27,6 +27,7 @@ import (
 //	GET  /fleets           list fleet jobs (no results)
 //	GET  /fleets/{id}      one fleet job; FleetResult attached once done
 //	GET  /workloads        registered workload names and descriptions
+//	GET  /cluster          replica-group view: self, peers, member liveness
 //	GET  /metrics          Prometheus text exposition
 //	GET  /healthz          liveness + queue occupancy
 func NewHandler(m *Manager) http.Handler {
@@ -138,6 +139,35 @@ func NewHandler(m *Manager) http.Handler {
 			"p2god_cache_entries": float64(stats.Entries),
 			"p2god_workers":       float64(m.cfg.Workers),
 			"p2god_queue_depth":   float64(m.cfg.QueueDepth),
+		})
+	})
+	mux.HandleFunc("GET /cluster", func(w http.ResponseWriter, r *http.Request) {
+		node := m.Cluster()
+		if node == nil {
+			writeJSON(w, http.StatusOK, map[string]any{"clustered": false})
+			return
+		}
+		type memberView struct {
+			ID      string `json:"id"`
+			Alive   bool   `json:"alive"`
+			Expires string `json:"expires"`
+		}
+		var views []memberView
+		if members, err := node.Members(); err == nil {
+			for _, mem := range members {
+				views = append(views, memberView{
+					ID:      mem.ID,
+					Alive:   node.Alive(mem),
+					Expires: mem.Expires.UTC().Format("2006-01-02T15:04:05.999999999Z07:00"),
+				})
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"clustered": true,
+			"replica":   node.ID(),
+			"lease_ttl": node.TTL().String(),
+			"peers":     m.cfg.Peers,
+			"members":   views,
 		})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
