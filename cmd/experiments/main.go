@@ -11,7 +11,11 @@
 // With -ha, it runs the replica-group chaos proof instead: a fleet
 // workload against 2-3 in-process p2god replicas with one kill -9'd
 // mid-run, asserting the survivors' final report is equivalent to an
-// uninterrupted run (-ha-short shrinks it for CI).
+// uninterrupted run (-ha-short shrinks it for CI). With -pgo, it runs
+// the self-hosted PGO loop instead: the bundled workloads captured
+// under CPU profiling, merged into the committed default.pgo, the tree
+// rebuilt with -pgo=auto, and a before/after replay benchmark pair
+// appended to BENCH_p2go.json (-pgo-short shrinks it for CI).
 package main
 
 import (
@@ -43,7 +47,34 @@ func main() {
 	fleetShort := flag.Bool("fleet-short", false, "CI smoke: shrink the -fleet load test (caps devices at 64)")
 	haRun := flag.Bool("ha", false, "run the replica-group chaos proof instead: kill -9 one of N in-process p2god replicas mid-fleet-job")
 	haShort := flag.Bool("ha-short", false, "CI smoke: shrink the -ha chaos proof (2 replicas, small fleet)")
+	pgoRun := flag.Bool("pgo", false, "run the self-hosted PGO loop instead: capture, merge into default.pgo, rebuild, A/B replay bench")
+	pgoShort := flag.Bool("pgo-short", false, "CI smoke: shrink the -pgo captures")
+	pgoOut := flag.String("pgo-out", "", "merged profile destination (default: <module root>/default.pgo)")
+	pgoDir := flag.String("pgo-dir", "", "per-workload capture directory (default: <module root>/pgo-profiles)")
+	pgoBench := flag.String("pgo-bench", "BENCH_p2go.json", "append PGO before/after rows to this bench JSON (empty skips)")
+	pgoReplayBench := flag.String("pgo-replay-bench", "", "internal: run the sequential replay benchmark and write a BenchFile here (A/B child mode)")
 	flag.Parse()
+
+	if *pgoReplayBench != "" {
+		if err := runPGOReplayBench(*pgoReplayBench, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: pgo-replay-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *pgoRun {
+		fmt.Println("===== PGO =====")
+		err := runPGO(pgoOptions{
+			short: *pgoShort, out: *pgoOut, dir: *pgoDir,
+			bench: *pgoBench, seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: pgo: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *haRun {
 		fmt.Println("===== HA CHAOS =====")

@@ -15,6 +15,8 @@
 //	p2go fleet submit -server http://127.0.0.1:9095 -devices 64 -workload quickstart [-wait]
 //	p2go fleet submit -server http://127.0.0.1:9095 -spec fleet.json [-wait]
 //	p2go fleet status -server http://127.0.0.1:9095 -id j-000001
+//	p2go profiles list -server http://127.0.0.1:9095
+//	p2go profiles get  -server http://127.0.0.1:9095 -id <capture-id> -o daemon.pprof
 //	p2go passes
 //	p2go list
 //
@@ -68,6 +70,8 @@ func main() {
 		err = cmdJobs(os.Args[2:])
 	case "fleet":
 		err = cmdFleet(os.Args[2:])
+	case "profiles":
+		err = cmdProfiles(os.Args[2:])
 	case "passes":
 		err = cmdPasses()
 	case "list":
@@ -102,6 +106,9 @@ func usage() {
                 [-passes id,id,...] [-device-parallelism N] [-wait]   (network-wide job)
   p2go fleet status -server <url> -id <fleet-job-id>
   p2go fleet jobs   -server <url>
+  p2go profiles list    -server <url>   (the daemon's stored self-captures)
+  p2go profiles get     -server <url> -id <capture-id> [-o out.pprof]
+  p2go profiles capture -server <url>   (take a CPU+heap capture now)
   p2go passes   (list the registered optimization passes)
   p2go list`)
 }

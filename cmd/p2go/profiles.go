@@ -1,0 +1,95 @@
+// p2god self-profile client subcommands: profiles list, get, capture.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// cmdProfiles dispatches the daemon self-profile verbs. p2god with
+// -profile-dir periodically captures CPU+heap pprof snapshots of
+// itself; these verbs list them, download one (feed it to `go tool
+// pprof` or merge several into a PGO profile), or trigger a capture
+// on demand.
+func cmdProfiles(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf(`usage: p2go profiles <list|get|capture> [flags] (see "p2go help")`)
+	}
+	switch args[0] {
+	case "list":
+		return cmdProfilesList(args[1:])
+	case "get":
+		return cmdProfilesGet(args[1:])
+	case "capture":
+		return cmdProfilesCapture(args[1:])
+	default:
+		return fmt.Errorf("unknown profiles command %q (want list, get, or capture)", args[0])
+	}
+}
+
+// cmdProfilesList prints the stored captures, newest first.
+func cmdProfilesList(args []string) error {
+	fs := flag.NewFlagSet("profiles list", flag.ContinueOnError)
+	sf := addServerFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	infos, err := sf.client().Profiles()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(infos, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+// cmdProfilesGet downloads one capture's raw pprof bytes.
+func cmdProfilesGet(args []string) error {
+	fs := flag.NewFlagSet("profiles get", flag.ContinueOnError)
+	sf := addServerFlags(fs)
+	id := fs.String("id", "", "capture ID (from 'p2go profiles list')")
+	out := fs.String("o", "", "write the pprof here (default: the capture ID in the current directory)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("missing -id")
+	}
+	data, err := sf.client().ProfileBytes(*id)
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = *id
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+	return nil
+}
+
+// cmdProfilesCapture asks the daemon to take a CPU+heap capture now.
+func cmdProfilesCapture(args []string) error {
+	fs := flag.NewFlagSet("profiles capture", flag.ContinueOnError)
+	sf := addServerFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	infos, err := sf.client().CaptureProfiles()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(infos, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}

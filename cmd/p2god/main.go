@@ -15,6 +15,7 @@
 //	      [-parallelism N] [-cache-entries N] [-cache-dir dir] [-drain-timeout d]
 //	      [-journal path] [-trace-dir dir] [-pprof] [-log-level level]
 //	      [-cluster-dir dir] [-replica-id id] [-peers addrs] [-lease-ttl d]
+//	      [-profile-dir dir] [-profile-every d] [-profile-cpu d] [-profile-keep N]
 //
 // High availability: -cluster-dir joins the daemon to a replica group.
 // Replicas of one group share the directory (and, by default, spill the
@@ -40,6 +41,17 @@
 // the net/http/pprof handlers under /debug/pprof/ for live CPU and heap
 // profiling of the daemon itself.
 //
+// Continuous profiling: -profile-dir makes the daemon capture CPU+heap
+// pprof snapshots of itself every -profile-every (crash-safe writes,
+// newest -profile-keep per kind retained), served at GET /debug/profiles
+// (list) and GET /debug/profiles/{id} (raw pprof; `p2go profiles
+// list|get|capture` wraps them). Every job report also carries a
+// `resources` block — CPU seconds, allocations, GC cycles, peak heap —
+// and the same numbers land on the job's root span and the
+// p2god_job_cpu_seconds / p2god_job_allocs_total metric families. The
+// stored CPU captures are mergeable into a PGO profile; see
+// `cmd/experiments -pgo`.
+//
 // SIGINT/SIGTERM drain gracefully: the listener closes, queued jobs are
 // requeued via the journal (canceled when -journal is unset), and running
 // jobs get -drain-timeout to finish before their contexts are canceled.
@@ -64,6 +76,7 @@ import (
 
 	"p2go/internal/cluster"
 	"p2go/internal/obs"
+	"p2go/internal/prof"
 	"p2go/internal/service"
 )
 
@@ -85,6 +98,10 @@ type options struct {
 	replicaID    string
 	peers        string
 	leaseTTL     time.Duration
+	profileDir   string
+	profileEvery time.Duration
+	profileCPU   time.Duration
+	profileKeep  int
 }
 
 func main() {
@@ -105,6 +122,10 @@ func main() {
 	flag.StringVar(&o.replicaID, "replica-id", "", "this replica's unique, stable ID within the group (required with -cluster-dir)")
 	flag.StringVar(&o.peers, "peers", "", "comma-separated HTTP addresses of the replica set, served at GET /cluster for client routing")
 	flag.DurationVar(&o.leaseTTL, "lease-ttl", cluster.DefaultTTL, "membership/job lease time-to-live; a replica missing renewal this long is presumed dead")
+	flag.StringVar(&o.profileDir, "profile-dir", "", "store periodic CPU+heap self-captures in this directory, served at GET /debug/profiles (optional)")
+	flag.DurationVar(&o.profileEvery, "profile-every", 5*time.Minute, "self-capture cadence (0 disables the periodic loop; POST /debug/profiles/capture still works)")
+	flag.DurationVar(&o.profileCPU, "profile-cpu", prof.DefaultCPUDuration, "how long each CPU self-capture samples")
+	flag.IntVar(&o.profileKeep, "profile-keep", prof.DefaultKeep, "self-captures retained per kind (cpu, heap); older ones are deleted")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -175,6 +196,17 @@ func run(o options) error {
 			peers = append(peers, p)
 		}
 	}
+	var store *prof.Store
+	if o.profileDir != "" {
+		store, err = prof.NewStore(prof.StoreConfig{
+			Dir:         o.profileDir,
+			Keep:        o.profileKeep,
+			CPUDuration: o.profileCPU,
+		})
+		if err != nil {
+			return err
+		}
+	}
 	m := service.NewManager(service.ManagerConfig{
 		Workers:     o.workers,
 		QueueDepth:  o.queue,
@@ -185,6 +217,8 @@ func run(o options) error {
 		TraceDir:    o.traceDir,
 		Cluster:     node,
 		Peers:       peers,
+		Profiles:    store,
+		Logger:      logger,
 	})
 	if journal != nil {
 		pending, warnings, err := journal.Recover()
@@ -200,6 +234,17 @@ func run(o options) error {
 		}
 	}
 	m.Start()
+
+	if store != nil {
+		loopCtx, stopLoop := context.WithCancel(context.Background())
+		defer stopLoop()
+		if o.profileEvery > 0 {
+			go store.Run(loopCtx, o.profileEvery)
+		}
+		logger.Info("self-profiling enabled", "dir", o.profileDir,
+			"every", o.profileEvery.String(), "cpu", o.profileCPU.String(),
+			"keep", o.profileKeep)
+	}
 
 	handler := service.NewHandler(m)
 	if o.pprofOn {

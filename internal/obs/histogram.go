@@ -46,6 +46,14 @@ func ThroughputBuckets() []float64 {
 	return []float64{1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7}
 }
 
+// BytesBuckets returns bounds suited to memory sizes: 64KiB up to 4GiB
+// in powers of four, covering a job's peak heap on workloads from the
+// seed examples to large synthetic fleets.
+func BytesBuckets() []float64 {
+	return []float64{1 << 16, 1 << 18, 1 << 20, 1 << 22, 1 << 24,
+		1 << 26, 1 << 28, 1 << 30, 1 << 32}
+}
+
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le semantics)

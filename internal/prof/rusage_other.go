@@ -1,0 +1,7 @@
+//go:build !unix
+
+package prof
+
+// processCPUSeconds is unavailable off unix; CPU attribution reads as
+// zero there rather than failing the build.
+func processCPUSeconds() float64 { return 0 }

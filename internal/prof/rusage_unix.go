@@ -1,0 +1,15 @@
+//go:build unix
+
+package prof
+
+import "syscall"
+
+// processCPUSeconds returns the process's cumulative CPU time
+// (user+system) via getrusage. Monotonic for the life of the process.
+func processCPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return float64(ru.Utime.Nano()+ru.Stime.Nano()) / 1e9
+}

@@ -10,6 +10,7 @@ import (
 	"p2go/internal/controller"
 	"p2go/internal/core"
 	"p2go/internal/p4"
+	"p2go/internal/prof"
 	"p2go/internal/profile"
 )
 
@@ -42,6 +43,39 @@ type JobResult struct {
 	// Resilience reports the failure-handling counters when the run was
 	// verified under fault injection (`p2go optimize -faults ...`).
 	Resilience *Resilience `json:"resilience,omitempty"`
+
+	// Resources attributes the run's own resource consumption (CPU time,
+	// allocations, GC work, peaks) when the surface that ran it metered
+	// it — p2god does; the CLI leaves it empty.
+	Resources *Resources `json:"resources,omitempty"`
+}
+
+// Resources is the resource-attribution block: what one run cost the
+// process that executed it. CPU seconds are the process-wide rusage
+// delta while the job ran — exact when the job ran alone, an upper
+// bound when workers ran concurrently (documented rather than hidden:
+// splitting rusage across goroutines is not possible from user space).
+type Resources struct {
+	WallSeconds   float64 `json:"wall_seconds"`
+	CPUSeconds    float64 `json:"cpu_seconds"`
+	AllocBytes    int64   `json:"alloc_bytes"`
+	AllocObjects  int64   `json:"alloc_objects"`
+	GCCycles      int64   `json:"gc_cycles"`
+	HeapPeakBytes int64   `json:"heap_peak_bytes"`
+	GoroutinePeak int     `json:"goroutine_peak"`
+}
+
+// FromUsage converts a measured prof.Usage into the report block.
+func FromUsage(u prof.Usage) *Resources {
+	return &Resources{
+		WallSeconds:   u.WallSeconds,
+		CPUSeconds:    u.CPUSeconds,
+		AllocBytes:    u.AllocBytes,
+		AllocObjects:  u.AllocObjects,
+		GCCycles:      u.GCCycles,
+		HeapPeakBytes: u.HeapPeakBytes,
+		GoroutinePeak: u.GoroutinePeak,
+	}
 }
 
 // Fleet device statuses.
@@ -107,6 +141,11 @@ type FleetResult struct {
 	Devices []FleetDevice `json:"devices"`
 
 	DurationSeconds float64 `json:"duration_seconds,omitempty"`
+
+	// Resources attributes the whole fleet job's resource consumption on
+	// the daemon that ran it. Attribution only: FleetEquivalent ignores
+	// it, like timings and cache counters.
+	Resources *Resources `json:"resources,omitempty"`
 
 	// Replica names the p2god replica that produced this result, when the
 	// job ran in a replica group. Attribution only: FleetEquivalent

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"p2go/internal/fleet"
+	"p2go/internal/prof"
 )
 
 // Client is the replica-set-aware p2god HTTP client behind every
@@ -203,6 +204,40 @@ func (c *Client) list(path string) ([]JobStatus, error) {
 		return out[i].ID < out[j].ID
 	})
 	return out, nil
+}
+
+// Profiles lists the daemon's stored self-captures from the first
+// replica that answers (captures are per-replica, not replicated).
+func (c *Client) Profiles() ([]prof.Info, error) {
+	data, err := c.getAny("/debug/profiles")
+	if err != nil {
+		return nil, err
+	}
+	var infos []prof.Info
+	if err := json.Unmarshal(data, &infos); err != nil {
+		return nil, fmt.Errorf("bad response: %w", err)
+	}
+	return infos, nil
+}
+
+// ProfileBytes fetches one stored capture's raw pprof bytes by ID from
+// whichever replica holds it.
+func (c *Client) ProfileBytes(id string) ([]byte, error) {
+	return c.getAny("/debug/profiles/" + id)
+}
+
+// CaptureProfiles asks a replica to take a CPU+heap self-capture now
+// and returns what was stored.
+func (c *Client) CaptureProfiles() ([]prof.Info, error) {
+	data, err := c.do(http.MethodPost, "/debug/profiles/capture", nil, "")
+	if err != nil {
+		return nil, err
+	}
+	var infos []prof.Info
+	if err := json.Unmarshal(data, &infos); err != nil {
+		return nil, fmt.Errorf("bad response: %w", err)
+	}
+	return infos, nil
 }
 
 // AwaitJob polls until the job is terminal. Polling is failover-tolerant

@@ -224,6 +224,67 @@ func TestMetricsExposition(t *testing.T) {
 			t.Errorf("legacy counter %s missing from exposition", legacy)
 		}
 	}
+
+	// The cluster counters are exposed (zero-valued) even on a standalone
+	// daemon, so dashboards keyed on them never see a missing series.
+	for _, name := range []string{
+		"p2god_cluster_takeover_jobs_total",
+		"p2god_cluster_fenced_commits_total",
+		"p2god_cluster_lease_renewals_total",
+		"p2god_cluster_lease_renew_failures_total",
+		"p2god_cluster_lease_acquire_failures_total",
+		"p2god_profile_captures_total",
+		"p2god_profile_capture_errors_total",
+	} {
+		f := families[name]
+		if f == nil || f.typ != "counter" || len(f.samples) == 0 {
+			t.Errorf("counter %s missing from exposition", name)
+		}
+	}
+
+	// Resource attribution: the optimize job must have deposited real
+	// values in the new families.
+	for name, want := range map[string]float64{
+		"p2god_job_allocs_total":      1,
+		"p2god_job_alloc_bytes_total": 1,
+		"p2god_job_cpu_seconds_total": 0, // CPU can legitimately round to ~0 on a fast run
+	} {
+		f := families[name]
+		if f == nil || f.typ != "counter" || len(f.samples) != 1 {
+			t.Errorf("counter %s missing from exposition", name)
+			continue
+		}
+		if got := f.samples[0].value; got < want {
+			t.Errorf("%s = %g, want >= %g after an optimize job", name, got, want)
+		}
+	}
+	for _, name := range []string{"p2god_job_cpu_seconds", "p2god_job_heap_peak_bytes"} {
+		f := families[name]
+		if f == nil || f.typ != "histogram" {
+			t.Errorf("histogram %s missing from exposition", name)
+			continue
+		}
+		count := 0.0
+		for _, s := range f.samples {
+			if s.name == name+"_count" {
+				count += s.value
+			}
+		}
+		if count < 1 {
+			t.Errorf("histogram %s observed %g samples, want >= 1", name, count)
+		}
+	}
+	if f := families["p2god_job_cpu_seconds"]; f != nil {
+		found := false
+		for _, s := range f.samples {
+			if s.labels["kind"] == "optimize" {
+				found = true
+			}
+		}
+		if !found {
+			t.Error(`p2god_job_cpu_seconds lacks the kind="optimize" series`)
+		}
+	}
 }
 
 // TestJobTraceEndpoint submits a job and fetches its execution trace as

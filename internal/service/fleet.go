@@ -43,6 +43,10 @@ func (m *Manager) executeFleet(ctx context.Context, job *Job) ([]byte, error) {
 		OnDevice: func(row report.FleetDevice) {
 			m.cfg.Journal.Device(job.ID, row.Device, row.Status)
 			m.metrics.FleetDevice(row.Status)
+			m.logger.Info("fleet device finished",
+				"job_id", job.ID, "digest", job.Digest, "replica_id", job.replica,
+				"device", row.Device, "status", row.Status, "packets", row.Packets,
+				"cached", row.Cached)
 		},
 		Faults: m.cfg.Faults,
 	})
@@ -55,6 +59,11 @@ func (m *Manager) executeFleet(ctx context.Context, job *Job) ([]byte, error) {
 		// Attribution only; report.FleetEquivalent ignores it, so the
 		// survivor's result after a takeover still compares equal.
 		res.Replica = job.replica
+	}
+	// Resource attribution rides the same rule: FleetEquivalent ignores
+	// it, like timings and cache counters.
+	if job.meter != nil {
+		res.Resources = report.FromUsage(job.meter.Sample())
 	}
 	return json.Marshal(res)
 }

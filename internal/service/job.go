@@ -11,6 +11,7 @@ import (
 	"p2go/internal/core"
 	"p2go/internal/fleet"
 	"p2go/internal/obs"
+	"p2go/internal/prof"
 	"p2go/internal/workloads"
 )
 
@@ -179,6 +180,11 @@ type Job struct {
 	// The collector is internally synchronized, so readers only need the
 	// manager's mutex to read the pointer.
 	trace *obs.Collector
+	// meter measures the job's resource consumption while it runs; set
+	// together with trace, read only by the worker goroutine running the
+	// job (execute samples it mid-flight to embed the resources block in
+	// the report).
+	meter *prof.Meter
 }
 
 // JobStatus is the JSON view of a job.

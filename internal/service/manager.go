@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -15,6 +17,7 @@ import (
 	"p2go/internal/faults"
 	"p2go/internal/obs"
 	"p2go/internal/p4"
+	"p2go/internal/prof"
 	"p2go/internal/profile"
 	"p2go/internal/report"
 	"p2go/internal/rt"
@@ -119,6 +122,15 @@ type ManagerConfig struct {
 	// failover. Informational only — coordination runs over the shared
 	// directory, not these addresses.
 	Peers []string
+	// Profiles, when set, is the daemon's self-profile store: its
+	// captures are counted in the metrics and served at
+	// GET /debug/profiles[/{id}]. nil disables the endpoints.
+	Profiles *prof.Store
+	// Logger receives structured job-lifecycle logs (accepted, started,
+	// finished, fleet device rows), every line carrying job_id, digest,
+	// and replica_id so logs correlate with traces and metrics. nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 // jobTraceSpanCap bounds the spans retained per job; past it the
@@ -137,6 +149,7 @@ type Manager struct {
 	cfg     ManagerConfig
 	cache   *Cache
 	metrics *Metrics
+	logger  *slog.Logger
 
 	// fleetAnalysis is the daemon-wide analysis cache shared by every
 	// fleet job's devices: content-addressed compiles and profiles, so
@@ -206,11 +219,15 @@ func NewManager(cfg ManagerConfig) *Manager {
 	if cfg.BreakerCooldown <= 0 {
 		cfg.BreakerCooldown = 30 * time.Second
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:           cfg,
 		cache:         cfg.Cache,
 		metrics:       cfg.Metrics,
+		logger:        cfg.Logger,
 		fleetAnalysis: core.NewAnalysisCache(),
 		baseCtx:       ctx,
 		baseCancel:    cancel,
@@ -218,11 +235,28 @@ func NewManager(cfg ManagerConfig) *Manager {
 		queue:         make(chan *Job, cfg.QueueDepth),
 		breakers:      map[string]*breakerState{},
 	}
+	if cfg.Profiles != nil {
+		// The store predates the manager; route its capture outcomes into
+		// this registry now that both exist.
+		cfg.Profiles.SetOnCapture(m.metrics.ProfileCaptured)
+	}
 	m.execFn = m.execute
 	m.sleep = time.Sleep
 	m.now = time.Now
 	return m
 }
+
+// replicaID names this replica within its group; "" standalone. Logged
+// on every lifecycle line so multi-replica logs stay attributable.
+func (m *Manager) replicaID() string {
+	if m.cfg.Cluster != nil {
+		return m.cfg.Cluster.ID()
+	}
+	return ""
+}
+
+// Profiles returns the self-profile store (nil when disabled).
+func (m *Manager) Profiles() *prof.Store { return m.cfg.Profiles }
 
 // Metrics returns the registry (for the HTTP layer).
 func (m *Manager) Metrics() *Metrics { return m.metrics }
@@ -311,6 +345,15 @@ func (m *Manager) submit(spec JobSpec, presetID, takenOverFrom string, lease *cl
 	// Journal while still holding the lock: a worker that pops this job
 	// cannot record "finished" before "accepted" is durable.
 	m.cfg.Journal.Accepted(job.ID, job.Spec)
+	if takenOverFrom != "" {
+		m.logger.Info("job accepted",
+			"job_id", job.ID, "kind", spec.Kind, "workload", spec.Workload,
+			"digest", digest, "replica_id", job.replica, "taken_over_from", takenOverFrom)
+	} else {
+		m.logger.Info("job accepted",
+			"job_id", job.ID, "kind", spec.Kind, "workload", spec.Workload,
+			"digest", digest, "replica_id", job.replica)
+	}
 	return job.statusLocked(false), nil
 }
 
@@ -503,6 +546,9 @@ func (m *Manager) runJob(job *Job) {
 			m.cfg.Journal.Finished(job.ID, StateCanceled)
 		}
 		m.metrics.JobFinished(string(outcome), 0)
+		m.logger.Info("job finished",
+			"job_id", job.ID, "kind", job.Spec.Kind, "digest", job.Digest,
+			"replica_id", job.replica, "outcome", string(outcome))
 		return
 	}
 	ctx, cancel := context.WithCancel(m.baseCtx)
@@ -513,6 +559,10 @@ func (m *Manager) runJob(job *Job) {
 	tracer := obs.NewTracer(collector)
 	job.cancel = cancel
 	job.trace = collector
+	// Meter the job's resource consumption from here to terminal state;
+	// execute samples it mid-flight to embed the resources block in the
+	// report, runJob takes the final reading for span attrs and metrics.
+	job.meter = prof.Begin(0)
 	job.state = StateRunning
 	job.startedAt = time.Now()
 	queueWait := job.startedAt.Sub(job.createdAt)
@@ -520,6 +570,10 @@ func (m *Manager) runJob(job *Job) {
 	m.mu.Unlock()
 	defer cancel()
 	m.metrics.QueueWaited(queueWait.Seconds())
+	m.logger.Info("job started",
+		"job_id", job.ID, "kind", job.Spec.Kind, "workload", job.Spec.Workload,
+		"digest", job.Digest, "replica_id", job.replica,
+		"queue_wait_seconds", queueWait.Seconds())
 
 	ctx = obs.WithTracer(ctx, tracer)
 	ctx, root := obs.Start(ctx, "job",
@@ -612,7 +666,17 @@ func (m *Manager) runJob(job *Job) {
 	killed := m.killed
 	m.breakerUpdateLocked(job.Digest, outcome)
 	m.mu.Unlock()
-	root.SetAttr(obs.String("outcome", string(outcome)), obs.Bool("cache_hit", hit))
+	// Final resource reading: stop the sampler (even when "killed" — the
+	// goroutine must not leak), attribute the consumption to the root
+	// span and the per-kind metrics.
+	usage := job.meter.End()
+	root.SetAttr(obs.String("outcome", string(outcome)), obs.Bool("cache_hit", hit),
+		obs.Float("cpu_seconds", usage.CPUSeconds),
+		obs.Int64("alloc_bytes", usage.AllocBytes),
+		obs.Int64("alloc_objects", usage.AllocObjects),
+		obs.Int64("gc_cycles", usage.GCCycles),
+		obs.Int64("heap_peak_bytes", usage.HeapPeakBytes),
+		obs.Int64("goroutine_peak", int64(usage.GoroutinePeak)))
 	root.End()
 	if killed {
 		// The process is "dead": no terminal journal record, no trace
@@ -628,6 +692,11 @@ func (m *Manager) runJob(job *Job) {
 		_ = m.cfg.Cluster.ReleaseJob(lease)
 	}
 	m.metrics.JobFinished(string(outcome), seconds)
+	m.metrics.JobResources(job.Spec.Kind, usage)
+	m.logger.Info("job finished",
+		"job_id", job.ID, "kind", job.Spec.Kind, "digest", job.Digest,
+		"replica_id", job.replica, "outcome", string(outcome),
+		"cached", hit, "seconds", seconds, "cpu_seconds", usage.CPUSeconds)
 }
 
 // lookupJob serves the job artifact through the cache under a
@@ -851,11 +920,13 @@ func (m *Manager) execute(ctx context.Context, job *Job) ([]byte, error) {
 	parallelism := m.jobParallelism(job)
 
 	if spec.Kind == "profile" {
-		prof, err := m.cachedProfile(ctx, prog, cfg, trace, traceDigest, parallelism)
+		pf, err := m.cachedProfile(ctx, prog, cfg, trace, traceDigest, parallelism)
 		if err != nil {
 			return nil, err
 		}
-		return json.Marshal(report.FromProfile(spec.Workload, spec.Seed, prof))
+		rep := report.FromProfile(spec.Workload, spec.Seed, pf)
+		rep.Resources = m.jobResources(job)
+		return json.Marshal(rep)
 	}
 
 	opts := core.Options{
@@ -875,7 +946,22 @@ func (m *Manager) execute(ctx context.Context, job *Job) ([]byte, error) {
 	for _, h := range res.History {
 		m.metrics.PhaseObserved(h.Label, h.Duration.Seconds())
 	}
-	return json.Marshal(report.FromResult(spec.Workload, spec.Seed, res))
+	rep := report.FromResult(spec.Workload, spec.Seed, res)
+	rep.Resources = m.jobResources(job)
+	return json.Marshal(rep)
+}
+
+// jobResources samples the job's meter mid-flight so the serialized
+// report carries the resources consumed up to the moment the result was
+// produced. A cached artifact keeps the block from its original
+// compute — the attribution describes the work, not the lookup. Only
+// the worker goroutine running the job reads the meter here, the same
+// goroutine that set it in runJob.
+func (m *Manager) jobResources(job *Job) *report.Resources {
+	if job.meter == nil {
+		return nil
+	}
+	return report.FromUsage(job.meter.Sample())
 }
 
 // compileHook serves the pipeline's compiles from the artifact cache,
@@ -926,11 +1012,11 @@ func (m *Manager) cachedProfile(ctx context.Context, prog *p4.Program, cfg *rt.C
 	defer sp.End()
 	v, hit, err := m.cache.Do(key, func() (any, error) {
 		start := time.Now()
-		prof, err := profile.RunParallelContext(ctx, prog, cfg, trace, parallelism)
+		pf, err := profile.RunParallelContext(ctx, prog, cfg, trace, parallelism)
 		if err == nil {
-			m.metrics.Replayed(prof.TotalPackets, time.Since(start).Seconds())
+			m.metrics.Replayed(pf.TotalPackets, time.Since(start).Seconds())
 		}
-		return prof, err
+		return pf, err
 	})
 	sp.SetAttr(obs.Bool("hit", hit))
 	m.metrics.Cache("profile", hit)

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"p2go/internal/obs"
+	"p2go/internal/prof"
 )
 
 // Metrics is the daemon's metric registry. It is deliberately tiny — a
@@ -65,6 +66,20 @@ type Metrics struct {
 	leaseRenewals        int64
 	leaseRenewFailures   int64
 	leaseAcquireFailures int64
+
+	// Resource attribution: what jobs cost the daemon itself. CPU time is
+	// a histogram by job kind (plus a derived legacy-style _total); allocs,
+	// alloc bytes, and GC cycles are plain counters; peak heap per job is
+	// a bytes histogram.
+	jobCPU          map[string]*obs.Histogram // by job kind
+	jobHeapPeak     *obs.Histogram
+	jobAllocObjects int64
+	jobAllocBytes   int64
+	jobGCCycles     int64
+
+	// Profile-store counters: self-captures taken (by kind) and failed.
+	profileCaptures      map[string]int64 // by capture kind: cpu, heap
+	profileCaptureErrors int64
 }
 
 // NewMetrics creates an empty registry.
@@ -83,6 +98,12 @@ func NewMetrics() *Metrics {
 		fleetDeviceFanout: obs.NewHistogram(
 			1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096),
 		fleetJobDuration: obs.NewHistogram(obs.DurationBuckets()...),
+		jobCPU:           map[string]*obs.Histogram{},
+		jobHeapPeak:      obs.NewHistogram(obs.BytesBuckets()...),
+		// Pre-seeded with the two known kinds so the family exposes
+		// zero-valued series before the first capture — dashboards keyed
+		// on it never see a missing series.
+		profileCaptures: map[string]int64{prof.KindCPU: 0, prof.KindHeap: 0},
 	}
 }
 
@@ -271,6 +292,36 @@ func (m *Metrics) LeaseAcquireFailed() {
 	m.leaseAcquireFailures++
 }
 
+// JobResources records one finished job's measured resource consumption:
+// CPU seconds into the per-kind histogram, peak heap into the bytes
+// histogram, allocation and GC deltas into the counters.
+func (m *Metrics) JobResources(kind string, u prof.Usage) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.jobCPU[kind]
+	if h == nil {
+		h = obs.NewHistogram(obs.DurationBuckets()...)
+		m.jobCPU[kind] = h
+	}
+	h.Observe(u.CPUSeconds)
+	m.jobHeapPeak.Observe(float64(u.HeapPeakBytes))
+	m.jobAllocObjects += u.AllocObjects
+	m.jobAllocBytes += u.AllocBytes
+	m.jobGCCycles += u.GCCycles
+}
+
+// ProfileCaptured counts one self-capture attempt of the given kind;
+// a non-nil err counts it as failed instead.
+func (m *Metrics) ProfileCaptured(kind string, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err != nil {
+		m.profileCaptureErrors++
+		return
+	}
+	m.profileCaptures[kind]++
+}
+
 // WritePrometheus renders every metric, plus the caller-supplied gauges
 // (queue depth, running jobs, cache entries — values owned by the
 // manager), in the Prometheus text exposition format. Every family gets
@@ -380,6 +431,25 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]float64) {
 	counter("p2god_cluster_lease_acquire_failures_total", "Job-lease acquisitions lost to another replica.",
 		nil, map[string]float64{"": float64(m.leaseAcquireFailures)})
 
+	// Resource attribution. The _total counter is derived from the
+	// per-kind CPU histogram sums, mirroring the phase/job legacy counters.
+	cpuSeconds := 0.0
+	for _, h := range m.jobCPU {
+		cpuSeconds += h.Sum()
+	}
+	counter("p2god_job_cpu_seconds_total", "Total process CPU time attributed to jobs.",
+		nil, map[string]float64{"": cpuSeconds})
+	counter("p2god_job_allocs_total", "Heap objects allocated while jobs ran.",
+		nil, map[string]float64{"": float64(m.jobAllocObjects)})
+	counter("p2god_job_alloc_bytes_total", "Heap bytes allocated while jobs ran.",
+		nil, map[string]float64{"": float64(m.jobAllocBytes)})
+	counter("p2god_job_gc_cycles_total", "GC cycles completed while jobs ran.",
+		nil, map[string]float64{"": float64(m.jobGCCycles)})
+	counter("p2god_profile_captures_total", "Self-profile captures stored, by capture kind.",
+		map[string]string{"label": "kind"}, toF(m.profileCaptures))
+	counter("p2god_profile_capture_errors_total", "Self-profile captures that failed.",
+		nil, map[string]float64{"": float64(m.profileCaptureErrors)})
+
 	histogram("p2god_phase_duration_seconds", "Pipeline phase wall time distribution, by phase.",
 		"phase", m.phaseDuration)
 	histogram("p2god_job_duration_seconds", "Job wall time distribution, by outcome.",
@@ -392,6 +462,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges map[string]float64) {
 		"", map[string]*obs.Histogram{"": m.fleetJobDuration})
 	histogram("p2god_replay_rate_packets_per_second", "Per-replay simulator throughput distribution.",
 		"", map[string]*obs.Histogram{"": m.replayRate})
+	histogram("p2god_job_cpu_seconds", "Per-job process CPU time distribution, by job kind.",
+		"kind", m.jobCPU)
+	histogram("p2god_job_heap_peak_bytes", "Per-job peak in-use heap distribution.",
+		"", map[string]*obs.Histogram{"": m.jobHeapPeak})
 
 	var hits, misses int64
 	for _, v := range m.cacheHits {

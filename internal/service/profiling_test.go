@@ -1,0 +1,244 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"p2go/internal/obs"
+	"p2go/internal/prof"
+	"p2go/internal/report"
+)
+
+// TestJobReportResourcesBlock is the attribution acceptance criterion:
+// every completed job report carries a populated resources block, served
+// over the same HTTP surface clients poll.
+func TestJobReportResourcesBlock(t *testing.T) {
+	srv, _ := newTestServer(t, ManagerConfig{Workers: 1, QueueDepth: 4})
+	st, _ := postJob(t, srv.URL, JobSpec{Kind: "optimize", Workload: "quickstart"})
+	final := awaitJob(t, srv.URL, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+	var res report.JobResult
+	if err := json.Unmarshal(final.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	r := res.Resources
+	if r == nil {
+		t.Fatal("completed report lacks the resources block")
+	}
+	if r.WallSeconds <= 0 {
+		t.Errorf("resources.wall_seconds = %g, want > 0", r.WallSeconds)
+	}
+	if r.AllocBytes <= 0 || r.AllocObjects <= 0 {
+		t.Errorf("resources allocs = %d bytes / %d objects, want > 0", r.AllocBytes, r.AllocObjects)
+	}
+	if r.HeapPeakBytes <= 0 {
+		t.Errorf("resources.heap_peak_bytes = %d, want > 0", r.HeapPeakBytes)
+	}
+	if r.GoroutinePeak < 1 {
+		t.Errorf("resources.goroutine_peak = %d, want >= 1", r.GoroutinePeak)
+	}
+	if r.CPUSeconds < 0 {
+		t.Errorf("resources.cpu_seconds = %g, want >= 0", r.CPUSeconds)
+	}
+
+	// The cached rerun serves the original report: attribution describes
+	// the work, not the lookup.
+	st2, _ := postJob(t, srv.URL, JobSpec{Kind: "optimize", Workload: "quickstart"})
+	final2 := awaitJob(t, srv.URL, st2.ID)
+	if !final2.Cached {
+		t.Fatal("resubmission was not a cache hit")
+	}
+	var res2 report.JobResult
+	if err := json.Unmarshal(final2.Result, &res2); err != nil {
+		t.Fatal(err)
+	}
+	if res2.Resources == nil || res2.Resources.WallSeconds != r.WallSeconds {
+		t.Errorf("cached report's resources block differs from the original: %+v", res2.Resources)
+	}
+}
+
+// TestServeProfileStore is the profile-plane acceptance criterion: with a
+// store configured, an on-demand capture lands and GET /debug/profiles
+// serves at least one capture, whose raw bytes are a valid gzipped pprof.
+func TestServeProfileStore(t *testing.T) {
+	store, err := prof.NewStore(prof.StoreConfig{
+		Dir:         t.TempDir(),
+		CPUDuration: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, _ := newTestServer(t, ManagerConfig{Workers: 1, QueueDepth: 4, Profiles: store})
+
+	resp, err := http.Post(srv.URL+"/debug/profiles/capture", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var captured []prof.Info
+	if err := json.NewDecoder(resp.Body).Decode(&captured); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("capture: %s", resp.Status)
+	}
+	if len(captured) != 2 {
+		t.Fatalf("capture returned %d infos, want 2 (cpu+heap)", len(captured))
+	}
+
+	var infos []prof.Info
+	if err := json.Unmarshal([]byte(getBody(t, srv.URL+"/debug/profiles")), &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) < 1 {
+		t.Fatal("GET /debug/profiles served no captures")
+	}
+	kinds := map[string]bool{}
+	for _, in := range infos {
+		kinds[in.Kind] = true
+		if in.ID == "" || in.Bytes <= 0 || in.CapturedAt == "" {
+			t.Errorf("malformed info: %+v", in)
+		}
+	}
+	if !kinds[prof.KindCPU] || !kinds[prof.KindHeap] {
+		t.Errorf("capture kinds = %v, want both cpu and heap", kinds)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/profiles/" + infos[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET capture: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("capture Content-Type = %q", ct)
+	}
+	if len(data) < 2 || !bytes.HasPrefix(data, []byte{0x1f, 0x8b}) {
+		t.Errorf("capture bytes are not a gzipped pprof (prefix % x)", data[:min(4, len(data))])
+	}
+
+	if r, err := http.Get(srv.URL + "/debug/profiles/not-a-capture"); err == nil {
+		if r.StatusCode != http.StatusNotFound {
+			t.Errorf("bogus capture ID: %s, want 404", r.Status)
+		}
+		r.Body.Close()
+	}
+
+	// The captures show up in both the counter family and the store gauges.
+	metrics := getBody(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		`p2god_profile_captures_total{kind="cpu"} 1`,
+		`p2god_profile_captures_total{kind="heap"} 1`,
+		"p2god_profile_store_captures 2",
+		"p2god_profile_store_bytes",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics lack %q:\n%s", want, grepLines(metrics, "p2god_profile"))
+		}
+	}
+}
+
+// TestServeProfilesDisabled: without a store the endpoints refuse with a
+// hint instead of panicking on a nil store.
+func TestServeProfilesDisabled(t *testing.T) {
+	srv, _ := newTestServer(t, ManagerConfig{Workers: 1, QueueDepth: 2})
+	r, err := http.Get(srv.URL + "/debug/profiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /debug/profiles without a store: %s, want 404", r.Status)
+	}
+	body, _ := io.ReadAll(r.Body)
+	if !strings.Contains(string(body), "-profile-dir") {
+		t.Errorf("disabled response should hint at -profile-dir: %s", body)
+	}
+}
+
+// TestTakeoverTraceProvenance: a job reclaimed from a dead replica keeps
+// its provenance in the execution trace — the root span carries the
+// surviving replica's ID and the dead peer it was taken over from, and a
+// cluster.takeover event records the handoff.
+func TestTakeoverTraceProvenance(t *testing.T) {
+	dir := t.TempDir()
+	clk := newHAClock()
+
+	r1 := newHAReplica(t, dir, "r1", clk, 1)
+	r1.m.Start()
+	st, err := r1.m.Submit(JobSpec{Kind: "optimize", Workload: "quickstart", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.m.Kill()
+
+	r2 := newHAReplica(t, dir, "r2", clk, 1)
+	r2.m.Start()
+	defer r2.m.Drain(5 * time.Second)
+	clk.Advance(2 * time.Second)
+	if n := r2.m.TakeoverScan(); n != 1 {
+		t.Fatalf("takeover scan reclaimed %d job(s), want 1", n)
+	}
+	if fin := waitTerminal(t, r2.m, st.ID); fin.State != StateDone {
+		t.Fatalf("reclaimed job = %s (%q)", fin.State, fin.Error)
+	}
+
+	// Terminal state and root-span finalization are not atomic (Trace
+	// documents that a running job returns the spans ended so far), so
+	// poll briefly for the root span to land.
+	var spans []obs.SpanData
+	attrs := func(name string) map[string]string {
+		for _, s := range spans {
+			if s.Name == name {
+				got := map[string]string{}
+				for _, a := range s.Attrs {
+					got[a.Key] = a.Value
+				}
+				return got
+			}
+		}
+		return nil
+	}
+	var root map[string]string
+	deadline := time.Now().Add(5 * time.Second)
+	for root == nil && time.Now().Before(deadline) {
+		var ok bool
+		if spans, ok = r2.m.Trace(st.ID); !ok {
+			t.Fatal("no trace for the reclaimed job")
+		}
+		root = attrs("job")
+		if root == nil {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if root == nil {
+		t.Fatal("trace lacks the job root span")
+	}
+	if root["replica"] != "r2" || root["taken_over_from"] != "r1" {
+		t.Errorf("root span attribution = replica %q taken_over_from %q, want r2/r1",
+			root["replica"], root["taken_over_from"])
+	}
+	handoff := attrs("cluster.takeover")
+	if handoff == nil {
+		t.Fatal("trace lacks the cluster.takeover event")
+	}
+	if handoff["from"] != "r1" || handoff["by"] != "r2" {
+		t.Errorf("takeover event = from %q by %q, want r1/r2", handoff["from"], handoff["by"])
+	}
+	// Resource attribution rides the same root span.
+	for _, key := range []string{"cpu_seconds", "alloc_bytes", "heap_peak_bytes", "goroutine_peak"} {
+		if _, present := root[key]; !present {
+			t.Errorf("root span lacks resource attr %q (have %v)", key, root)
+		}
+	}
+}

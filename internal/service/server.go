@@ -13,6 +13,7 @@ import (
 
 	"p2go/internal/fleet"
 	"p2go/internal/obs"
+	"p2go/internal/prof"
 	"p2go/internal/workloads"
 )
 
@@ -28,8 +29,14 @@ import (
 //	GET  /fleets/{id}      one fleet job; FleetResult attached once done
 //	GET  /workloads        registered workload names and descriptions
 //	GET  /cluster          replica-group view: self, peers, member liveness
+//	GET  /debug/profiles        list the daemon's stored self-captures
+//	GET  /debug/profiles/{id}   one capture's raw pprof bytes
+//	POST /debug/profiles/capture  take a CPU+heap capture now
 //	GET  /metrics          Prometheus text exposition
 //	GET  /healthz          liveness + queue occupancy
+//
+// The /debug/profiles routes answer 404 unless the manager was built
+// with a profile store (p2god -profile-dir).
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	submit := func(w http.ResponseWriter, spec JobSpec) {
@@ -129,17 +136,73 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, out)
 	})
+	mux.HandleFunc("GET /debug/profiles", func(w http.ResponseWriter, r *http.Request) {
+		store := m.Profiles()
+		if store == nil {
+			writeError(w, http.StatusNotFound, "profile store disabled (start p2god with -profile-dir)")
+			return
+		}
+		infos, err := store.List()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if infos == nil {
+			infos = []prof.Info{}
+		}
+		writeJSON(w, http.StatusOK, infos)
+	})
+	mux.HandleFunc("GET /debug/profiles/{id}", func(w http.ResponseWriter, r *http.Request) {
+		store := m.Profiles()
+		if store == nil {
+			writeError(w, http.StatusNotFound, "profile store disabled (start p2god with -profile-dir)")
+			return
+		}
+		data, err := store.Open(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="`+r.PathValue("id")+`"`)
+		_, _ = w.Write(data)
+	})
+	mux.HandleFunc("POST /debug/profiles/capture", func(w http.ResponseWriter, r *http.Request) {
+		store := m.Profiles()
+		if store == nil {
+			writeError(w, http.StatusNotFound, "profile store disabled (start p2god with -profile-dir)")
+			return
+		}
+		infos, err := store.Capture(r.Context())
+		if err != nil {
+			writeError(w, http.StatusConflict, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusCreated, infos)
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		queued, running := m.Counts()
 		stats := m.Cache().Stats()
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		m.Metrics().WritePrometheus(w, map[string]float64{
+		gauges := map[string]float64{
 			"p2god_jobs_queued":   float64(queued),
 			"p2god_jobs_running":  float64(running),
 			"p2god_cache_entries": float64(stats.Entries),
 			"p2god_workers":       float64(m.cfg.Workers),
 			"p2god_queue_depth":   float64(m.cfg.QueueDepth),
-		})
+		}
+		if store := m.Profiles(); store != nil {
+			var stored, bytes float64
+			if infos, err := store.List(); err == nil {
+				stored = float64(len(infos))
+				for _, info := range infos {
+					bytes += float64(info.Bytes)
+				}
+			}
+			gauges["p2god_profile_store_captures"] = stored
+			gauges["p2god_profile_store_bytes"] = bytes
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.Metrics().WritePrometheus(w, gauges)
 	})
 	mux.HandleFunc("GET /cluster", func(w http.ResponseWriter, r *http.Request) {
 		node := m.Cluster()
