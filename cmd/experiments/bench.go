@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -51,6 +52,12 @@ var replayShardCounts = []int{1, 2, 4}
 // maxRegression is the tolerated replay-throughput loss against a
 // committed baseline before -bench-baseline fails the run (CI smoke).
 const maxRegression = 0.30
+
+// minEngineSpeedup is the compiled-engine bar enforced under
+// -bench-baseline: single-shard compiled replay must beat the interpreter
+// measured in the same run by at least this factor. Comparing within one
+// run makes the guard machine-independent, unlike the absolute baseline.
+const minEngineSpeedup = 1.5
 
 // runBench runs the micro-benchmark suite and writes the JSON results to
 // path. Per workload it measures: compile (stage allocation), profile
@@ -118,6 +125,7 @@ func runBench(path string, seed int64, only, baselinePath string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
+		var compiledP1 float64
 		for _, shards := range replayShardCounts {
 			shards := shards
 			r = testing.Benchmark(func(b *testing.B) {
@@ -127,13 +135,45 @@ func runBench(path string, seed int64, only, baselinePath string) error {
 					}
 				}
 			})
+			rate := replayRate(r, len(trace.Packets))
+			if shards == 1 {
+				compiledP1 = rate
+			}
 			out.Benchmarks = append(out.Benchmarks, BenchResult{
 				Name: "replay", Workload: name, Parallelism: shards,
 				Iterations: r.N, NsPerOp: float64(r.NsPerOp()),
-				PacketsPerSec: replayRate(r, len(trace.Packets)),
+				PacketsPerSec: rate,
 			})
 			fmt.Printf("  replay/%-9s x%-2d %10d iters  %12.0f ns/op  %10.0f packets/sec\n",
-				name, shards, r.N, float64(r.NsPerOp()), replayRate(r, len(trace.Packets)))
+				name, shards, r.N, float64(r.NsPerOp()), rate)
+		}
+
+		// Interpreter reference row: the tree-walking engine, sequential, no
+		// dedup — the before side of the compiled-engine speedup, measured
+		// in the same run so the comparison is machine-independent.
+		interpOpts := profile.RunOptions{Shards: 1, Interpret: true, NoDedup: true}
+		r = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := profiler.RunWith(context.Background(), trace, interpOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		interpRate := replayRate(r, len(trace.Packets))
+		out.Benchmarks = append(out.Benchmarks, BenchResult{
+			Name: "replay-interp", Workload: name, Parallelism: 1,
+			Iterations: r.N, NsPerOp: float64(r.NsPerOp()),
+			PacketsPerSec: interpRate,
+		})
+		speedup := 0.0
+		if interpRate > 0 {
+			speedup = compiledP1 / interpRate
+		}
+		fmt.Printf("  replay-interp/%-6s %10d iters  %12.0f ns/op  %10.0f packets/sec  (compiled x%.1f)\n",
+			name, r.N, float64(r.NsPerOp()), interpRate, speedup)
+		if baselinePath != "" && speedup < minEngineSpeedup {
+			return fmt.Errorf("%s: compiled replay only %.2fx the interpreter (floor %.1fx): %.0f vs %.0f packets/sec",
+				name, speedup, minEngineSpeedup, compiledP1, interpRate)
 		}
 
 		var before, after int

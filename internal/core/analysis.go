@@ -34,6 +34,7 @@ type AnalysisCache struct {
 	mu       sync.Mutex
 	compiles map[string]*tofino.Result
 	profiles map[string]*profile.Profile
+	preps    map[string]*profile.Prepared
 	stats    AnalysisCacheStats
 }
 
@@ -44,8 +45,11 @@ type AnalysisCacheStats struct {
 	CompileMisses  int
 	ProfileHits    int
 	ProfileMisses  int
+	PlanHits       int
+	PlanMisses     int
 	CompileEntries int
 	ProfileEntries int
+	PlanEntries    int
 }
 
 // NewAnalysisCache creates an empty cache, ready to be shared across runs
@@ -54,6 +58,7 @@ func NewAnalysisCache() *AnalysisCache {
 	return &AnalysisCache{
 		compiles: map[string]*tofino.Result{},
 		profiles: map[string]*profile.Profile{},
+		preps:    map[string]*profile.Prepared{},
 	}
 }
 
@@ -104,6 +109,32 @@ func (c *AnalysisCache) putProfile(key string, p *profile.Profile) {
 	}
 }
 
+// getPrepared looks up a prepared profiler (instrumented program + lowered
+// execution plan) and records the hit or miss.
+func (c *AnalysisCache) getPrepared(key string) (*profile.Prepared, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.preps[key]
+	if ok {
+		c.stats.PlanHits++
+	} else {
+		c.stats.PlanMisses++
+	}
+	return p, ok
+}
+
+// putPrepared stores a successful preparation; first stored result wins.
+// Prepared values are immutable and every replay takes a fresh Switch from
+// them, so sharing across runs (and concurrent probes) is safe.
+func (c *AnalysisCache) putPrepared(key string, p *profile.Prepared) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.preps[key]; !ok {
+		c.preps[key] = p
+		c.stats.PlanEntries++
+	}
+}
+
 // Stats returns a snapshot of the cache counters.
 func (c *AnalysisCache) Stats() AnalysisCacheStats {
 	c.mu.Lock()
@@ -137,6 +168,14 @@ func compileKey(ast *p4.Program, tgt tofino.Target) string {
 // installed rules, and the trace digest (computed once per run).
 func profileKey(ast *p4.Program, cfg *rt.Config, traceDigest string) string {
 	return analysisDigest("profile", p4.Print(ast), rt.Format(cfg), traceDigest)
+}
+
+// planKey content-addresses one preparation (instrumentation + plan
+// lowering): the printed program and the rules. The trace is deliberately
+// absent — a prepared plan serves any trace, which is the point of caching
+// it separately from profiles.
+func planKey(ast *p4.Program, cfg *rt.Config) string {
+	return analysisDigest("plan", p4.Print(ast), rt.Format(cfg))
 }
 
 // digestTrace hashes the trace packets (port + frame bytes), mirroring the

@@ -376,3 +376,51 @@ func TestOffloadCandidatesSpanTree(t *testing.T) {
 		t.Errorf("tree does not start at the optimize span:\n%s", col.Tree())
 	}
 }
+
+// TestPlanCacheServesRepeatedPrograms: the prepared-profiler cache keys on
+// (program, rules) only, so re-running the same program on a different
+// trace re-replays every profile but serves instrumentation and bytecode
+// lowering entirely from cache — and a plan-cache hit emits the same
+// "profile.instrument" span (with its tables attr) as a real preparation,
+// keeping span trees structurally identical.
+func TestPlanCacheServesRepeatedPrograms(t *testing.T) {
+	ast, cfg, trace := l2l3Inputs(t)
+	cache := NewAnalysisCache()
+
+	coldRes, err := New(Options{AnalysisCache: cache, Parallelism: 1}).Optimize(ast, cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := cache.Stats()
+	if cold.PlanEntries == 0 || cold.PlanMisses == 0 {
+		t.Fatalf("cold run stored no prepared plans: %+v", cold)
+	}
+
+	// Same packets in reverse order: a different trace digest (every
+	// profile key misses) over the same programs (every plan key hits).
+	rev := &trafficgen.Trace{}
+	for i := len(trace.Packets) - 1; i >= 0; i-- {
+		rev.Packets = append(rev.Packets, trace.Packets[i])
+	}
+	col := obs.NewCollector(0)
+	ctx := obs.WithTracer(context.Background(), obs.NewTracer(col))
+	warm, err := New(Options{AnalysisCache: cache, Parallelism: 1, Context: ctx}).Optimize(ast, cfg, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.PlanMisses != cold.PlanMisses || st.PlanEntries != cold.PlanEntries {
+		t.Errorf("warm run re-prepared plans: cold %+v, warm %+v", cold, st)
+	}
+	if st.PlanHits <= cold.PlanHits {
+		t.Errorf("warm run recorded no plan-cache hits: cold %+v, warm %+v", cold, st)
+	}
+	if !strings.Contains(col.Tree(), "profile.instrument tables=") {
+		t.Errorf("plan-cache hit did not emit the profile.instrument span:\n%s", col.Tree())
+	}
+	// Profile counts are order-independent sums, so the reversed trace
+	// must profile Equal to the cold run — replayed through cached plans.
+	if !warm.Profile.Equal(coldRes.Profile) {
+		t.Errorf("reversed-trace profile differs from cold run:\n%s", warm.Profile.Diff(coldRes.Profile))
+	}
+}

@@ -295,12 +295,37 @@ func (r *run) doProfile(ctx context.Context, ast *p4.Program, cfg *rt.Config) (*
 		if r.opts.ProfileHook != nil {
 			return r.opts.ProfileHook(ctx, ast, cfg, r.trace)
 		}
-		return profile.RunParallelContext(ctx, ast, cfg, r.trace, r.opts.parallelism())
+		prep, err := r.prepared(ctx, ast, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return prep.Profiler().RunWith(ctx, r.trace, profile.RunOptions{Shards: r.opts.parallelism()})
 	}()
 	if err == nil {
 		r.mgr.cache.putProfile(key, prof)
 	}
 	return prof, err
+}
+
+// prepared returns the instrumented program and lowered execution plan for
+// (ast, cfg), serving repeats from the analysis cache — a profile of the
+// same program on a different trace (a re-run, a fleet sibling) pays
+// instrumentation and bytecode lowering once. A cache hit emits the same
+// "profile.instrument" span with the same tables attr as a real
+// preparation, so span trees are structurally identical either way.
+func (r *run) prepared(ctx context.Context, ast *p4.Program, cfg *rt.Config) (*profile.Prepared, error) {
+	key := planKey(ast, cfg)
+	if prep, ok := r.mgr.cache.getPrepared(key); ok {
+		_, sp := obs.Start(ctx, "profile.instrument")
+		sp.SetAttr(obs.Int("tables", prep.Tables()))
+		sp.End()
+		return prep, nil
+	}
+	prep, err := profile.PrepareContext(ctx, ast, cfg)
+	if err == nil {
+		r.mgr.cache.putPrepared(key, prep)
+	}
+	return prep, err
 }
 
 // recompile refreshes the compiler outputs for the current program.

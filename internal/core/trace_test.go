@@ -40,14 +40,14 @@ func TestNATGRESpanTreeGolden(t *testing.T) {
   phase1.profile
     profile
       profile.instrument tables=4
-      sim.replay packets=10000
+      sim.replay dedup=true engine=compiled packets=10000 unique_packets=10000
   phase2.remove-dependencies
     phase2.iteration improved=true iteration=1
       phase2.candidate accepted=true from=nat stages=3 to=gre
         compile stages=3
         profile
           profile.instrument tables=4
-          sim.replay packets=10000
+          sim.replay dedup=true engine=compiled packets=10000 unique_packets=10000
     phase2.iteration improved=false iteration=2
       phase2.candidate from=nat rejected=manifests to=ipv4_fwd
       phase2.candidate from=gre rejected=manifests to=ipv4_fwd

@@ -146,7 +146,13 @@ func SerializeValues(values []uint64, widths []int) []byte {
 // zero-padded in its low bits. For byte-aligned widths the result equals
 // SerializeValues.
 func PackBits(values []uint64, widths []int) []byte {
-	var out []byte
+	return AppendPackBits(nil, values, widths)
+}
+
+// AppendPackBits is PackBits appending into dst, for callers that reuse a
+// buffer across hash computations (the simulator's replay hot path).
+func AppendPackBits(dst []byte, values []uint64, widths []int) []byte {
+	out := dst
 	var acc uint64
 	accBits := 0
 	for i, v := range values {

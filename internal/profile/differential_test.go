@@ -1,0 +1,138 @@
+package profile
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"p2go/internal/p4"
+	"p2go/internal/trafficgen"
+	"p2go/internal/workloads"
+)
+
+// TestRunWithCombinationsProfileEqual is the profiling differential
+// harness: for every bundled workload, every engine/shard/dedup
+// combination of RunWith must produce a profile Equal to the reference
+// replay (interpreter, one shard, no dedup) — the guarantee the compiled
+// engine and flow deduplication are allowed to exist under. It also pins
+// the EngineReport: stateful programs must report the dedup and sharding
+// fallback instead of silently taking them.
+func TestRunWithCombinationsProfileEqual(t *testing.T) {
+	ctx := context.Background()
+	for _, name := range workloads.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, err := workloads.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trace, err := w.Trace(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prep, err := Prepare(p4.MustParse(w.Source), w.Config())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if engine, reason := prep.Engine(); engine != "compiled" {
+				t.Fatalf("workload did not lower: engine=%s reason=%q", engine, reason)
+			}
+			stateful := len(prep.stateful) > 0
+
+			ref, err := prep.Profiler().RunWith(ctx, trace, RunOptions{Shards: 1, Interpret: true, NoDedup: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Engine == nil || ref.Engine.Engine != "interpreter" || ref.Engine.FallbackReason != "forced" {
+				t.Fatalf("reference EngineReport = %+v", ref.Engine)
+			}
+
+			for _, shards := range []int{1, 2, 4} {
+				for _, noDedup := range []bool{false, true} {
+					for _, interp := range []bool{false, true} {
+						opts := RunOptions{Shards: shards, Interpret: interp, NoDedup: noDedup}
+						label := fmt.Sprintf("shards=%d noDedup=%v interp=%v", shards, noDedup, interp)
+						got, err := prep.Profiler().RunWith(ctx, trace, opts)
+						if err != nil {
+							t.Fatalf("%s: %v", label, err)
+						}
+						if !got.Equal(ref) {
+							t.Fatalf("%s: profile diverges from reference:\n%s", label, got.Diff(ref))
+						}
+						rep := got.Engine
+						if rep == nil {
+							t.Fatalf("%s: no EngineReport", label)
+						}
+						wantEngine := "compiled"
+						if interp {
+							wantEngine = "interpreter"
+						}
+						if rep.Engine != wantEngine {
+							t.Errorf("%s: engine = %s, want %s (reason %q)", label, rep.Engine, wantEngine, rep.FallbackReason)
+						}
+						if stateful {
+							if rep.Dedup || rep.Shards != 1 {
+								t.Errorf("%s: stateful program reports dedup=%v shards=%d", label, rep.Dedup, rep.Shards)
+							}
+							if !noDedup && rep.DedupReason != "stateful-tables" {
+								t.Errorf("%s: dedup_reason = %q, want stateful-tables", label, rep.DedupReason)
+							}
+						} else {
+							if rep.Dedup == noDedup {
+								t.Errorf("%s: dedup = %v", label, rep.Dedup)
+							}
+							if rep.Dedup && rep.UniquePackets > got.TotalPackets {
+								t.Errorf("%s: %d unique packets out of %d total", label, rep.UniquePackets, got.TotalPackets)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDedupCollapsesRepeatedFlows drives dedup with a trace it can
+// actually collapse — a handful of distinct packets repeated thousands of
+// times — and checks both the counters (weighted exactly like the full
+// replay) and the replay volume (UniquePackets equals the distinct flow
+// count, which is the 10x-class win the engine exists for).
+func TestDedupCollapsesRepeatedFlows(t *testing.T) {
+	w, err := workloads.Get("natgre")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := w.Trace(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := 16
+	rng := rand.New(rand.NewSource(9))
+	trace := &trafficgen.Trace{}
+	for i := 0; i < 8000; i++ {
+		trace.Packets = append(trace.Packets, base.Packets[rng.Intn(distinct)])
+	}
+
+	prep, err := Prepare(p4.MustParse(w.Source), w.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := prep.Profiler().RunWith(context.Background(), trace, RunOptions{Shards: 1, NoDedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := prep.Profiler().RunWith(context.Background(), trace, RunOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(ref) {
+		t.Fatalf("deduplicated profile diverges:\n%s", got.Diff(ref))
+	}
+	if got.Engine.UniquePackets != distinct {
+		t.Errorf("replayed %d unique packets, want %d", got.Engine.UniquePackets, distinct)
+	}
+	if got.TotalPackets != 8000 {
+		t.Errorf("TotalPackets = %d, want 8000", got.TotalPackets)
+	}
+}

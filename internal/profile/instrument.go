@@ -172,18 +172,23 @@ func Instrument(src *p4.Program) (*Instrumented, error) {
 // ParseTrailer extracts the marker values from an outgoing packet and
 // returns the executed (table, action) pairs, in marker order.
 func (ins *Instrumented) ParseTrailer(data []byte) ([]FieldInfo, error) {
+	return ins.AppendExecuted(nil, data)
+}
+
+// AppendExecuted is ParseTrailer appending into dst, for callers that
+// reuse a scratch slice across packets (the profiler's replay loop).
+func (ins *Instrumented) AppendExecuted(dst []FieldInfo, data []byte) ([]FieldInfo, error) {
 	n := ins.TrailerBytes()
 	if len(data) < n {
 		return nil, fmt.Errorf("profile: packet shorter (%d bytes) than trailer (%d)", len(data), n)
 	}
 	trailer := data[len(data)-n:]
-	var out []FieldInfo
 	for i, info := range ins.Fields {
 		if trailer[i] != 0 {
-			out = append(out, info)
+			dst = append(dst, info)
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // sortedFieldNames is a test helper listing marker fields in order.

@@ -15,15 +15,10 @@ import (
 	"context"
 	"runtime"
 	"sort"
-	"strings"
-	"sync"
-	"time"
 
 	"p2go/internal/ir"
-	"p2go/internal/obs"
 	"p2go/internal/p4"
 	"p2go/internal/rt"
-	"p2go/internal/sim"
 	"p2go/internal/trafficgen"
 )
 
@@ -141,84 +136,13 @@ func (p *Profiler) RunSharded(trace *trafficgen.Trace, shards int) (*Profile, er
 
 // RunShardedContext shards the trace across up to shards workers (<=0
 // means one per CPU), each replaying its contiguous slice against an
-// independent Switch, and deterministically merges the per-worker
-// profiles — a result Profile.Equal to the sequential replay. Programs
-// with stateful tables (see StatefulTables) and single-shard requests run
-// sequentially through RunContext; the fallback and its reason are
-// recorded on the replay span.
+// independent Switch built from the shared plan, and deterministically
+// merges the per-worker profiles — a result Profile.Equal to the
+// sequential replay. Programs with stateful tables (see StatefulTables)
+// fall back to one worker with the fallback reason recorded on a span.
+// It is RunWith with the default engine and dedup policy.
 func (p *Profiler) RunShardedContext(ctx context.Context, trace *trafficgen.Trace, shards int) (*Profile, error) {
-	if shards <= 0 {
-		shards = DefaultShards()
-	}
-	if n := len(trace.Packets); shards > n {
-		shards = n
-	}
-	if stateful := p.StatefulTables(); len(stateful) > 0 {
-		_, sp := obs.Start(ctx, "sim.replay-fallback",
-			obs.String("reason", "stateful-tables"),
-			obs.String("tables", strings.Join(stateful, ",")))
-		sp.End()
-		return p.RunContext(ctx, trace)
-	}
-	if shards <= 1 {
-		return p.RunContext(ctx, trace)
-	}
-
-	ctx, sp := obs.Start(ctx, "sim.replay-sharded",
-		obs.Int("packets", len(trace.Packets)), obs.Int("shards", shards))
-	defer sp.End()
-	start := time.Now()
-
-	parts := make([]*Profile, shards)
-	errs := make([]error, shards)
-	var wg sync.WaitGroup
-	for w := 0; w < shards; w++ {
-		lo := w * len(trace.Packets) / shards
-		hi := (w + 1) * len(trace.Packets) / shards
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			parts[w], errs[w] = p.replayShard(ctx, trace, lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	// First error in shard (trace) order, so a bad packet reports the
-	// same failure whatever the worker scheduling was.
-	for _, err := range errs {
-		if err != nil {
-			sp.SetAttr(obs.String("error", err.Error()))
-			return nil, err
-		}
-	}
-	merged := MergeProfiles(parts...)
-	sp.SetAttr(obs.Float("packets_per_sec", sim.Throughput(merged.TotalPackets, time.Since(start))))
-	return merged, nil
-}
-
-// replayShard replays trace packets [lo, hi) on a fresh Switch. The IR
-// program, rules, and instrumentation are shared read-only; register and
-// counter state is per-Switch (and irrelevant here — sharding only runs
-// for stateless programs).
-func (p *Profiler) replayShard(ctx context.Context, trace *trafficgen.Trace, lo, hi int) (*Profile, error) {
-	sw, err := sim.New(p.prog, p.cfg, p.opts)
-	if err != nil {
-		return nil, err
-	}
-	col := newCollector(p, sw)
-	// Check cancellation between packets in batches: a canceled profile
-	// should stop burning CPU on a large shard.
-	const cancelCheckEvery = 1024
-	for i := lo; i < hi; i++ {
-		if (i-lo)%cancelCheckEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		if err := col.observe(i, trace.Packets[i]); err != nil {
-			return nil, err
-		}
-	}
-	return col.prof, nil
+	return p.RunWith(ctx, trace, RunOptions{Shards: shards})
 }
 
 // RunParallel profiles a program on a trace with sharded replay in one

@@ -7,7 +7,6 @@ import (
 	"strings"
 
 	"p2go/internal/ir"
-	"p2go/internal/obs"
 	"p2go/internal/p4"
 	"p2go/internal/rt"
 	"p2go/internal/sim"
@@ -37,6 +36,10 @@ type Profile struct {
 	Drops int
 	// ToCPU counts packets redirected to the controller.
 	ToCPU int
+	// Engine records how the replay that produced this profile executed
+	// (engine choice, dedup, shards). It is ignored by Equal/Diff and not
+	// propagated by MergeProfiles; RunWith sets it on the merged result.
+	Engine *EngineReport
 }
 
 // HitRate returns the fraction of packets that matched the table.
@@ -311,6 +314,9 @@ type Profiler struct {
 	prog *ir.Program
 	// opts rebuilds worker Switches identical to Switch.
 	opts sim.Options
+	// prep is the shared immutable state this profiler was built from
+	// (plan, stateful-table list, miss-default lookup).
+	prep *Prepared
 }
 
 // NewProfiler instruments the program and boots a simulator with the given
@@ -322,25 +328,15 @@ func NewProfiler(ast *p4.Program, cfg *rt.Config) (*Profiler, error) {
 }
 
 // NewProfilerContext is NewProfiler under a "profile.instrument" span
-// covering instrumentation, IR build, and simulator boot.
+// covering instrumentation, IR build, and plan lowering. It is
+// PrepareContext plus a Profiler over the prepared plan; callers that
+// profile the same program repeatedly should hold the Prepared instead.
 func NewProfilerContext(ctx context.Context, ast *p4.Program, cfg *rt.Config) (*Profiler, error) {
-	_, sp := obs.Start(ctx, "profile.instrument")
-	defer sp.End()
-	ins, err := Instrument(ast)
+	prep, err := PrepareContext(ctx, ast, cfg)
 	if err != nil {
 		return nil, err
 	}
-	prog, err := ir.Build(ins.AST)
-	if err != nil {
-		return nil, fmt.Errorf("profile: %w", err)
-	}
-	opts := sim.Options{Trailer: TrailerName, NeutralizeDrops: true}
-	sw, err := sim.New(prog, cfg, opts)
-	if err != nil {
-		return nil, err
-	}
-	sp.SetAttr(obs.Int("tables", len(ins.AST.Tables)))
-	return &Profiler{Ins: ins, Switch: sw, source: ast, cfg: cfg, prog: prog, opts: opts}, nil
+	return prep.Profiler(), nil
 }
 
 // Run replays the trace and builds the profile. Register state is reset
@@ -349,18 +345,11 @@ func (p *Profiler) Run(trace *trafficgen.Trace) (*Profile, error) {
 	return p.RunContext(context.Background(), trace)
 }
 
-// RunContext is Run with tracing: the replay loop runs under sim.Replay's
-// "sim.replay" span, which records the packet count and throughput.
+// RunContext is Run with tracing: the replay runs under a "sim.replay"
+// span recording the packet count, engine, and throughput. It is
+// RunWith on a single shard with the default engine and dedup policy.
 func (p *Profiler) RunContext(ctx context.Context, trace *trafficgen.Trace) (*Profile, error) {
-	p.Switch.Reset()
-	col := newCollector(p, p.Switch)
-	err := sim.Replay(ctx, len(trace.Packets), func(i int) error {
-		return col.observe(i, trace.Packets[i])
-	})
-	if err != nil {
-		return nil, err
-	}
-	return col.prof, nil
+	return p.RunWith(ctx, trace, RunOptions{Shards: 1})
 }
 
 // collector accumulates one replay slice into a Profile: each worker of a
@@ -371,9 +360,13 @@ type collector struct {
 	sw   *sim.Switch
 	prof *Profile
 	keys keyInterner
-	// entries and seen are per-packet scratch, reused across packets.
+	// entries and seen are per-packet scratch, reused across packets;
+	// ins/outs/marks are per-batch scratch for the ProcessBatch path.
 	entries []string
 	seen    map[string]bool
+	ins     []sim.Input
+	outs    []sim.Output
+	marks   []FieldInfo
 }
 
 func newCollector(p *Profiler, sw *sim.Switch) *collector {
@@ -390,44 +383,84 @@ func newCollector(p *Profiler, sw *sim.Switch) *collector {
 	}
 }
 
-// observe replays one packet and folds its execution set into the profile.
-func (c *collector) observe(i int, pkt trafficgen.Packet) error {
-	out, err := c.sw.Process(sim.Input{Port: pkt.Port, Data: pkt.Data})
+// observeBatch replays packets[lo:hi) through the Switch in one
+// ProcessBatch call and folds each result into the profile. weights and
+// firstIdx, when non-nil, carry dedup multiplicities and the original
+// trace index of each representative (for deterministic error reports);
+// without them each packet has weight 1 and its own index.
+func (c *collector) observeBatch(packets []trafficgen.Packet, weights, firstIdx []int, lo, hi int) error {
+	ins := c.ins[:0]
+	for i := lo; i < hi; i++ {
+		ins = append(ins, sim.Input{Port: packets[i].Port, Data: packets[i].Data})
+	}
+	c.ins = ins
+	if cap(c.outs) < len(ins) {
+		c.outs = make([]sim.Output, len(ins))
+	}
+	outs := c.outs[:len(ins)]
+	// The profiler reads executions from the trailer, not Output.Exec, and
+	// never keeps Data past the fold — so both per-packet allocations of
+	// the process loop are skipped.
+	k, err := c.sw.ProcessBatch(ins, outs, sim.BatchOpts{SkipExec: true, ReuseData: true})
+	if err != nil {
+		return fmt.Errorf("profile: packet %d: %w", origIndex(firstIdx, lo+k), err)
+	}
+	for j := range outs {
+		w := 1
+		if weights != nil {
+			w = weights[lo+j]
+		}
+		if err := c.foldOutput(origIndex(firstIdx, lo+j), &outs[j], w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// origIndex maps a replay position to its original trace index.
+func origIndex(firstIdx []int, i int) int {
+	if firstIdx != nil {
+		return firstIdx[i]
+	}
+	return i
+}
+
+// foldOutput folds one packet's execution set into the profile with the
+// given multiplicity.
+func (c *collector) foldOutput(i int, out *sim.Output, weight int) error {
+	executed, err := c.p.Ins.AppendExecuted(c.marks[:0], out.Data)
 	if err != nil {
 		return fmt.Errorf("profile: packet %d: %w", i, err)
 	}
-	executed, err := c.p.Ins.ParseTrailer(out.Data)
-	if err != nil {
-		return fmt.Errorf("profile: packet %d: %w", i, err)
-	}
+	c.marks = executed
 	prof := c.prof
-	prof.TotalPackets++
+	prof.TotalPackets += weight
 	if out.WouldDrop {
-		prof.Drops++
+		prof.Drops += weight
 	}
 	if out.ToCPU {
-		prof.ToCPU++
+		prof.ToCPU += weight
 	}
 	entries := c.entries[:0]
 	clear(c.seen)
 	for _, info := range executed {
-		entry := info.Table + "." + info.Action
-		isMiss := info.Miss || c.p.isDefaultOnReadsTable(info.Table, info.Action)
-		if isMiss {
-			entry += missTag
+		base := info.Table + "." + info.Action
+		entry := base
+		if info.Miss || c.p.isMissDefault(base, info.Table, info.Action) {
+			entry = base + missTag
 		} else {
-			prof.Hits[info.Table]++
+			prof.Hits[info.Table] += weight
 		}
 		if !c.seen[info.Table] {
 			c.seen[info.Table] = true
-			prof.Applied[info.Table]++
+			prof.Applied[info.Table] += weight
 		}
-		prof.ActionCounts[info.Table+"."+info.Action]++
+		prof.ActionCounts[base] += weight
 		entries = append(entries, entry)
 	}
 	c.entries = entries
 	if len(entries) > 0 {
-		prof.Sets[c.keys.key(entries)]++
+		prof.Sets[c.keys.key(entries)] += weight
 	}
 	return nil
 }

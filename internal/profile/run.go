@@ -1,0 +1,374 @@
+// Replay entry point and flow deduplication. RunWith is the single
+// convergence point for every profiling replay: it picks the execution
+// engine (the compiled plan, or the interpreter on request or fallback),
+// decides whether flow-level deduplication applies, shards the trace when
+// asked, and reports all of it through span attributes and the profile's
+// EngineReport — a silent fallback to a slow path is visible instead of
+// just slow.
+//
+// Flow deduplication collapses packets identical in (ingress port,
+// payload) into weighted representatives: the pipeline is a deterministic
+// function of those two inputs for stateless programs, so replay cost
+// drops to O(unique flows) while every profile counter is scaled by the
+// representative's multiplicity. The result is guaranteed Profile.Equal
+// to the packet-by-packet replay; programs with stateful tables skip
+// dedup exactly the way they skip sharding.
+package profile
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"p2go/internal/ir"
+	"p2go/internal/obs"
+	"p2go/internal/p4"
+	"p2go/internal/rt"
+	"p2go/internal/sim"
+	"p2go/internal/trafficgen"
+)
+
+// RunOptions tunes RunWith.
+type RunOptions struct {
+	// Shards is the replay worker count; <= 0 means one per CPU. Stateful
+	// programs always run on one worker.
+	Shards int
+	// Interpret forces the tree-walking interpreter — the reference engine
+	// the differential tests and bench rows compare against.
+	Interpret bool
+	// NoDedup disables flow-level trace deduplication.
+	NoDedup bool
+}
+
+// EngineReport records how a replay actually executed, attached to the
+// resulting Profile (and surfaced in report JSON and span attributes).
+// It is ignored by Equal/Diff: two replays that produce the same counts
+// are the same profile however they were computed.
+type EngineReport struct {
+	// Engine is "compiled" or "interpreter".
+	Engine string `json:"engine"`
+	// FallbackReason says why the interpreter ran when it did ("forced",
+	// or the lowering error).
+	FallbackReason string `json:"fallback_reason,omitempty"`
+	// Dedup reports whether flow deduplication was applied; DedupReason
+	// says why not when it wasn't ("disabled", "stateful-tables").
+	Dedup       bool   `json:"dedup"`
+	DedupReason string `json:"dedup_reason,omitempty"`
+	// UniquePackets is the number of representatives actually replayed
+	// (equal to the profile's TotalPackets without dedup).
+	UniquePackets int `json:"unique_packets,omitempty"`
+	// Shards is the worker count used.
+	Shards int `json:"shards,omitempty"`
+}
+
+// Prepared is the immutable, reusable part of a profiler: the
+// instrumented program, its IR, and the lowered execution plan. One
+// Prepared serves any number of replays and any number of concurrent
+// Profilers, so repeated optimizer phases (and the daemon's analysis
+// cache) pay instrumentation and lowering once per (program, config).
+type Prepared struct {
+	Ins    *Instrumented
+	source *p4.Program
+	cfg    *rt.Config
+	prog   *ir.Program
+	opts   sim.Options
+	plan   *sim.Plan
+	// interp is the same pipeline with lowering disabled, shared by
+	// forced-interpreter replays.
+	interp      *sim.Plan
+	stateful    []string
+	missDefault map[string]bool
+}
+
+// Prepare is PrepareContext without tracing.
+func Prepare(ast *p4.Program, cfg *rt.Config) (*Prepared, error) {
+	return PrepareContext(context.Background(), ast, cfg)
+}
+
+// PrepareContext instruments the program, builds its IR, and lowers the
+// execution plan under a "profile.instrument" span.
+func PrepareContext(ctx context.Context, ast *p4.Program, cfg *rt.Config) (*Prepared, error) {
+	_, sp := obs.Start(ctx, "profile.instrument")
+	defer sp.End()
+	ins, err := Instrument(ast)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := ir.Build(ins.AST)
+	if err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	opts := sim.Options{Trailer: TrailerName, NeutralizeDrops: true}
+	plan, err := sim.NewPlan(prog, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	iopts := opts
+	iopts.Interpret = true
+	interp, err := sim.NewPlan(prog, cfg, iopts)
+	if err != nil {
+		return nil, err
+	}
+	md := map[string]bool{}
+	for _, t := range ins.AST.Tables {
+		if len(t.Reads) == 0 {
+			continue
+		}
+		action := t.DefaultAction
+		if cfg != nil {
+			if d := cfg.DefaultFor(t.Name); d != nil {
+				action = d.Action
+			}
+		}
+		if action != "" {
+			md[t.Name+"."+action] = true
+		}
+	}
+	sp.SetAttr(obs.Int("tables", len(ins.AST.Tables)))
+	return &Prepared{
+		Ins:         ins,
+		source:      ast,
+		cfg:         cfg,
+		prog:        prog,
+		opts:        opts,
+		plan:        plan,
+		interp:      interp,
+		stateful:    StatefulTables(prog),
+		missDefault: md,
+	}, nil
+}
+
+// Tables returns the instrumented program's table count (the
+// "profile.instrument" span attribute, re-emitted on plan-cache hits).
+func (pr *Prepared) Tables() int { return len(pr.Ins.AST.Tables) }
+
+// Engine reports the execution engine Profilers built from this Prepared
+// use, and the fallback reason when it is the interpreter.
+func (pr *Prepared) Engine() (engine, reason string) { return pr.plan.Engine() }
+
+// Profiler instantiates a Profiler over the shared plan with a fresh
+// Switch (fresh register/counter state). Each call is independent:
+// concurrent callers each take their own.
+func (pr *Prepared) Profiler() *Profiler {
+	return &Profiler{
+		Ins:    pr.Ins,
+		Switch: sim.NewFromPlan(pr.plan),
+		source: pr.source,
+		cfg:    pr.cfg,
+		prog:   pr.prog,
+		opts:   pr.opts,
+		prep:   pr,
+	}
+}
+
+// statefulTables returns the cached stateful-table list when prepared.
+func (p *Profiler) statefulTables() []string {
+	if p.prep != nil {
+		return p.prep.stateful
+	}
+	return p.StatefulTables()
+}
+
+// interpPlan returns the interpreter-forced plan for this profiler.
+func (p *Profiler) interpPlan() (*sim.Plan, error) {
+	if p.prep != nil {
+		return p.prep.interp, nil
+	}
+	iopts := p.opts
+	iopts.Interpret = true
+	return sim.NewPlan(p.prog, p.cfg, iopts)
+}
+
+// isMissDefault classifies a "table.action" execution entry as a
+// (probable) miss — see Profiler.isDefaultOnReadsTable.
+func (p *Profiler) isMissDefault(entry, table, action string) bool {
+	if p.prep != nil {
+		return p.prep.missDefault[entry]
+	}
+	return p.isDefaultOnReadsTable(table, action)
+}
+
+// RunWith replays the trace and builds the profile. All replay paths —
+// sequential, sharded, deduplicated, interpreter-forced — converge here;
+// RunContext and RunShardedContext are wrappers. The resulting profile
+// carries an EngineReport describing how the replay executed, and is
+// Profile.Equal across every option combination (asserted by the
+// differential harness on all bundled workloads).
+func (p *Profiler) RunWith(ctx context.Context, trace *trafficgen.Trace, opts RunOptions) (*Profile, error) {
+	n := len(trace.Packets)
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = DefaultShards()
+	}
+	if shards > n {
+		shards = n
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	dedup := !opts.NoDedup
+	dedupReason := ""
+	if opts.NoDedup {
+		dedupReason = "disabled"
+	}
+	// Stateful programs (registers both read and written: sketches, Bloom
+	// filters) depend on replay order and multiplicity, so they get
+	// neither sharding nor dedup. The fallback is recorded on a span so
+	// the slow path is visible.
+	if stateful := p.statefulTables(); len(stateful) > 0 && (shards > 1 || dedup) {
+		_, fsp := obs.Start(ctx, "sim.replay-fallback",
+			obs.String("reason", "stateful-tables"),
+			obs.String("tables", strings.Join(stateful, ",")))
+		fsp.End()
+		shards = 1
+		if dedup {
+			dedup, dedupReason = false, "stateful-tables"
+		}
+	}
+	engine, fallback := p.Switch.Engine()
+	if opts.Interpret {
+		engine, fallback = "interpreter", "forced"
+	}
+	rep := &EngineReport{
+		Engine:         engine,
+		FallbackReason: fallback,
+		Dedup:          dedup,
+		DedupReason:    dedupReason,
+		Shards:         shards,
+	}
+	attrs := []obs.Attr{obs.String("engine", engine), obs.Bool("dedup", dedup)}
+
+	if shards <= 1 {
+		sw := p.Switch
+		if opts.Interpret {
+			ipl, err := p.interpPlan()
+			if err != nil {
+				return nil, err
+			}
+			sw = sim.NewFromPlan(ipl)
+		} else {
+			sw.Reset()
+		}
+		col := newCollector(p, sw)
+		packets := trace.Packets
+		var weights, firstIdx []int
+		if dedup {
+			packets, weights, firstIdx = dedupPackets(trace.Packets, 0, n)
+			attrs = append(attrs, obs.Int("unique_packets", len(packets)))
+		}
+		rep.UniquePackets = len(packets)
+		err := sim.ReplayBatch(ctx, n, len(packets), func(lo, hi int) error {
+			return col.observeBatch(packets, weights, firstIdx, lo, hi)
+		}, attrs...)
+		if err != nil {
+			return nil, err
+		}
+		col.prof.Engine = rep
+		return col.prof, nil
+	}
+
+	pl := p.Switch.Plan()
+	if opts.Interpret {
+		ipl, err := p.interpPlan()
+		if err != nil {
+			return nil, err
+		}
+		pl = ipl
+	}
+	spanAttrs := append([]obs.Attr{obs.Int("packets", n), obs.Int("shards", shards)}, attrs...)
+	ctx, sp := obs.Start(ctx, "sim.replay-sharded", spanAttrs...)
+	defer sp.End()
+	start := time.Now()
+
+	parts := make([]*Profile, shards)
+	uniq := make([]int, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		lo := w * n / shards
+		hi := (w + 1) * n / shards
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts[w], uniq[w], errs[w] = p.replayShard(ctx, pl, trace, lo, hi, dedup)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	// First error in shard (trace) order, so a bad packet reports the
+	// same failure whatever the worker scheduling was.
+	for _, err := range errs {
+		if err != nil {
+			sp.SetAttr(obs.String("error", err.Error()))
+			return nil, err
+		}
+	}
+	merged := MergeProfiles(parts...)
+	for _, u := range uniq {
+		rep.UniquePackets += u
+	}
+	if dedup {
+		sp.SetAttr(obs.Int("unique_packets", rep.UniquePackets))
+	}
+	sp.SetAttr(obs.Float("packets_per_sec", sim.Throughput(merged.TotalPackets, time.Since(start))))
+	merged.Engine = rep
+	return merged, nil
+}
+
+// replayShard replays trace packets [lo, hi) on a fresh Switch built
+// from the shared plan, deduplicating within the shard when enabled.
+// Returns the shard profile and the number of packets actually replayed.
+func (p *Profiler) replayShard(ctx context.Context, pl *sim.Plan, trace *trafficgen.Trace, lo, hi int, dedup bool) (*Profile, int, error) {
+	col := newCollector(p, sim.NewFromPlan(pl))
+	packets := trace.Packets
+	var weights, firstIdx []int
+	if dedup {
+		packets, weights, firstIdx = dedupPackets(trace.Packets, lo, hi)
+		lo, hi = 0, len(packets)
+	}
+	// Check cancellation between batches: a canceled profile should stop
+	// burning CPU on a large shard.
+	for b := lo; b < hi; b += sim.ReplayBatchSize {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		e := b + sim.ReplayBatchSize
+		if e > hi {
+			e = hi
+		}
+		if err := col.observeBatch(packets, weights, firstIdx, b, e); err != nil {
+			return nil, 0, err
+		}
+	}
+	return col.prof, hi - lo, nil
+}
+
+// dedupPackets collapses packets[lo:hi) that are identical in (port,
+// payload) into representatives in first-occurrence order, returning the
+// multiplicity of each and the trace index of its first occurrence (for
+// deterministic error reports).
+func dedupPackets(packets []trafficgen.Packet, lo, hi int) ([]trafficgen.Packet, []int, []int) {
+	idx := make(map[string]int, (hi-lo)/4+1)
+	var buf []byte
+	var reps []trafficgen.Packet
+	var weights, firstIdx []int
+	for i := lo; i < hi; i++ {
+		pkt := &packets[i]
+		buf = append(buf[:0],
+			byte(pkt.Port>>56), byte(pkt.Port>>48), byte(pkt.Port>>40), byte(pkt.Port>>32),
+			byte(pkt.Port>>24), byte(pkt.Port>>16), byte(pkt.Port>>8), byte(pkt.Port))
+		buf = append(buf, pkt.Data...)
+		// The string(buf) map probe does not allocate; the key is only
+		// materialized for first occurrences.
+		if j, ok := idx[string(buf)]; ok {
+			weights[j]++
+			continue
+		}
+		idx[string(buf)] = len(reps)
+		reps = append(reps, *pkt)
+		weights = append(weights, 1)
+		firstIdx = append(firstIdx, i)
+	}
+	return reps, weights, firstIdx
+}

@@ -345,6 +345,10 @@ type Profile struct {
 	Drops            int                `json:"drops"`
 	ToCPU            int                `json:"to_cpu"`
 	NonExclusiveSets []ActionSet        `json:"non_exclusive_sets,omitempty"`
+	// ReplayEngine records how the replay executed (compiled vs
+	// interpreter, dedup on/off with fallback reasons) so a silent slow
+	// path is visible in the report, not just in wall-clock time.
+	ReplayEngine *profile.EngineReport `json:"replay_engine,omitempty"`
 }
 
 // ActionSet is one observed set of non-exclusive actions (Table 1).
@@ -450,6 +454,7 @@ func convertProfile(p *profile.Profile) *Profile {
 		Applied:      p.Applied,
 		Drops:        p.Drops,
 		ToCPU:        p.ToCPU,
+		ReplayEngine: p.Engine,
 	}
 	for t := range p.Applied {
 		out.HitRates[t] = p.HitRate(t)

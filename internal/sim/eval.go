@@ -465,7 +465,22 @@ func (s *Switch) InstallRule(r rt.Rule) error {
 		return err
 	}
 	ts := s.tables[r.Table]
-	ts.rules = append(ts.rules, r)
+	// Copy on write: the backing array is shared with the plan and with
+	// sibling Switches built from it.
+	ts.rules = append(append([]rt.Rule(nil), ts.rules...), r)
 	s.cfg.Add(r)
+	if s.useCompiled() {
+		cc := s.plan.c.lower
+		ti := cc.tableOf[r.Table]
+		cr, err := cc.lowerRule(ts.decl, &s.plan.c.tables[ti], r)
+		if err != nil {
+			// The interpreter may still run this rule (surfacing its own
+			// packet-time diagnostics), so fall back instead of failing the
+			// install; Engine reports the reason.
+			s.planDisabled = "rule lowering: " + err.Error()
+			return nil
+		}
+		s.crules[ti] = append(append([]cRule(nil), s.crules[ti]...), cr)
+	}
 	return nil
 }

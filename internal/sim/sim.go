@@ -8,8 +8,6 @@
 package sim
 
 import (
-	"fmt"
-
 	"p2go/internal/ir"
 	"p2go/internal/p4"
 	"p2go/internal/rt"
@@ -32,6 +30,10 @@ type Options struct {
 	// egress; the profiler uses this so the collector sees every packet.
 	// The drop is still recorded in Output.WouldDrop.
 	NeutralizeDrops bool
+	// Interpret forces the tree-walking interpreter even when the program
+	// lowers cleanly — the reference engine for differential tests and the
+	// bench harness's before/after rows.
+	Interpret bool
 }
 
 // Switch is an instantiated data plane: a compiled program plus installed
@@ -45,6 +47,22 @@ type Switch struct {
 	registers map[string][]uint64
 	counters  map[string][]CounterCell
 	tables    map[string]*tableState
+
+	// plan is the shared immutable execution plan; when it compiled
+	// (plan.c != nil) Process runs the flat bytecode engine in exec.go
+	// instead of the tree-walking interpreter.
+	plan *Plan
+	// planDisabled names why this Switch abandoned the compiled engine
+	// after construction (a runtime-installed rule that would not lower).
+	planDisabled string
+	// regArr/ctrArr alias the registers/counters maps by the plan's dense
+	// ids; crules holds per-Switch rule lists (shared with the plan until
+	// InstallRule copies on write).
+	regArr [][]uint64
+	ctrArr [][]CounterCell
+	crules [][]cRule
+	// cst is the compiled engine's per-packet state, reused across calls.
+	cst cstate
 
 	// scratch is the per-packet evaluation state, reused across Process
 	// calls so the hot replay path does not rebuild three maps per
@@ -79,31 +97,32 @@ func (ts *tableState) effectiveDefault() (action string, argValues []uint64, arg
 }
 
 // New builds a Switch. The configuration is validated against the program.
+// Equivalent to NewPlan followed by NewFromPlan; callers replaying the
+// same (program, config, options) on several Switches — sharded replay,
+// repeated optimizer phases — should build the Plan once and share it.
 func New(prog *ir.Program, cfg *rt.Config, opts Options) (*Switch, error) {
-	if cfg == nil {
-		cfg = &rt.Config{}
-	}
-	if err := rt.Validate(cfg, prog); err != nil {
+	pl, err := NewPlan(prog, cfg, opts)
+	if err != nil {
 		return nil, err
 	}
+	return NewFromPlan(pl), nil
+}
+
+// NewFromPlan instantiates a Switch over a shared execution plan. Only
+// mutable state (registers, counters, scratch) is allocated; the lowered
+// program, rule sets, and widths are shared with the plan.
+func NewFromPlan(pl *Plan) *Switch {
 	s := &Switch{
-		prog:      prog,
-		cfg:       cfg,
-		opts:      opts,
-		widths:    map[ir.FieldKey]int{},
+		prog:      pl.prog,
+		cfg:       pl.cfg,
+		opts:      pl.opts,
+		plan:      pl,
+		widths:    pl.widths,
 		registers: map[string][]uint64{},
 		counters:  map[string][]CounterCell{},
 		tables:    map[string]*tableState{},
 	}
-	for _, inst := range prog.AST.Instances {
-		ht := prog.AST.HeaderType(inst.TypeName)
-		for _, f := range ht.Fields {
-			s.widths[ir.FieldKey(inst.Name+"."+f.Name)] = f.Width
-		}
-	}
-	if opts.Trailer != "" && prog.AST.Instance(opts.Trailer) == nil {
-		return nil, fmt.Errorf("sim: trailer instance %q not declared", opts.Trailer)
-	}
+	prog := pl.prog
 	for _, r := range prog.AST.Registers {
 		s.registers[r.Name] = make([]uint64, r.InstanceCount)
 	}
@@ -113,11 +132,26 @@ func New(prog *ir.Program, cfg *rt.Config, opts Options) (*Switch, error) {
 	for _, t := range prog.AST.Tables {
 		s.tables[t.Name] = &tableState{
 			decl:            t,
-			rules:           cfg.ForTable(t.Name),
-			defaultOverride: cfg.DefaultFor(t.Name),
+			rules:           pl.tableRules[t.Name],
+			defaultOverride: pl.defaults[t.Name],
 		}
 	}
-	return s, nil
+	if c := pl.c; c != nil {
+		s.regArr = make([][]uint64, len(c.regs))
+		for i, r := range c.regs {
+			s.regArr[i] = s.registers[r.name]
+		}
+		s.ctrArr = make([][]CounterCell, len(c.ctrs))
+		for i, ct := range c.ctrs {
+			s.ctrArr[i] = s.counters[ct.name]
+		}
+		s.crules = make([][]cRule, len(c.tables))
+		for i := range c.tables {
+			s.crules[i] = c.tables[i].rules
+		}
+		s.cst.init(c)
+	}
+	return s
 }
 
 // Reset clears all register and counter state.
@@ -211,6 +245,14 @@ type headerExtent struct {
 // safe for concurrent use on one Switch (register, counter, and scratch
 // state); run one Switch per goroutine instead.
 func (s *Switch) Process(in Input) (Output, error) {
+	if s.useCompiled() {
+		return s.processCompiled(in, false, false)
+	}
+	return s.processInterp(in)
+}
+
+// processInterp is the tree-walking reference engine.
+func (s *Switch) processInterp(in Input) (Output, error) {
 	st := &s.scratch
 	if st.fields == nil {
 		st.fields = make(map[ir.FieldKey]uint64, 32)
