@@ -10,6 +10,7 @@ import (
 	"p2go"
 	"p2go/internal/p4"
 	"p2go/internal/profile"
+	"p2go/internal/trafficgen"
 	"p2go/internal/workloads"
 )
 
@@ -195,6 +196,60 @@ func runBench(path string, seed int64, only, baselinePath string) error {
 		fmt.Printf("  optimize/%-11s %10d iters  %12.0f ns/op  stages %d -> %d\n",
 			name, r.N, float64(r.NsPerOp()), before, after)
 	}
+
+	// Zipf flow-popularity family: a heavy-tailed TCP trace (20k packets,
+	// ~1k distinct flows) through the stateless quickstart router, with
+	// flow deduplication on and off. The dedup row replays O(unique flows)
+	// representatives instead of O(packets), which is the effect the pair
+	// quantifies; the rows share every other knob (compiled engine, one
+	// shard) so the ratio isolates dedup.
+	if only == "" || only == "zipf" {
+		ran++
+		w, err := workloads.Get("quickstart")
+		if err != nil {
+			return err
+		}
+		ztrace := trafficgen.ZipfTCPTrace(trafficgen.ZipfSpec{Seed: seed})
+		profiler, err := profile.NewProfiler(p4.MustParse(w.Source), w.Config())
+		if err != nil {
+			return err
+		}
+		rates := map[bool]float64{}
+		unique := 0
+		for _, noDedup := range []bool{true, false} {
+			noDedup := noDedup
+			opts := profile.RunOptions{Shards: 1, NoDedup: noDedup}
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					pf, err := profiler.RunWith(context.Background(), ztrace, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !noDedup && pf.Engine != nil {
+						unique = pf.Engine.UniquePackets
+					}
+				}
+			})
+			rate := replayRate(r, len(ztrace.Packets))
+			rates[noDedup] = rate
+			rowName := "replay-zipf-dedup"
+			if noDedup {
+				rowName = "replay-zipf-nodedup"
+			}
+			out.Benchmarks = append(out.Benchmarks, BenchResult{
+				Name: rowName, Workload: "zipf", Parallelism: 1,
+				Iterations: r.N, NsPerOp: float64(r.NsPerOp()),
+				PacketsPerSec: rate,
+			})
+			fmt.Printf("  %-21s %10d iters  %12.0f ns/op  %10.0f packets/sec\n",
+				rowName, r.N, float64(r.NsPerOp()), rate)
+		}
+		if rates[true] > 0 {
+			fmt.Printf("  zipf flow dedup: %d unique of %d packets, x%.1f throughput\n",
+				unique, len(ztrace.Packets), rates[false]/rates[true])
+		}
+	}
+
 	if ran == 0 {
 		return fmt.Errorf("no benchmark workload matches %q", only)
 	}

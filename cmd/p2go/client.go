@@ -65,6 +65,7 @@ func cmdSubmit(args []string) error {
 	workload := fs.String("workload", "ex1", "named workload")
 	seed := fs.Int64("seed", 1, "trace generator seed")
 	passes := fs.String("passes", "", "comma-separated pass schedule, e.g. phase4,phase2,phase3 (see 'p2go passes'; empty = default order)")
+	set := fs.String("set", "", `tunable bindings, e.g. "sc_bf_cells=32768" (default: the @tunable declarations' defaults)`)
 	noDeps := fs.Bool("no-deps", false, "disable Phase 2 (dependency removal); deprecated, use -passes")
 	noMem := fs.Bool("no-mem", false, "disable Phase 3 (memory reduction); deprecated, use -passes")
 	noOffload := fs.Bool("no-offload", false, "disable Phase 4 (offloading); deprecated, use -passes")
@@ -82,6 +83,7 @@ func cmdSubmit(args []string) error {
 		Workload:       *workload,
 		Seed:           *seed,
 		Passes:         splitPasses(*passes),
+		Bindings:       *set,
 		NoDeps:         *noDeps,
 		NoMem:          *noMem,
 		NoOffload:      *noOffload,

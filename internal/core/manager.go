@@ -56,18 +56,32 @@ func newManager(opts Options) (*manager, error) {
 	return m, nil
 }
 
-// newRun builds the mutable state one optimization run evolves.
-func (m *manager) newRun(ast *p4.Program, cfg *rt.Config, trace *trafficgen.Trace) *run {
+// newRun builds the mutable state one optimization run evolves. The input
+// AST may be parameterized: the run instantiates it at Options.Bindings
+// (defaults for unbound tunables) and every pass operates on the concrete
+// program; the pristine AST is kept for the tune pass to re-instantiate.
+func (m *manager) newRun(ast *p4.Program, cfg *rt.Config, trace *trafficgen.Trace) (*run, error) {
+	bindings, err := p4.ResolveBindings(ast, m.opts.Bindings)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	original, err := p4.Instantiate(ast, m.opts.Bindings)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	return &run{
 		opts:       m.opts,
 		mgr:        m,
 		tgt:        m.tgt,
 		cfg:        cfg,
 		trace:      trace,
-		cur:        p4.Clone(ast),
+		src:        ast,
+		original:   original,
+		bindings:   bindings,
+		cur:        p4.Clone(original),
 		traceDig:   digestTrace(trace),
 		phaseStart: time.Now(),
-	}
+	}, nil
 }
 
 // optimize runs the scheduled passes: the implicit profiling pass first,
@@ -87,7 +101,10 @@ func (m *manager) optimize(ast *p4.Program, cfg *rt.Config, trace *trafficgen.Tr
 	}
 	ctx, root := obs.Start(ctx, "optimize")
 	defer root.End()
-	r := m.newRun(ast, cfg, trace)
+	r, err := m.newRun(ast, cfg, trace)
+	if err != nil {
+		return nil, err
+	}
 	originalProfile, err := m.profilePass(ctx, r, root)
 	if err != nil {
 		return nil, err
@@ -103,7 +120,7 @@ func (m *manager) optimize(ast *p4.Program, cfg *rt.Config, trace *trafficgen.Tr
 	)
 
 	res := &Result{
-		Original:          ast,
+		Original:          r.original,
 		Optimized:         r.cur,
 		OptimizedConfig:   filterConfig(r.cfg, r.cur),
 		Profile:           originalProfile,
@@ -114,6 +131,15 @@ func (m *manager) optimize(ast *p4.Program, cfg *rt.Config, trace *trafficgen.Tr
 		Guards:            r.guards,
 		ControllerProgram: r.ctlProgram,
 		PassStats:         r.stats,
+	}
+	if len(r.bindings) > 0 {
+		res.Bindings = r.bindings
+		for _, t := range r.src.Tunables {
+			res.Tunables = append(res.Tunables, TunedKnob{
+				Name: t.Name, Min: t.Min, Max: t.Max, Default: t.Default,
+				Value: r.bindings[t.Name],
+			})
+		}
 	}
 	if r.prof != nil && r.prof.TotalPackets > 0 {
 		res.RedirectedFraction = float64(r.prof.ToCPU) / float64(r.prof.TotalPackets)
@@ -137,7 +163,10 @@ func (m *manager) offloadReport(ast *p4.Program, cfg *rt.Config, trace *trafficg
 	}
 	ctx, root := obs.Start(ctx, "optimize", obs.String("mode", "offload-report"))
 	defer root.End()
-	r := m.newRun(ast, cfg, trace)
+	r, err := m.newRun(ast, cfg, trace)
+	if err != nil {
+		return nil, err
+	}
 	if _, err := m.profilePass(ctx, r, root); err != nil {
 		return nil, err
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"p2go/internal/p4"
 )
 
 // Phase identifies a P2GO phase.
@@ -15,6 +17,7 @@ const (
 	PhaseDependencies
 	PhaseMemory
 	PhaseOffload
+	PhaseTune
 )
 
 func (p Phase) String() string {
@@ -27,6 +30,8 @@ func (p Phase) String() string {
 		return "reducing-memory"
 	case PhaseOffload:
 		return "offloading-code"
+	case PhaseTune:
+		return "tuning-parameters"
 	}
 	return fmt.Sprintf("phase(%d)", int(p))
 }
@@ -93,8 +98,24 @@ func (r *Result) Report() string {
 	var b strings.Builder
 	b.WriteString("P2GO optimization report\n")
 	b.WriteString("========================\n\n")
-	fmt.Fprintf(&b, "pipeline stages: %d -> %d\n\n", r.StagesBefore(), r.StagesAfter())
-	b.WriteString("stage history:\n")
+	fmt.Fprintf(&b, "pipeline stages: %d -> %d\n", r.StagesBefore(), r.StagesAfter())
+	if pf := r.FinalProfile; pf != nil && pf.Engine != nil {
+		fmt.Fprintf(&b, "replay engine: %s\n", pf.Engine)
+	} else if pf := r.Profile; pf != nil && pf.Engine != nil {
+		fmt.Fprintf(&b, "replay engine: %s\n", pf.Engine)
+	}
+	if len(r.Bindings) > 0 {
+		fmt.Fprintf(&b, "tunable bindings: %s\n", p4.FormatBindings(r.Bindings))
+		for _, k := range r.Tunables {
+			marker := ""
+			if k.Value != k.Default {
+				marker = "  (changed)"
+			}
+			fmt.Fprintf(&b, "  %-16s %d in [%d, %d], default %d%s\n",
+				k.Name, k.Value, k.Min, k.Max, k.Default, marker)
+		}
+	}
+	b.WriteString("\nstage history:\n")
 	b.WriteString(RenderHistory(r.History))
 	b.WriteString("\nobservations to verify:\n")
 	if len(r.Observations) == 0 {

@@ -22,6 +22,7 @@ type passDef struct {
 	needs    []string // analyses consumed through the manager: "compile", "profile", "deps"
 	readOnly bool     // reports candidates without mutating the program; not selectable via Options.Passes
 	implicit bool     // always runs first (profiling); not selectable via Options.Passes
+	optIn    bool     // selectable via Options.Passes but not part of the default schedule
 	run      func(*run, context.Context) error
 }
 
@@ -35,6 +36,17 @@ var passRegistry = []*passDef{
 		span:     "phase1.profile",
 		needs:    []string{"compile", "profile"},
 		implicit: true,
+	},
+	{
+		id: "tune",
+		doc: "Search the program's @tunable knobs (coordinate descent over a geometric lattice): minimize stages subject to a " +
+			"profile-measured accuracy floor; every candidate instantiation flows through the analysis cache. Opt-in; schedule it " +
+			"first — it restarts from the pristine program at the winning bindings.",
+		span:  "tune.search",
+		label: "tuning-parameters",
+		needs: []string{"compile", "profile"},
+		optIn: true,
+		run:   (*run).tunePass,
 	},
 	{
 		id:    "phase2",
@@ -95,6 +107,7 @@ type PassInfo struct {
 	Default  bool     `json:"default"`   // runs when Options.Passes is unset
 	ReadOnly bool     `json:"read_only"` // reports only; never mutates the program
 	Implicit bool     `json:"implicit"`  // always runs first; not selectable
+	OptIn    bool     `json:"opt_in"`    // selectable, but only runs when scheduled explicitly
 }
 
 // Passes lists every registered pass in default execution order.
@@ -105,20 +118,22 @@ func Passes() []PassInfo {
 			ID:       p.id,
 			Doc:      p.doc,
 			Needs:    append([]string(nil), p.needs...),
-			Default:  !p.readOnly && !p.implicit,
+			Default:  !p.readOnly && !p.implicit && !p.optIn,
 			ReadOnly: p.readOnly,
 			Implicit: p.implicit,
+			OptIn:    p.optIn,
 		})
 	}
 	return out
 }
 
 // DefaultPassIDs is the order run when Options.Passes is unset: every
-// selectable pass in registry order (the paper's phase 2 → 3 → 4).
+// selectable, non-opt-in pass in registry order (the paper's phase
+// 2 → 3 → 4; "tune" only runs when scheduled explicitly).
 func DefaultPassIDs() []string {
 	var out []string
 	for _, p := range passRegistry {
-		if !p.readOnly && !p.implicit {
+		if !p.readOnly && !p.implicit && !p.optIn {
 			out = append(out, p.id)
 		}
 	}
@@ -133,10 +148,22 @@ func ValidatePasses(ids []string) error {
 	for _, id := range ids {
 		p, ok := passByID[id]
 		if !ok || p.readOnly || p.implicit {
-			return fmt.Errorf("core: unknown pass %q (selectable passes: %s)", id, strings.Join(DefaultPassIDs(), ", "))
+			return fmt.Errorf("core: unknown pass %q (selectable passes: %s)", id, strings.Join(selectablePassIDs(), ", "))
 		}
 	}
 	return nil
+}
+
+// selectablePassIDs lists every pass Options.Passes may name, in registry
+// order: the default schedule plus the opt-in passes.
+func selectablePassIDs() []string {
+	var out []string
+	for _, p := range passRegistry {
+		if !p.readOnly && !p.implicit {
+			out = append(out, p.id)
+		}
+	}
+	return out
 }
 
 // PassStat records one executed pass: how long it ran, how many of its

@@ -86,6 +86,17 @@ type Options struct {
 	// programs inside one run, e.g. Phase 3 re-compiling the winning
 	// probe it already measured).
 	AnalysisCache *AnalysisCache
+	// Bindings assigns values to the program's @tunable symbols before
+	// anything runs; missing names take their declared defaults. The run
+	// operates on the instantiated concrete program, whose printed source
+	// is binding-distinct — so compile/profile cache keys and artifact
+	// digests separate instantiations automatically. Unknown names and
+	// out-of-range values fail the run. Ignored (must be empty) for
+	// programs without tunables.
+	Bindings map[string]int
+	// Tune configures the "tune" pass when it is scheduled; nil means
+	// defaults (no accuracy constraint, 4 coordinate-descent rounds).
+	Tune *TuneOptions
 }
 
 // defaultPhase4MaxRedirect is the "rarely used" threshold.
@@ -127,7 +138,10 @@ func (o Options) passIDs() []string {
 
 // Result is the outcome of a P2GO run.
 type Result struct {
-	// Original is the input program (untouched).
+	// Original is the input program instantiated at the run's bindings
+	// (for programs without tunables, a verbatim copy of the input).
+	// Equivalence checks compare Optimized against it, so both sides run
+	// at the same knob values.
 	Original *p4.Program
 	// Optimized is the rewritten program.
 	Optimized *p4.Program
@@ -165,6 +179,23 @@ type Result struct {
 	// profiling pass first): duration, analysis-cache hit/miss counts,
 	// and observations produced.
 	PassStats []PassStat
+	// Bindings is the tunable assignment the run ended with:
+	// Options.Bindings resolved against the declared tunables (defaults
+	// filled in), then replaced by the tune pass's winner when that pass
+	// ran and adopted one. Empty for programs without tunables.
+	Bindings map[string]int
+	// Tunables describes every declared tunable with its final value, in
+	// declaration order. Empty for programs without tunables.
+	Tunables []TunedKnob
+}
+
+// TunedKnob is one tunable symbol with the value a run bound it to.
+type TunedKnob struct {
+	Name    string `json:"name"`
+	Min     int    `json:"min"`
+	Max     int    `json:"max"`
+	Default int    `json:"default"`
+	Value   int    `json:"value"`
 }
 
 // StagesBefore returns the initial pipeline length.
@@ -198,12 +229,19 @@ func New(opts Options) *Optimizer {
 
 // run carries the evolving state across passes.
 type run struct {
-	opts       Options
-	mgr        *manager
-	tgt        tofino.Target
-	cfg        *rt.Config
-	trace      *trafficgen.Trace
-	traceDig   string
+	opts     Options
+	mgr      *manager
+	tgt      tofino.Target
+	cfg      *rt.Config
+	trace    *trafficgen.Trace
+	traceDig string
+	// src is the pristine input AST, possibly parameterized (tunable
+	// declarations intact); the tune pass instantiates candidates from
+	// it. original is src instantiated at the run's starting bindings —
+	// what Result.Original reports. cur evolves under the passes.
+	src        *p4.Program
+	original   *p4.Program
+	bindings   map[string]int
 	cur        *p4.Program
 	compile    *tofino.Result
 	prof       *profile.Profile

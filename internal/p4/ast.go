@@ -9,6 +9,7 @@ import (
 // grouped by kind for convenient lookup; Decls preserves source order for
 // printing.
 type Program struct {
+	Tunables     []*Tunable
 	HeaderTypes  []*HeaderType
 	Instances    []*Instance
 	Registers    []*Register
@@ -27,6 +28,23 @@ type Program struct {
 // Decl is any top-level declaration.
 type Decl interface {
 	declName() string
+}
+
+// Tunable declares a named integer knob with an allowed range:
+//
+//	@tunable(name, min, max, default);
+//
+// The name can then stand in for an integer constant in register
+// instance_count attributes, table size attributes, and expression
+// positions (hash moduli, comparison thresholds). A parsed program
+// carries its tunables symbolically; Instantiate resolves them against a
+// Bindings map to produce a concrete program. An un-instantiated AST
+// still behaves: every use site also records the default value.
+type Tunable struct {
+	Name    string
+	Min     int
+	Max     int
+	Default int
 }
 
 // HeaderType declares a header layout: an ordered list of bit fields.
@@ -67,11 +85,14 @@ type Instance struct {
 	Metadata bool
 }
 
-// Register declares a stateful register array.
+// Register declares a stateful register array. When the instance_count
+// attribute was written as a tunable name, CountSym records it and
+// InstanceCount holds the tunable's default until Instantiate binds it.
 type Register struct {
 	Name          string
-	Width         int // bits per cell
-	InstanceCount int // number of cells
+	Width         int    // bits per cell
+	InstanceCount int    // number of cells
+	CountSym      string // tunable name backing InstanceCount ("" when literal)
 }
 
 // Counter declares a packet or byte counter array.
@@ -182,12 +203,15 @@ type ReadEntry struct {
 	Kind  string
 }
 
-// TableDecl declares a match-action table.
+// TableDecl declares a match-action table. When the size attribute was
+// written as a tunable name, SizeSym records it and Size holds the
+// tunable's default until Instantiate binds it.
 type TableDecl struct {
 	Name           string
 	Reads          []*ReadEntry
 	ActionNames    []string
 	Size           int
+	SizeSym        string // tunable name backing Size ("" when literal)
 	DefaultAction  string
 	DefaultArgs    []Expr
 	SupportTimeout bool
@@ -285,10 +309,21 @@ type ParamRef struct {
 	Name string
 }
 
+// SymRef references a tunable symbol in an expression position. Value
+// carries the tunable's declared default so an un-instantiated AST still
+// evaluates at its defaults; Instantiate replaces SymRefs with concrete
+// IntLits.
+type SymRef struct {
+	Name  string
+	Value uint64
+}
+
 func (FieldRef) expr() {}
 func (IntLit) expr()   {}
 func (ParamRef) expr() {}
+func (SymRef) expr()   {}
 
+func (t *Tunable) declName() string         { return t.Name }
 func (h *HeaderType) declName() string      { return h.Name }
 func (i *Instance) declName() string        { return i.Name }
 func (r *Register) declName() string        { return r.Name }
@@ -302,6 +337,16 @@ func (t *TableDecl) declName() string       { return t.Name }
 func (c *ControlDecl) declName() string     { return c.Name }
 
 // Lookup helpers. All return nil when the name is absent.
+
+// Tunable returns the tunable declaration with the given name.
+func (p *Program) Tunable(name string) *Tunable {
+	for _, t := range p.Tunables {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
 
 // HeaderType returns the header type declaration with the given name.
 func (p *Program) HeaderType(name string) *HeaderType {
@@ -416,6 +461,11 @@ func (p *Program) TableNames() []string {
 // addDecl appends d to the ordered declaration list and the per-kind slice.
 func (p *Program) addDecl(d Decl) error {
 	switch v := d.(type) {
+	case *Tunable:
+		if p.Tunable(v.Name) != nil {
+			return fmt.Errorf("duplicate tunable %q", v.Name)
+		}
+		p.Tunables = append(p.Tunables, v)
 	case *HeaderType:
 		if p.HeaderType(v.Name) != nil {
 			return fmt.Errorf("duplicate header_type %q", v.Name)

@@ -105,6 +105,10 @@ func EnsureBuiltins(p *Program) {
 func Check(p *Program) error {
 	EnsureBuiltins(p)
 
+	if err := checkTunables(p); err != nil {
+		return err
+	}
+
 	for _, inst := range p.Instances {
 		if p.HeaderType(inst.TypeName) == nil {
 			return fmt.Errorf("instance %q: unknown header type %q", inst.Name, inst.TypeName)
@@ -168,6 +172,39 @@ func Check(p *Program) error {
 		return err
 	}
 	return checkControls(p, resolveField)
+}
+
+// checkTunables validates tunable ranges and rejects name collisions with
+// the declaration kinds a bare identifier can reference (which is how
+// tunable use sites are resolved).
+func checkTunables(p *Program) error {
+	for _, t := range p.Tunables {
+		if t.Min < 1 || t.Min > t.Max || t.Default < t.Min || t.Default > t.Max {
+			return fmt.Errorf("tunable %q: need 1 <= min <= default <= max, got (%d, %d, %d)",
+				t.Name, t.Min, t.Max, t.Default)
+		}
+		if p.Instance(t.Name) != nil || p.Register(t.Name) != nil ||
+			p.Counter(t.Name) != nil || p.Calculation(t.Name) != nil {
+			return fmt.Errorf("tunable %q: name collides with another declaration", t.Name)
+		}
+	}
+	check := func(where, sym string) error {
+		if sym != "" && p.Tunable(sym) == nil {
+			return fmt.Errorf("%s: unknown tunable %q", where, sym)
+		}
+		return nil
+	}
+	for _, r := range p.Registers {
+		if err := check("register "+r.Name, r.CountSym); err != nil {
+			return err
+		}
+	}
+	for _, t := range p.Tables {
+		if err := check("table "+t.Name, t.SizeSym); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func checkParsers(p *Program) error {
@@ -248,7 +285,7 @@ func checkPrimitiveArgs(p *Program, where string, call *PrimitiveCall, resolveFi
 		switch v := e.(type) {
 		case FieldRef:
 			return resolveField(where, v)
-		case IntLit, ParamRef:
+		case IntLit, ParamRef, SymRef:
 			return nil
 		}
 		return fmt.Errorf("%s: invalid argument", where)

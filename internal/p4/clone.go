@@ -15,6 +15,9 @@ func Clone(p *Program) *Program {
 
 func cloneDecl(d Decl) Decl {
 	switch v := d.(type) {
+	case *Tunable:
+		cp := *v
+		return &cp
 	case *HeaderType:
 		ht := &HeaderType{Name: v.Name}
 		for _, f := range v.Fields {

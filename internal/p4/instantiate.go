@@ -1,0 +1,176 @@
+package p4
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ResolveBindings validates bindings against the program's tunables and
+// returns the complete assignment: every declared tunable mapped to its
+// bound value, with defaults filling the gaps. Unknown names and
+// out-of-range values are errors; a program with no tunables accepts only
+// nil or empty bindings.
+func ResolveBindings(p *Program, bindings map[string]int) (map[string]int, error) {
+	for name := range bindings {
+		if p.Tunable(name) == nil {
+			return nil, fmt.Errorf("binding %q: program declares no such tunable", name)
+		}
+	}
+	out := make(map[string]int, len(p.Tunables))
+	for _, t := range p.Tunables {
+		v, ok := bindings[t.Name]
+		if !ok {
+			v = t.Default
+		}
+		if v < t.Min || v > t.Max {
+			return nil, fmt.Errorf("binding %s=%d: outside [%d, %d]", t.Name, v, t.Min, t.Max)
+		}
+		out[t.Name] = v
+	}
+	return out, nil
+}
+
+// Instantiate resolves the program's tunable symbols against bindings and
+// returns a concrete program: SymRefs become IntLits, symbolic register
+// and table attributes become their bound integers, and the tunable
+// declarations themselves are dropped. Missing bindings take the
+// tunable's default; unknown names and out-of-range values are errors.
+//
+// Distinct bindings print distinct source, so everything keyed off
+// Print(ast) — the analysis cache, artifact digests — distinguishes
+// instantiations without any key-schema change. For a program with no
+// tunables, Instantiate(p, nil) is equivalent to Clone(p).
+func Instantiate(p *Program, bindings map[string]int) (*Program, error) {
+	resolved, err := ResolveBindings(p, bindings)
+	if err != nil {
+		return nil, err
+	}
+	out := &Program{}
+	for _, d := range p.Decls {
+		if _, ok := d.(*Tunable); ok {
+			continue
+		}
+		nd := cloneDecl(d)
+		bindDecl(nd, resolved)
+		if err := out.addDecl(nd); err != nil {
+			return nil, fmt.Errorf("instantiate: %v", err)
+		}
+	}
+	return out, nil
+}
+
+func bindDecl(d Decl, b map[string]int) {
+	switch v := d.(type) {
+	case *Register:
+		if v.CountSym != "" {
+			if val, ok := b[v.CountSym]; ok {
+				v.InstanceCount = val
+			}
+			v.CountSym = ""
+		}
+	case *TableDecl:
+		if v.SizeSym != "" {
+			if val, ok := b[v.SizeSym]; ok {
+				v.Size = val
+			}
+			v.SizeSym = ""
+		}
+		bindExprs(v.DefaultArgs, b)
+	case *ActionDecl:
+		for _, c := range v.Body {
+			bindExprs(c.Args, b)
+		}
+	case *ParserState:
+		for _, s := range v.Statements {
+			if sm, ok := s.(*SetMetadataStmt); ok {
+				sm.Value = bindExpr(sm.Value, b)
+			}
+		}
+		if sel, ok := v.Return.(*ReturnSelect); ok {
+			bindExprs(sel.On, b)
+		}
+	case *ControlDecl:
+		WalkStmts(v.Body, func(s Stmt) bool {
+			if ifs, ok := s.(*IfStmt); ok {
+				bindBool(ifs.Cond, b)
+			}
+			return true
+		})
+	}
+}
+
+func bindExpr(e Expr, b map[string]int) Expr {
+	if s, ok := e.(SymRef); ok {
+		if val, ok := b[s.Name]; ok {
+			return IntLit{Value: uint64(val)}
+		}
+		// A SymRef whose symbol is undeclared (hand-built AST); fall
+		// back to the value it carries.
+		return IntLit{Value: s.Value}
+	}
+	return e
+}
+
+func bindExprs(es []Expr, b map[string]int) {
+	for i, e := range es {
+		es[i] = bindExpr(e, b)
+	}
+}
+
+func bindBool(e BoolExpr, b map[string]int) {
+	switch v := e.(type) {
+	case *CompareExpr:
+		v.Left = bindExpr(v.Left, b)
+		v.Right = bindExpr(v.Right, b)
+	case *BinaryBoolExpr:
+		bindBool(v.Left, b)
+		bindBool(v.Right, b)
+	case *NotExpr:
+		bindBool(v.X, b)
+	}
+}
+
+// FormatBindings renders bindings canonically: "name=value" pairs sorted
+// by name, comma-joined. Digest builders, reports, and observations all
+// share this form.
+func FormatBindings(b map[string]int) string {
+	if len(b) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(b))
+	for k := range b {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, k := range names {
+		parts[i] = fmt.Sprintf("%s=%d", k, b[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseBindings parses the comma-separated "name=value" form the CLI
+// -set flag accepts (e.g. "bf_cells=120000,cms_cells=32000").
+func ParseBindings(s string) (map[string]int, error) {
+	out := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		val = strings.TrimSpace(val)
+		if !ok || name == "" || val == "" {
+			return nil, fmt.Errorf("binding %q: want name=value", part)
+		}
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return nil, fmt.Errorf("binding %q: invalid value", part)
+		}
+		out[name] = v
+	}
+	return out, nil
+}

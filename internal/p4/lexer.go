@@ -146,6 +146,8 @@ func (l *lexer) next() (Token, error) {
 		return simple(TokComma, ",")
 	case '.':
 		return simple(TokDot, ".")
+	case '@':
+		return simple(TokAt, "@")
 	case '=':
 		if c2, ok := l.peekByte(); ok && c2 == '=' {
 			l.advance()

@@ -1,9 +1,13 @@
 package p4
 
-// parser is a recursive-descent parser over the token stream.
+// parser is a recursive-descent parser over the token stream. prog is the
+// program under construction; declarations parsed so far are visible in it,
+// which is how tunable names are resolved at their use sites
+// (declaration-before-use).
 type parser struct {
-	lex *lexer
-	tok Token // current token
+	lex  *lexer
+	tok  Token // current token
+	prog *Program
 }
 
 // Parse parses a complete P4_14 program.
@@ -13,6 +17,7 @@ func Parse(src string) (*Program, error) {
 		return nil, err
 	}
 	prog := &Program{}
+	p.prog = prog
 	for p.tok.Kind != TokEOF {
 		d, err := p.parseDecl()
 		if err != nil {
@@ -91,6 +96,9 @@ func (p *parser) expectInt() (uint64, error) {
 }
 
 func (p *parser) parseDecl() (Decl, error) {
+	if p.tok.Kind == TokAt {
+		return p.parseTunable()
+	}
 	if p.tok.Kind != TokIdent {
 		return nil, p.errHere("expected declaration, found %s", p.tok)
 	}
@@ -121,6 +129,67 @@ func (p *parser) parseDecl() (Decl, error) {
 		return p.parseControl()
 	}
 	return nil, p.errHere("unknown declaration keyword %q", p.tok.Text)
+}
+
+// parseTunable parses "@tunable(name, min, max, default);".
+func (p *parser) parseTunable() (*Tunable, error) {
+	if err := p.advance(); err != nil { // @
+		return nil, err
+	}
+	if err := p.expectKeyword("tunable"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	var vals [3]uint64
+	for i := range vals {
+		if _, err := p.expect(TokComma); err != nil {
+			return nil, err
+		}
+		v, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		if v > 1<<31 {
+			return nil, p.errHere("tunable %s: value %d out of range", name, v)
+		}
+		vals[i] = v
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	t := &Tunable{Name: name, Min: int(vals[0]), Max: int(vals[1]), Default: int(vals[2])}
+	if t.Min < 1 || t.Min > t.Max || t.Default < t.Min || t.Default > t.Max {
+		return nil, p.errHere("tunable %s: need 1 <= min <= default <= max, got (%d, %d, %d)",
+			name, t.Min, t.Max, t.Default)
+	}
+	return t, nil
+}
+
+// expectIntOrTunable accepts an integer literal or the name of a
+// previously declared tunable. It returns the concrete value (for a
+// tunable, its default) and the symbol name ("" for literals).
+func (p *parser) expectIntOrTunable() (uint64, string, error) {
+	if p.tok.Kind == TokIdent {
+		t := p.prog.Tunable(p.tok.Text)
+		if t == nil {
+			return 0, "", p.errHere("unknown tunable %q (tunables must be declared before use)", p.tok.Text)
+		}
+		if err := p.advance(); err != nil {
+			return 0, "", err
+		}
+		return uint64(t.Default), t.Name, nil
+	}
+	v, err := p.expectInt()
+	return v, "", err
 }
 
 func (p *parser) parseHeaderType() (*HeaderType, error) {
@@ -208,7 +277,13 @@ func (p *parser) parseRegister() (*Register, error) {
 		if _, err := p.expect(TokColon); err != nil {
 			return nil, err
 		}
-		v, err := p.expectInt()
+		var v uint64
+		var sym string
+		if key == "instance_count" {
+			v, sym, err = p.expectIntOrTunable()
+		} else {
+			v, err = p.expectInt()
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -226,6 +301,7 @@ func (p *parser) parseRegister() (*Register, error) {
 				return nil, p.errHere("register %s: instance_count must be positive", name)
 			}
 			reg.InstanceCount = int(v)
+			reg.CountSym = sym
 		default:
 			return nil, p.errHere("register %s: unknown attribute %q", name, key)
 		}
@@ -737,7 +813,7 @@ func (p *parser) parseTable() (*TableDecl, error) {
 			if _, err := p.expect(TokColon); err != nil {
 				return nil, err
 			}
-			v, err := p.expectInt()
+			v, sym, err := p.expectIntOrTunable()
 			if err != nil {
 				return nil, err
 			}
@@ -745,6 +821,7 @@ func (p *parser) parseTable() (*TableDecl, error) {
 				return nil, err
 			}
 			tbl.Size = int(v)
+			tbl.SizeSym = sym
 		case "default_action":
 			if err := p.advance(); err != nil {
 				return nil, err
@@ -1071,8 +1148,15 @@ func (p *parser) parseExpr(params map[string]bool) (Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ref.Field == "" && params != nil && params[ref.Instance] {
-		return ParamRef{Name: ref.Instance}, nil
+	if ref.Field == "" {
+		if params != nil && params[ref.Instance] {
+			return ParamRef{Name: ref.Instance}, nil
+		}
+		if p.prog != nil {
+			if t := p.prog.Tunable(ref.Instance); t != nil {
+				return SymRef{Name: t.Name, Value: uint64(t.Default)}, nil
+			}
+		}
 	}
 	return ref, nil
 }

@@ -228,7 +228,7 @@ func TestLexerBasics(t *testing.T) {
 }
 
 func TestLexerErrors(t *testing.T) {
-	cases := []string{"=", "!", "&", "/* unterminated", "@", "99999999999999999999999999"}
+	cases := []string{"=", "!", "&", "/* unterminated", "$", "99999999999999999999999999"}
 	for _, src := range cases {
 		if _, err := Lex(src); err == nil {
 			t.Errorf("Lex(%q): expected error", src)

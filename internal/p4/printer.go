@@ -22,6 +22,8 @@ func Print(p *Program) string {
 
 func printDecl(b *strings.Builder, d Decl) {
 	switch v := d.(type) {
+	case *Tunable:
+		fmt.Fprintf(b, "@tunable(%s, %d, %d, %d);\n", v.Name, v.Min, v.Max, v.Default)
 	case *HeaderType:
 		fmt.Fprintf(b, "header_type %s {\n    fields {\n", v.Name)
 		for _, f := range v.Fields {
@@ -35,8 +37,12 @@ func printDecl(b *strings.Builder, d Decl) {
 		}
 		fmt.Fprintf(b, "%s %s %s;\n", kw, v.TypeName, v.Name)
 	case *Register:
-		fmt.Fprintf(b, "register %s {\n    width : %d;\n    instance_count : %d;\n}\n",
-			v.Name, v.Width, v.InstanceCount)
+		count := fmt.Sprintf("%d", v.InstanceCount)
+		if v.CountSym != "" {
+			count = v.CountSym
+		}
+		fmt.Fprintf(b, "register %s {\n    width : %d;\n    instance_count : %s;\n}\n",
+			v.Name, v.Width, count)
 	case *Counter:
 		fmt.Fprintf(b, "counter %s {\n    type : %s;\n    instance_count : %d;\n}\n",
 			v.Name, v.Kind, v.InstanceCount)
@@ -114,7 +120,10 @@ func printDecl(b *strings.Builder, d Decl) {
 			fmt.Fprintf(b, "        %s;\n", a)
 		}
 		b.WriteString("    }\n")
-		if v.Size > 0 {
+		switch {
+		case v.SizeSym != "":
+			fmt.Fprintf(b, "    size : %s;\n", v.SizeSym)
+		case v.Size > 0:
 			fmt.Fprintf(b, "    size : %d;\n", v.Size)
 		}
 		if v.DefaultAction != "" {
@@ -190,6 +199,8 @@ func exprString(e Expr) string {
 	case IntLit:
 		return fmt.Sprintf("%d", v.Value)
 	case ParamRef:
+		return v.Name
+	case SymRef:
 		return v.Name
 	}
 	return "<?>"

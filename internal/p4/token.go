@@ -37,6 +37,7 @@ const (
 	TokNot     // not
 	TokDefault // default
 	TokMask    // &&& (ternary select mask)
+	TokAt      // @ (annotation introducer)
 )
 
 var tokenNames = map[TokenKind]string{
@@ -62,6 +63,7 @@ var tokenNames = map[TokenKind]string{
 	TokNot:     "'not'",
 	TokDefault: "'default'",
 	TokMask:    "'&&&'",
+	TokAt:      "'@'",
 }
 
 func (k TokenKind) String() string {

@@ -67,10 +67,12 @@ func TestStatefulTablesPerWorkload(t *testing.T) {
 		"ex1":         {"Sketch_1", "Sketch_2"},
 		"failure":     {"retrans_cms_1", "retrans_cms_2", "retrans_detect"},
 		"l2l3_acl":    nil,
+		"maglev":      {"lb_backend", "lb_sig"},
 		"natgre":      nil,
 		"quickstart":  nil,
 		"sourceguard": {"sg_bf1", "sg_bf2"},
 		"stress":      nil,
+		"syncookie":   {"sc_check"},
 	}
 	for _, name := range workloads.Names() {
 		w, err := workloads.Get(name)

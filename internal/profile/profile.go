@@ -287,6 +287,9 @@ func (p *Profile) hitSets() map[string]int {
 func (p *Profile) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "profile over %d packets\n", p.TotalPackets)
+	if p.Engine != nil {
+		fmt.Fprintf(&b, "replay engine: %s\n", p.Engine)
+	}
 	var tables []string
 	for t := range p.Applied {
 		tables = append(tables, t)

@@ -63,6 +63,29 @@ type EngineReport struct {
 	Shards int `json:"shards,omitempty"`
 }
 
+// String renders the one-line human form of the block, e.g.
+// "compiled, flow dedup 512 unique, 4 shards" or
+// "interpreter (lowering: ...), no dedup (stateful-tables)".
+func (e *EngineReport) String() string {
+	var b strings.Builder
+	b.WriteString(e.Engine)
+	if e.FallbackReason != "" {
+		fmt.Fprintf(&b, " (%s)", e.FallbackReason)
+	}
+	if e.Dedup {
+		fmt.Fprintf(&b, ", flow dedup %d unique", e.UniquePackets)
+	} else {
+		b.WriteString(", no dedup")
+		if e.DedupReason != "" {
+			fmt.Fprintf(&b, " (%s)", e.DedupReason)
+		}
+	}
+	if e.Shards > 1 {
+		fmt.Fprintf(&b, ", %d shards", e.Shards)
+	}
+	return b.String()
+}
+
 // Prepared is the immutable, reusable part of a profiler: the
 // instrumented program, its IR, and the lowered execution plan. One
 // Prepared serves any number of replays and any number of concurrent

@@ -30,6 +30,10 @@ const (
 // Profiling shows only a few packets use the CMS and even fewer match the
 // alarm, so P2GO offloads the CMS branch to the controller, freeing two
 // stages: 4 -> 2 (Table 3, row 3).
+//
+// The sketch sizes are declared @tunable: the tune pass shrinks cms_cells
+// until the two CMS rows co-locate in one stage (4 -> 3 without
+// offloading), with FailureAlarm hits as the accuracy signal.
 const FailureDetection = `
 // Failure detection (Blink-inspired; Table 3, row 3).
 header_type ethernet_t {
@@ -84,17 +88,23 @@ header ipv4_t ipv4;
 header tcp_t tcp;
 metadata fd_meta_t fd_meta;
 
+// Knobs for the tune pass: the Bloom filter and each CMS row default to
+// the paper's calibration; smaller bindings trade hash collisions (false
+// retransmissions, over-counted prefixes) for pipeline stages.
+@tunable(bf_cells, 30000, 240000, 240000);
+@tunable(cms_cells, 8000, 64000, 64000);
+
 register retrans_bf {
     width : 8;
-    instance_count : 240000;
+    instance_count : bf_cells;
 }
 register retrans_cms1 {
     width : 32;
-    instance_count : 64000;
+    instance_count : cms_cells;
 }
 register retrans_cms2 {
     width : 32;
-    instance_count : 64000;
+    instance_count : cms_cells;
 }
 
 field_list flow_sig_fl {
@@ -149,18 +159,18 @@ action fwd_miss_drop() {
     drop();
 }
 action bf_check_set() {
-    modify_field_with_hash_based_offset(fd_meta.bf_idx, 0, bf_hash, 240000);
+    modify_field_with_hash_based_offset(fd_meta.bf_idx, 0, bf_hash, bf_cells);
     register_read(fd_meta.seen, retrans_bf, fd_meta.bf_idx);
     register_write(retrans_bf, fd_meta.bf_idx, 1);
 }
 action cms1_count() {
-    modify_field_with_hash_based_offset(fd_meta.idx1, 0, cms_hash1, 64000);
+    modify_field_with_hash_based_offset(fd_meta.idx1, 0, cms_hash1, cms_cells);
     register_read(fd_meta.count1, retrans_cms1, fd_meta.idx1);
     add_to_field(fd_meta.count1, 1);
     register_write(retrans_cms1, fd_meta.idx1, fd_meta.count1);
 }
 action cms2_count() {
-    modify_field_with_hash_based_offset(fd_meta.idx2, 0, cms_hash2, 64000);
+    modify_field_with_hash_based_offset(fd_meta.idx2, 0, cms_hash2, cms_cells);
     register_read(fd_meta.count2, retrans_cms2, fd_meta.idx2);
     add_to_field(fd_meta.count2, 1);
     register_write(retrans_cms2, fd_meta.idx2, fd_meta.count2);

@@ -1,0 +1,319 @@
+package programs
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"p2go/internal/packet"
+)
+
+// Generated is one seeded random program with a matched runtime
+// configuration and traffic trace. The packets use a neutral shape (port +
+// bytes) rather than trafficgen.Trace because trafficgen imports this
+// package; callers convert with one loop.
+type Generated struct {
+	Seed   int64
+	Source string
+	Rules  string
+	// Packets is the matched trace: every generated feature (routes,
+	// ACL ports, the heavy sketch flow) is exercised by some packets and
+	// missed by others.
+	Packets []GenPacket
+}
+
+// GenPacket is one generated trace entry.
+type GenPacket struct {
+	Port uint64
+	Data []byte
+}
+
+// genHeaders is the fixed prologue every generated program shares: the
+// protocol stack the trace generator knows how to build.
+const genHeaders = `
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        diffserv : 8;
+        totalLen : 16;
+        identification : 16;
+        flags : 3;
+        fragOffset : 13;
+        ttl : 8;
+        protocol : 8;
+        hdrChecksum : 16;
+        srcAddr : 32;
+        dstAddr : 32;
+    }
+}
+header_type tcp_t {
+    fields {
+        srcPort : 16;
+        dstPort : 16;
+        seqNo : 32;
+        ackNo : 32;
+        dataOffset : 4;
+        res : 4;
+        flags : 8;
+        window : 16;
+        checksum : 16;
+        urgentPtr : 16;
+    }
+}
+header_type udp_t {
+    fields {
+        srcPort : 16;
+        dstPort : 16;
+        length_ : 16;
+        checksum : 16;
+    }
+}
+header_type gen_meta_t {
+    fields {
+        idx : 32;
+        count : 32;
+        mark : 8;
+    }
+}
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+header tcp_t tcp;
+header udp_t udp;
+metadata gen_meta_t gen_meta;
+`
+
+const genParser = `
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        0x0800 : parse_ipv4;
+        default : ingress;
+    }
+}
+parser parse_ipv4 {
+    extract(ipv4);
+    return select(ipv4.protocol) {
+        6 : parse_tcp;
+        17 : parse_udp;
+        default : ingress;
+    }
+}
+parser parse_tcp {
+    extract(tcp);
+    return ingress;
+}
+parser parse_udp {
+    extract(udp);
+    return ingress;
+}
+`
+
+// sketch hash algorithms the generator rotates through.
+var genHashAlgos = []string{"crc16", "crc32", "identity"}
+
+// Generate builds one random program over the supported P4_14 subset with
+// a matched rules file and trace. The same seed always yields the same
+// bytes (source, rules, and packets), so a failing seed is a complete
+// reproducer. The sampled space covers the optimizer's whole surface:
+// LPM forwarding, rarely-hit UDP ACL chains (dependency removal and
+// offload fodder), an optional counting sketch with a threshold branch
+// (memory reduction fodder), and an optional @tunable sketch size (the
+// tune pass's search space).
+func Generate(seed int64) *Generated {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Generated{Seed: seed}
+
+	nRoutes := 1 + rng.Intn(3)
+	nACLs := rng.Intn(3)
+	withSketch := rng.Intn(4) > 0 // 3 in 4 programs carry the sketch
+	withTunable := withSketch && rng.Intn(2) == 0
+	sketchAlgo := genHashAlgos[rng.Intn(len(genHashAlgos))]
+	sketchCells := 4096 << rng.Intn(3) // 4096, 8192, 16384
+	threshold := 16 << rng.Intn(3)     // 16, 32, 64
+	wideFlow := rng.Intn(2) == 0       // hash over (src, dst) vs src only
+
+	var src, rules strings.Builder
+	src.WriteString(fmt.Sprintf("// generated program (seed %d)\n", seed))
+	src.WriteString(genHeaders)
+
+	if withSketch {
+		if withTunable {
+			fmt.Fprintf(&src, "\n@tunable(gen_cells, 1024, %d, %d);\n", sketchCells, sketchCells)
+		}
+		cells := fmt.Sprint(sketchCells)
+		if withTunable {
+			cells = "gen_cells"
+		}
+		fmt.Fprintf(&src, `
+register gen_cms {
+    width : 32;
+    instance_count : %s;
+}
+field_list gen_flow_fl {
+    ipv4.srcAddr;%s
+}
+field_list_calculation gen_hash {
+    input { gen_flow_fl; }
+    algorithm : %s;
+    output_width : %d;
+}
+`, cells, map[bool]string{true: "\n    ipv4.dstAddr;", false: ""}[wideFlow],
+			sketchAlgo, map[string]int{"crc16": 16, "crc32": 32, "identity": 16}[sketchAlgo])
+	}
+	src.WriteString(genParser)
+
+	// Actions.
+	src.WriteString(`
+action set_nhop(port) {
+    modify_field(standard_metadata.egress_spec, port);
+}
+action gen_miss_drop() {
+    drop();
+}
+`)
+	for i := 0; i < nACLs; i++ {
+		fmt.Fprintf(&src, "action acl_drop_%d() {\n    drop();\n}\n", i)
+	}
+	if withSketch {
+		cells := fmt.Sprint(sketchCells)
+		if withTunable {
+			cells = "gen_cells"
+		}
+		fmt.Fprintf(&src, `action sketch_count() {
+    modify_field_with_hash_based_offset(gen_meta.idx, 0, gen_hash, %s);
+    register_read(gen_meta.count, gen_cms, gen_meta.idx);
+    add_to_field(gen_meta.count, 1);
+    register_write(gen_cms, gen_meta.idx, gen_meta.count);
+}
+action limit_notify() {
+    modify_field(standard_metadata.egress_spec, 254);
+}
+`, cells)
+	}
+
+	// Tables.
+	fmt.Fprintf(&src, `
+table gen_fwd {
+    reads {
+        ipv4.dstAddr : lpm;
+    }
+    actions {
+        set_nhop;
+        gen_miss_drop;
+    }
+    size : %d;
+    default_action : gen_miss_drop;
+}
+`, 128<<rng.Intn(3))
+	for i := 0; i < nACLs; i++ {
+		fmt.Fprintf(&src, `table gen_acl_%d {
+    reads {
+        udp.dstPort : exact;
+    }
+    actions {
+        acl_drop_%d;
+    }
+    size : %d;
+}
+`, i, i, 16<<rng.Intn(3))
+	}
+	if withSketch {
+		src.WriteString(`table gen_sketch {
+    actions {
+        sketch_count;
+    }
+    default_action : sketch_count;
+}
+table gen_limit {
+    actions {
+        limit_notify;
+    }
+    default_action : limit_notify;
+}
+`)
+	}
+
+	// Control: forwarding always, ACLs on the UDP slice, the sketch and
+	// its threshold branch on the TCP slice.
+	src.WriteString("\ncontrol ingress {\n    if (valid(ipv4)) {\n        apply(gen_fwd);\n")
+	if nACLs > 0 {
+		src.WriteString("        if (valid(udp)) {\n")
+		for i := 0; i < nACLs; i++ {
+			fmt.Fprintf(&src, "            apply(gen_acl_%d);\n", i)
+		}
+		src.WriteString("        }\n")
+	}
+	if withSketch {
+		fmt.Fprintf(&src, `        if (valid(tcp)) {
+            apply(gen_sketch);
+            if (gen_meta.count >= %d) {
+                apply(gen_limit);
+            }
+        }
+`, threshold)
+	}
+	src.WriteString("    }\n}\n")
+	g.Source = src.String()
+
+	// Rules: routes (distinct /16 prefixes, distinct next hops) and one
+	// blocked port per ACL.
+	routePrefix := make([]int, nRoutes)
+	for i := 0; i < nRoutes; i++ {
+		routePrefix[i] = 1 + i
+		fmt.Fprintf(&rules, "table_add gen_fwd set_nhop 10.%d.0.0/16 => %d\n", routePrefix[i], 2+i)
+	}
+	aclPorts := make([]int, nACLs)
+	for i := 0; i < nACLs; i++ {
+		aclPorts[i] = 7001 + i
+		fmt.Fprintf(&rules, "table_add gen_acl_%d acl_drop_%d %d\n", i, i, aclPorts[i])
+	}
+	g.Rules = rules.String()
+
+	// Trace: routed and unrouted TCP (hits and misses on gen_fwd), a thin
+	// UDP slice where each ACL's blocked port appears on its own packets
+	// (never two violations at once, so the ACL chain's dependencies never
+	// manifest), and a heavy TCP flow that pushes one sketch cell past the
+	// threshold while light flows stay below it.
+	total := 2000 + rng.Intn(2000)
+	heavySrc := packet.IP(10, 90, byte(rng.Intn(256)), byte(1+rng.Intn(254)))
+	heavyDst := packet.IP(10, byte(routePrefix[0]), 0, 1)
+	for i := 0; i < total; i++ {
+		dst := packet.IP(10, byte(routePrefix[rng.Intn(nRoutes)]), byte(rng.Intn(256)), byte(1+rng.Intn(254)))
+		if rng.Float64() < 0.05 {
+			dst = packet.IP(192, 0, 2, byte(1+rng.Intn(254))) // unrouted
+		}
+		tcpSrc := packet.IP(10, 80, byte(rng.Intn(64)), byte(1+rng.Intn(254)))
+		if i%7 == 3 {
+			// The heavy flow: ~14% of the trace, one (src, dst) pair so a
+			// single sketch cell crosses the threshold under either flow
+			// definition.
+			tcpSrc, dst = heavySrc, heavyDst
+		}
+		if nACLs > 0 && i%11 == 5 {
+			dport := uint16(9000 + rng.Intn(1000))
+			if k := (i / 11) % (2 * (nACLs + 1)); k < nACLs {
+				dport = uint16(aclPorts[k]) // one specific ACL's violation
+			}
+			g.Packets = append(g.Packets, GenPacket{Port: 1, Data: packet.Serialize(
+				&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+				&packet.IPv4{Protocol: packet.ProtoUDP, Src: tcpSrc, Dst: dst},
+				&packet.UDP{SrcPort: uint16(20000 + rng.Intn(10000)), DstPort: dport},
+			)})
+			continue
+		}
+		g.Packets = append(g.Packets, GenPacket{Port: 1, Data: packet.Serialize(
+			&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+			&packet.IPv4{Protocol: packet.ProtoTCP, Src: tcpSrc, Dst: dst},
+			&packet.TCP{SrcPort: uint16(1024 + rng.Intn(60000)), DstPort: 443, Seq: rng.Uint32(), Flags: packet.TCPAck},
+		)})
+	}
+	return g
+}

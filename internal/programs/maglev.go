@@ -1,0 +1,278 @@
+package programs
+
+import (
+	"fmt"
+
+	"p2go/internal/rt"
+)
+
+// Maglev calibration constants. With the default target (256 KiB SRAM per
+// stage), the two connection-table registers cost 3 bytes per cell
+// (16-bit signature + 8-bit backend), so:
+//
+//   - at the default 98304 cells the signature register (192 KiB) and the
+//     backend register (96 KiB) cannot share a stage: 5-stage pipeline;
+//   - at 65536 cells or below they co-locate (3 x 65536 = 192 KiB),
+//     saving a stage — the tune pass finds this point, bounded by the
+//     rehash-rate accuracy floor.
+const (
+	// MaglevConnCells is the default connection-table size (cells).
+	MaglevConnCells = 98304
+	// MaglevBackends is the number of load-balanced backends; backend
+	// egress ports are 2..2+MaglevBackends-1.
+	MaglevBackends = 8
+)
+
+// MaglevVIPText is the virtual IP the trace targets, in the dotted form
+// the rules file uses.
+const MaglevVIPText = "203.0.113.100"
+
+// Maglev is a Maglev-style L4 load balancer: a consistent ring hash picks
+// a backend for new connections, and a per-connection table (flow
+// signature + chosen backend, indexed by a hash of the 4-tuple) keeps
+// established connections on their backend across backend-pool changes.
+// The connection table is the classic memory/accuracy knob: fewer cells
+// mean more 4-tuple index collisions, each of which evicts another
+// connection's slot and shows up as a maglev_rehash table hit (the
+// connection falls back to the ring hash). The tune pass shrinks
+// conn_cells until the signature and backend registers co-locate in one
+// stage, with maglev_rehash hits as the accuracy signal.
+const Maglev = `
+// Maglev-style L4 load balancer with a tunable connection table.
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        diffserv : 8;
+        totalLen : 16;
+        identification : 16;
+        flags : 3;
+        fragOffset : 13;
+        ttl : 8;
+        protocol : 8;
+        hdrChecksum : 16;
+        srcAddr : 32;
+        dstAddr : 32;
+    }
+}
+header_type tcp_t {
+    fields {
+        srcPort : 16;
+        dstPort : 16;
+        seqNo : 32;
+        ackNo : 32;
+        dataOffset : 4;
+        res : 4;
+        flags : 8;
+        window : 16;
+        checksum : 16;
+        urgentPtr : 16;
+    }
+}
+header_type lb_meta_t {
+    fields {
+        is_vip : 8;
+        idx : 32;
+        sig : 16;
+        stored_sig : 16;
+        stored_backend : 8;
+        ring_backend : 8;
+    }
+}
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+header tcp_t tcp;
+metadata lb_meta_t lb_meta;
+
+// Knob for the tune pass: the connection table's cell count. The
+// signature register costs 2 bytes per cell and the backend register 1,
+// so 65536 cells is the largest power of two where both share a stage.
+@tunable(conn_cells, 8192, 131040, 98304);
+
+register conn_sig {
+    width : 16;
+    instance_count : conn_cells;
+}
+register conn_backend {
+    width : 8;
+    instance_count : conn_cells;
+}
+
+field_list lb_flow_fl {
+    ipv4.srcAddr;
+    ipv4.dstAddr;
+    tcp.srcPort;
+    tcp.dstPort;
+}
+field_list_calculation lb_idx_hash {
+    input { lb_flow_fl; }
+    algorithm : crc32;
+    output_width : 32;
+}
+field_list_calculation lb_sig_hash {
+    input { lb_flow_fl; }
+    algorithm : crc16;
+    output_width : 16;
+}
+field_list_calculation lb_ring_hash {
+    input { lb_flow_fl; }
+    algorithm : csum16;
+    output_width : 16;
+}
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        0x0800 : parse_ipv4;
+        default : ingress;
+    }
+}
+parser parse_ipv4 {
+    extract(ipv4);
+    return select(ipv4.protocol) {
+        6 : parse_tcp;
+        default : ingress;
+    }
+}
+parser parse_tcp {
+    extract(tcp);
+    return ingress;
+}
+
+action set_vip() {
+    modify_field(lb_meta.is_vip, 1);
+}
+action set_normal() {
+    modify_field(lb_meta.is_vip, 0);
+}
+action lb_compute() {
+    modify_field_with_hash_based_offset(lb_meta.idx, 0, lb_idx_hash, conn_cells);
+    modify_field_with_hash_based_offset(lb_meta.sig, 1, lb_sig_hash, 65535);
+    modify_field_with_hash_based_offset(lb_meta.ring_backend, 2, lb_ring_hash, 8);
+}
+action sig_update() {
+    register_read(lb_meta.stored_sig, conn_sig, lb_meta.idx);
+    register_write(conn_sig, lb_meta.idx, lb_meta.sig);
+}
+action backend_update() {
+    register_read(lb_meta.stored_backend, conn_backend, lb_meta.idx);
+    register_write(conn_backend, lb_meta.idx, lb_meta.ring_backend);
+}
+action use_stored() {
+    modify_field(standard_metadata.egress_spec, lb_meta.stored_backend);
+}
+action use_ring() {
+    modify_field(standard_metadata.egress_spec, lb_meta.ring_backend);
+}
+action set_nhop(port) {
+    modify_field(standard_metadata.egress_spec, port);
+}
+action fwd_miss_drop() {
+    drop();
+}
+
+table vip_route {
+    reads {
+        ipv4.dstAddr : exact;
+    }
+    actions {
+        set_vip;
+        set_normal;
+    }
+    size : 64;
+    default_action : set_normal;
+}
+table lb_hash {
+    actions {
+        lb_compute;
+    }
+    default_action : lb_compute;
+}
+table lb_sig {
+    actions {
+        sig_update;
+    }
+    default_action : sig_update;
+}
+table lb_backend {
+    actions {
+        backend_update;
+    }
+    default_action : backend_update;
+}
+table lb_forward {
+    actions {
+        use_stored;
+    }
+    default_action : use_stored;
+}
+table lb_install {
+    actions {
+        use_ring;
+    }
+    default_action : use_ring;
+}
+table maglev_rehash {
+    actions {
+        use_ring;
+    }
+    default_action : use_ring;
+}
+table ipv4_fwd {
+    reads {
+        ipv4.dstAddr : lpm;
+    }
+    actions {
+        set_nhop;
+        fwd_miss_drop;
+    }
+    size : 512;
+    default_action : fwd_miss_drop;
+}
+
+control ingress {
+    if (valid(ipv4)) {
+        apply(vip_route);
+        if (lb_meta.is_vip == 1) {
+            if (valid(tcp)) {
+                apply(lb_hash);
+                apply(lb_sig);
+                apply(lb_backend);
+                if (lb_meta.stored_sig == lb_meta.sig) {
+                    apply(lb_forward);
+                } else {
+                    if (lb_meta.stored_sig == 0) {
+                        apply(lb_install);
+                    } else {
+                        apply(maglev_rehash);
+                    }
+                }
+            }
+        } else {
+            apply(ipv4_fwd);
+        }
+    }
+}
+`
+
+// MaglevRulesText: the VIP plus a route for the non-VIP background.
+const MaglevRulesText = `
+table_add vip_route set_vip ` + MaglevVIPText + `
+table_add ipv4_fwd set_nhop 10.0.0.0/8 => 1
+`
+
+// MaglevConfig parses the Maglev runtime configuration.
+func MaglevConfig() *rt.Config {
+	cfg, err := rt.Parse(MaglevRulesText)
+	if err != nil {
+		panic(fmt.Sprintf("programs: MaglevRulesText does not parse: %v", err))
+	}
+	return cfg
+}

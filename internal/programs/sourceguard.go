@@ -88,13 +88,18 @@ header udp_t udp;
 header dhcp_t dhcp;
 metadata sg_meta_t sg_meta;
 
+// Knob for the tune pass: both Bloom filter rows share one size. Smaller
+// bindings raise the false-positive rate (spoofed sources slipping past
+// sg_drop) but let the rows co-locate with the ACL and forwarding tables.
+@tunable(sg_bf_cells, 4096, 262080, 262080);
+
 register bf_r1 {
     width : 8;
-    instance_count : 262080;
+    instance_count : sg_bf_cells;
 }
 register bf_r2 {
     width : 8;
-    instance_count : 262080;
+    instance_count : sg_bf_cells;
 }
 
 field_list sg_src_fl {
@@ -142,19 +147,19 @@ action port_drop() {
     drop();
 }
 action bf1_learn() {
-    modify_field_with_hash_based_offset(sg_meta.idx1, 0, sg_h1, 262080);
+    modify_field_with_hash_based_offset(sg_meta.idx1, 0, sg_h1, sg_bf_cells);
     register_write(bf_r1, sg_meta.idx1, 1);
 }
 action bf1_check() {
-    modify_field_with_hash_based_offset(sg_meta.idx1, 0, sg_h1, 262080);
+    modify_field_with_hash_based_offset(sg_meta.idx1, 0, sg_h1, sg_bf_cells);
     register_read(sg_meta.bf1, bf_r1, sg_meta.idx1);
 }
 action bf2_learn() {
-    modify_field_with_hash_based_offset(sg_meta.idx2, 0, sg_h2, 262080);
+    modify_field_with_hash_based_offset(sg_meta.idx2, 0, sg_h2, sg_bf_cells);
     register_write(bf_r2, sg_meta.idx2, 1);
 }
 action bf2_check() {
-    modify_field_with_hash_based_offset(sg_meta.idx2, 0, sg_h2, 262080);
+    modify_field_with_hash_based_offset(sg_meta.idx2, 0, sg_h2, sg_bf_cells);
     register_read(sg_meta.bf2, bf_r2, sg_meta.idx2);
 }
 action set_nhop(port) {

@@ -1,0 +1,214 @@
+package programs
+
+import (
+	"fmt"
+
+	"p2go/internal/rt"
+)
+
+// SYN-cookie calibration constants. With the default target (256 KiB SRAM
+// per stage, 1 byte per Bloom cell):
+//
+//   - at the default 262080 cells the proven-clients filter fills a stage
+//     on its own (262080 + 64 = 262144 bytes);
+//   - at 131072 cells or below it co-locates with the port ACL and the
+//     SYN responder in stage 1, saving a stage — the point the tune pass
+//     finds, bounded by the cookie_check false-positive floor.
+const (
+	// SynCookieBFCells is the default proven-clients Bloom filter size.
+	SynCookieBFCells = 262080
+)
+
+// SynCookie is a SYN-cookie DDoS mitigation front end: TCP SYNs are
+// answered by a cookie responder (modeled as a redirect to port 254)
+// without consuming server state, and non-SYN packets consult a
+// proven-clients Bloom filter. Sources not yet in the filter go through
+// cookie validation (cookie_check) before being learned; sources already
+// present take the fast path straight to forwarding.
+//
+// The filter is the memory/accuracy knob: fewer cells mean more false
+// positives — unvalidated sources that skip cookie_check — so shrinking
+// it trades admission accuracy for a pipeline stage. cookie_check hits
+// are the accuracy signal for the tune pass.
+const SynCookie = `
+// SYN-cookie DDoS mitigation with a tunable proven-clients filter.
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        diffserv : 8;
+        totalLen : 16;
+        identification : 16;
+        flags : 3;
+        fragOffset : 13;
+        ttl : 8;
+        protocol : 8;
+        hdrChecksum : 16;
+        srcAddr : 32;
+        dstAddr : 32;
+    }
+}
+header_type tcp_t {
+    fields {
+        srcPort : 16;
+        dstPort : 16;
+        seqNo : 32;
+        ackNo : 32;
+        dataOffset : 4;
+        res : 4;
+        flags : 8;
+        window : 16;
+        checksum : 16;
+        urgentPtr : 16;
+    }
+}
+header_type sc_meta_t {
+    fields {
+        idx : 32;
+        proven : 8;
+    }
+}
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+header tcp_t tcp;
+metadata sc_meta_t sc_meta;
+
+// Knob for the tune pass: the proven-clients Bloom filter size.
+@tunable(sc_bf_cells, 16384, 262080, 262080);
+
+register proven_bf {
+    width : 8;
+    instance_count : sc_bf_cells;
+}
+
+field_list sc_src_fl {
+    ipv4.srcAddr;
+}
+field_list_calculation sc_hash {
+    input { sc_src_fl; }
+    algorithm : crc32;
+    output_width : 32;
+}
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        0x0800 : parse_ipv4;
+        default : ingress;
+    }
+}
+parser parse_ipv4 {
+    extract(ipv4);
+    return select(ipv4.protocol) {
+        6 : parse_tcp;
+        default : ingress;
+    }
+}
+parser parse_tcp {
+    extract(tcp);
+    return ingress;
+}
+
+action port_drop() {
+    drop();
+}
+action cookie_reply() {
+    modify_field(standard_metadata.egress_spec, 254);
+}
+action proven_check_set() {
+    modify_field_with_hash_based_offset(sc_meta.idx, 0, sc_hash, sc_bf_cells);
+    register_read(sc_meta.proven, proven_bf, sc_meta.idx);
+    register_write(proven_bf, sc_meta.idx, 1);
+}
+action cookie_validate() {
+    modify_field(standard_metadata.egress_spec, 254);
+}
+action set_nhop(port) {
+    modify_field(standard_metadata.egress_spec, port);
+}
+action fwd_miss_drop() {
+    drop();
+}
+
+table port_acl {
+    reads {
+        standard_metadata.ingress_port : exact;
+    }
+    actions {
+        port_drop;
+    }
+    size : 32;
+}
+table syn_cookie_reply {
+    actions {
+        cookie_reply;
+    }
+    default_action : cookie_reply;
+}
+table sc_check {
+    actions {
+        proven_check_set;
+    }
+    default_action : proven_check_set;
+}
+table cookie_check {
+    actions {
+        cookie_validate;
+    }
+    default_action : cookie_validate;
+}
+table ipv4_fwd {
+    reads {
+        ipv4.dstAddr : lpm;
+    }
+    actions {
+        set_nhop;
+        fwd_miss_drop;
+    }
+    size : 512;
+    default_action : fwd_miss_drop;
+}
+
+control ingress {
+    if (valid(ipv4)) {
+        apply(port_acl);
+        if (valid(tcp)) {
+            if (tcp.flags == 2) {
+                apply(syn_cookie_reply);
+            } else {
+                apply(sc_check);
+                if (sc_meta.proven == 1) {
+                    apply(ipv4_fwd);
+                } else {
+                    apply(cookie_check);
+                }
+            }
+        }
+    }
+}
+`
+
+// SynCookieRulesText: quarantined ingress ports and the protected route.
+const SynCookieRulesText = `
+# Drop traffic arriving on the quarantined port.
+table_add port_acl port_drop 31
+
+# Protected service route.
+table_add ipv4_fwd set_nhop 10.0.0.0/8 => 2
+`
+
+// SynCookieConfig parses the SYN-cookie runtime configuration.
+func SynCookieConfig() *rt.Config {
+	cfg, err := rt.Parse(SynCookieRulesText)
+	if err != nil {
+		panic(fmt.Sprintf("programs: SynCookieRulesText does not parse: %v", err))
+	}
+	return cfg
+}

@@ -32,6 +32,13 @@ type JobResult struct {
 	ControllerP4       string        `json:"controller_p4,omitempty"`
 	FinalProfile       *Profile      `json:"final_profile,omitempty"`
 
+	// Bindings is the canonical "name=value,name=value" rendering of the
+	// @tunable assignments the run operated under (submitted or found by
+	// the tune pass); empty for knob-free programs.
+	Bindings string `json:"bindings,omitempty"`
+	// Tunables lists each knob's declared range and final value.
+	Tunables []TunedKnob `json:"tunables,omitempty"`
+
 	// Profile is the Phase 1 profile: the whole result of a profile run,
 	// the original program's profile of an optimize run.
 	Profile *Profile `json:"profile,omitempty"`
@@ -48,6 +55,15 @@ type JobResult struct {
 	// allocations, GC work, peaks) when the surface that ran it metered
 	// it — p2god does; the CLI leaves it empty.
 	Resources *Resources `json:"resources,omitempty"`
+}
+
+// TunedKnob is one @tunable symbol's declared range and final value.
+type TunedKnob struct {
+	Name    string `json:"name"`
+	Min     int    `json:"min"`
+	Max     int    `json:"max"`
+	Default int    `json:"default"`
+	Value   int    `json:"value"`
 }
 
 // Resources is the resource-attribution block: what one run cost the
@@ -404,6 +420,14 @@ func FromResult(workload string, seed int64, res *core.Result) *JobResult {
 	}
 	if res.ControllerProgram != nil {
 		out.ControllerP4 = p4.Print(res.ControllerProgram)
+	}
+	if len(res.Bindings) > 0 {
+		out.Bindings = p4.FormatBindings(res.Bindings)
+	}
+	for _, k := range res.Tunables {
+		out.Tunables = append(out.Tunables, TunedKnob{
+			Name: k.Name, Min: k.Min, Max: k.Max, Default: k.Default, Value: k.Value,
+		})
 	}
 	for _, h := range res.History {
 		out.History = append(out.History, Stage{

@@ -11,6 +11,7 @@ import (
 	"p2go/internal/core"
 	"p2go/internal/fleet"
 	"p2go/internal/obs"
+	"p2go/internal/p4"
 	"p2go/internal/prof"
 	"p2go/internal/workloads"
 )
@@ -34,6 +35,12 @@ type JobSpec struct {
 	// Rules, when set, is an inline runtime configuration overriding the
 	// workload's rules.
 	Rules string `json:"rules,omitempty"`
+	// Bindings assigns the program's @tunable symbols before anything
+	// runs, in the "name=value,name=value" format (the CLI's -set). It is
+	// normalized to the canonical sorted rendering and is part of the
+	// artifact digest: different instantiations produce different
+	// artifacts. Unknown names and out-of-range values fail the job.
+	Bindings string `json:"bindings,omitempty"`
 	// Passes selects which optimization passes run and in what order,
 	// mirroring the CLI's -passes (IDs from core.Passes(); only used for
 	// optimize jobs). Empty means the default schedule filtered by the
@@ -114,6 +121,13 @@ func (s *JobSpec) normalize() error {
 	if err := core.ValidatePasses(s.Passes); err != nil {
 		return err
 	}
+	if s.Bindings != "" {
+		b, err := p4.ParseBindings(s.Bindings)
+		if err != nil {
+			return err
+		}
+		s.Bindings = p4.FormatBindings(b)
+	}
 	return nil
 }
 
@@ -125,7 +139,7 @@ func (s JobSpec) digest() string {
 	}
 	return Digest(s.Kind, s.Workload, fmt.Sprintf("%d", s.Seed), s.Program, s.Rules,
 		fmt.Sprintf("%t/%t/%t", s.NoDeps, s.NoMem, s.NoOffload),
-		strings.Join(s.Passes, ","))
+		strings.Join(s.Passes, ","), s.Bindings)
 }
 
 // JobState is a job's lifecycle position.

@@ -916,11 +916,23 @@ func (m *Manager) execute(ctx context.Context, job *Job) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	var bindings map[string]int
+	if spec.Bindings != "" {
+		if bindings, err = p4.ParseBindings(spec.Bindings); err != nil {
+			return nil, err
+		}
+	}
 	traceDigest := TraceDigest(trace)
 	parallelism := m.jobParallelism(job)
 
 	if spec.Kind == "profile" {
-		pf, err := m.cachedProfile(ctx, prog, cfg, trace, traceDigest, parallelism)
+		// Profiling runs on the concrete program: bind the @tunable
+		// symbols (submitted values, declared defaults for the rest).
+		concrete, err := p4.Instantiate(prog, bindings)
+		if err != nil {
+			return nil, err
+		}
+		pf, err := m.cachedProfile(ctx, concrete, cfg, trace, traceDigest, parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -938,6 +950,15 @@ func (m *Manager) execute(ctx context.Context, job *Job) ([]byte, error) {
 		CompileHook:   m.compileHook(),
 		ProfileHook:   m.profileHook(traceDigest, parallelism),
 		Parallelism:   parallelism,
+		Bindings:      bindings,
+	}
+	if w.Tune != nil {
+		// The workload's tune spec configures the pass if the job's
+		// schedule includes "tune"; harmless otherwise.
+		opts.Tune = &core.TuneOptions{
+			AccuracyTable:   w.Tune.AccuracyTable,
+			MaxAccuracyLoss: w.Tune.MaxAccuracyLoss,
+		}
 	}
 	res, err := core.New(opts).Optimize(prog, cfg, trace)
 	if err != nil {

@@ -368,6 +368,10 @@ func (s *Switch) evalExpr(st *state, e p4.Expr, bind map[string]uint64) (uint64,
 	switch v := e.(type) {
 	case p4.IntLit:
 		return v.Value, nil
+	case p4.SymRef:
+		// Un-instantiated tunable reference: evaluate at the default it
+		// carries. Instantiated programs never contain SymRefs.
+		return v.Value, nil
 	case p4.FieldRef:
 		if v.Field == "" {
 			if bind != nil {

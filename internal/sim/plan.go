@@ -547,6 +547,10 @@ func (cc *compiler) expr(e p4.Expr, bind map[string]cexpr) (cexpr, error) {
 	switch v := e.(type) {
 	case p4.IntLit:
 		return constExpr(v.Value), nil
+	case p4.SymRef:
+		// Un-instantiated tunable reference: lower the default it
+		// carries. Instantiated programs never contain SymRefs.
+		return constExpr(v.Value), nil
 	case p4.FieldRef:
 		if v.Field == "" {
 			if b, ok := bind[v.Instance]; ok {

@@ -330,3 +330,205 @@ func QuickstartTrace(total int, seed int64) *Trace {
 func (t *Trace) Describe() string {
 	return fmt.Sprintf("%d packets", len(t.Packets))
 }
+
+// MaglevSpec parameterizes the Maglev load-balancer workload.
+type MaglevSpec struct {
+	Seed int64
+	// Flows is the number of distinct VIP connections; 0 means 600. With
+	// the default connection table the flows index nearly collision-free;
+	// shrinking conn_cells makes birthday collisions (and maglev_rehash
+	// hits) grow quadratically in this count.
+	Flows int
+	// Rounds is the number of packets per connection; 0 means 5. The
+	// rounds are interleaved across connections, so two colliding flows
+	// keep evicting each other's connection-table slot.
+	Rounds int
+	// Background is the number of non-VIP routed packets; 0 means 2000.
+	Background int
+}
+
+// MaglevTrace generates interleaved VIP connections plus routed
+// background traffic. Each connection is a distinct (srcAddr, srcPort)
+// pair sending Rounds packets to the VIP; packets are emitted round-robin
+// across connections so connection-table collisions manifest as repeated
+// evictions rather than a single overwrite.
+func MaglevTrace(spec MaglevSpec) *Trace {
+	flows := spec.Flows
+	if flows == 0 {
+		flows = 600
+	}
+	rounds := spec.Rounds
+	if rounds == 0 {
+		rounds = 5
+	}
+	background := spec.Background
+	if background == 0 {
+		background = 2000
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	vip := packet.IP(203, 0, 113, 100)
+	type flow struct {
+		src   uint32
+		sport uint16
+	}
+	// Random (src, sport) pairs: consecutive addressing would correlate
+	// under the linear CRC index hash and distort the collision curve.
+	fl := make([]flow, flows)
+	for i := range fl {
+		fl[i] = flow{
+			src:   packet.IP(10, 60, byte(rng.Intn(256)), byte(1+rng.Intn(254))),
+			sport: uint16(1024 + rng.Intn(60000)),
+		}
+	}
+	out := &Trace{}
+	bgPer := background / rounds
+	emitBackground := func(n int) {
+		for i := 0; i < n; i++ {
+			out.Packets = append(out.Packets, Packet{
+				Port: 1,
+				Data: packet.Serialize(
+					&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+					&packet.IPv4{Protocol: packet.ProtoTCP, Src: packet.IP(10, 61, byte(rng.Intn(256)), byte(1+rng.Intn(254))), Dst: packet.IP(10, 62, byte(rng.Intn(256)), byte(1+rng.Intn(254)))},
+					&packet.TCP{SrcPort: uint16(1024 + rng.Intn(60000)), DstPort: 443, Seq: rng.Uint32(), Flags: packet.TCPAck},
+				),
+			})
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		for _, f := range fl {
+			out.Packets = append(out.Packets, Packet{
+				Port: 1,
+				Data: packet.Serialize(
+					&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+					&packet.IPv4{Protocol: packet.ProtoTCP, Src: f.src, Dst: vip},
+					&packet.TCP{SrcPort: f.sport, DstPort: 80, Seq: uint32(r), Flags: packet.TCPAck},
+				),
+			})
+		}
+		emitBackground(bgPer)
+	}
+	emitBackground(background - bgPer*rounds)
+	return out
+}
+
+// SynCookieSpec parameterizes the SYN-cookie mitigation workload.
+type SynCookieSpec struct {
+	Seed int64
+	// Clients is the number of legitimate clients; 0 means 300. Each
+	// sends one SYN followed by AcksPerClient ACKs.
+	Clients int
+	// AcksPerClient is the post-handshake packet count; 0 means 3.
+	AcksPerClient int
+	// AttackSyns is the SYN-flood volume (spoofed, never completing a
+	// handshake); 0 means 4000.
+	AttackSyns int
+	// AttackAcks is the ACK-flood volume, one packet per distinct spoofed
+	// source; 0 means 2500. These are what pollute the proven-clients
+	// filter and drive its false-positive rate at small sizes.
+	AttackAcks int
+}
+
+// SynCookieTrace generates the mitigation mix: legitimate handshakes, a
+// spoofed SYN flood, and a distinct-source ACK flood, shuffled
+// deterministically. Every distinct non-SYN source's first packet should
+// hit cookie_check; Bloom false positives at reduced filter sizes erode
+// exactly that count.
+func SynCookieTrace(spec SynCookieSpec) *Trace {
+	clients := spec.Clients
+	if clients == 0 {
+		clients = 300
+	}
+	acks := spec.AcksPerClient
+	if acks == 0 {
+		acks = 3
+	}
+	attackSyns := spec.AttackSyns
+	if attackSyns == 0 {
+		attackSyns = 4000
+	}
+	attackAcks := spec.AttackAcks
+	if attackAcks == 0 {
+		attackAcks = 2500
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	service := packet.IP(10, 0, 0, 5)
+	mkPkt := func(src uint32, sport uint16, flags uint8) Packet {
+		return Packet{
+			Port: 1,
+			Data: packet.Serialize(
+				&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+				&packet.IPv4{Protocol: packet.ProtoTCP, Src: src, Dst: service},
+				&packet.TCP{SrcPort: sport, DstPort: 443, Seq: rng.Uint32(), Flags: flags},
+			),
+		}
+	}
+	var pkts []Packet
+	for i := 0; i < clients; i++ {
+		src := packet.IP(10, 20, byte(i/250), byte(1+i%250))
+		pkts = append(pkts, mkPkt(src, uint16(1024+i), packet.TCPSyn))
+		for a := 0; a < acks; a++ {
+			pkts = append(pkts, mkPkt(src, uint16(1024+i), packet.TCPAck))
+		}
+	}
+	for i := 0; i < attackSyns; i++ {
+		src := packet.IP(198, 18, byte(rng.Intn(256)), byte(1+rng.Intn(254)))
+		pkts = append(pkts, mkPkt(src, uint16(rng.Intn(65535)+1), packet.TCPSyn))
+	}
+	// Random attack sources (a few repeats are harmless): consecutive
+	// addresses would correlate under the linear CRC filter hash and
+	// suppress the false-positive curve the knob is supposed to expose.
+	for i := 0; i < attackAcks; i++ {
+		src := packet.IP(198, 19, byte(rng.Intn(256)), byte(1+rng.Intn(254)))
+		pkts = append(pkts, mkPkt(src, uint16(2000+i), packet.TCPAck))
+	}
+	rng.Shuffle(len(pkts), func(i, j int) { pkts[i], pkts[j] = pkts[j], pkts[i] })
+	return &Trace{Packets: pkts}
+}
+
+// ZipfSpec parameterizes the Zipf flow-popularity trace: a generic TCP
+// mix whose flows follow a Zipf law, the realistic heavy-tailed shape
+// where a handful of elephant flows carry most packets.
+type ZipfSpec struct {
+	Total int // 0 means 20000
+	Seed  int64
+	// Flows is the distinct flow count; 0 means 1024.
+	Flows int
+	// Skew is the Zipf s parameter (must be > 1); 0 means 1.2. Higher
+	// skew concentrates more of the trace on the top flows.
+	Skew float64
+}
+
+// ZipfTCPTrace draws Total packets from Flows distinct TCP flows with
+// Zipf-distributed popularity. Packets of one flow are byte-identical, so
+// the replay engine's flow deduplication collapses the trace to at most
+// Flows representatives — the benchmark rows built on this trace measure
+// exactly that effect.
+func ZipfTCPTrace(spec ZipfSpec) *Trace {
+	total := spec.Total
+	if total == 0 {
+		total = 20000
+	}
+	flows := spec.Flows
+	if flows == 0 {
+		flows = 1024
+	}
+	skew := spec.Skew
+	if skew == 0 {
+		skew = 1.2
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	zipf := rand.NewZipf(rng, skew, 1, uint64(flows-1))
+	data := make([][]byte, flows)
+	for i := range data {
+		data[i] = packet.Serialize(
+			&packet.Ethernet{EtherType: packet.EtherTypeIPv4},
+			&packet.IPv4{Protocol: packet.ProtoTCP, Src: packet.IP(10, 70, byte(i/250), byte(1+i%250)), Dst: packet.IP(10, 1, 2, byte(1+i%250)), TTL: 64},
+			&packet.TCP{SrcPort: uint16(1024 + i), DstPort: 443, Seq: uint32(i), Flags: packet.TCPAck},
+		)
+	}
+	out := &Trace{}
+	for i := 0; i < total; i++ {
+		out.Packets = append(out.Packets, Packet{Port: 1, Data: data[zipf.Uint64()]})
+	}
+	return out
+}

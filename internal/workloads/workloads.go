@@ -21,6 +21,18 @@ type Workload struct {
 	Trace       func(seed int64) (*trafficgen.Trace, error)
 	// Paper documents the expected stage reduction, for reports.
 	Paper string
+	// Tune configures the tune pass for workloads whose programs declare
+	// @tunable knobs; nil means the workload has no tuning story.
+	Tune *TuneSpec
+}
+
+// TuneSpec is the workload-level tune-pass configuration, mirrored into
+// core.TuneOptions by the CLI and the service without importing core.
+type TuneSpec struct {
+	// AccuracyTable is the table whose hit count is the accuracy signal.
+	AccuracyTable string
+	// MaxAccuracyLoss overrides the tune pass's default floor; 0 keeps it.
+	MaxAccuracyLoss float64
 }
 
 var registry = map[string]Workload{
@@ -63,6 +75,7 @@ var registry = map[string]Workload{
 			return trafficgen.SourceguardTrace(trafficgen.SourceguardSpec{Seed: seed}), nil
 		},
 		Paper: "Table 3: 5 -> 4 stages (Reducing Memory, one register -8.4%)",
+		Tune:  &TuneSpec{AccuracyTable: "sg_drop"},
 	},
 	"failure": {
 		Name:        "failure",
@@ -73,6 +86,29 @@ var registry = map[string]Workload{
 			return trafficgen.FailureTrace(trafficgen.FailureSpec{Seed: seed}), nil
 		},
 		Paper: "Table 3: 4 -> 2 stages (Offloading Code)",
+		Tune:  &TuneSpec{AccuracyTable: "FailureAlarm"},
+	},
+	"maglev": {
+		Name:        "maglev",
+		Description: "Maglev-style L4 load balancer with a tunable per-connection table (parameter tuning)",
+		Source:      programs.Maglev,
+		Config:      programs.MaglevConfig,
+		Trace: func(seed int64) (*trafficgen.Trace, error) {
+			return trafficgen.MaglevTrace(trafficgen.MaglevSpec{Seed: seed}), nil
+		},
+		Paper: "tune: 5 -> 4 stages (conn_cells shrunk until both connection registers share a stage)",
+		Tune:  &TuneSpec{AccuracyTable: "maglev_rehash"},
+	},
+	"syncookie": {
+		Name:        "syncookie",
+		Description: "SYN-cookie DDoS mitigation with a tunable proven-clients filter (parameter tuning)",
+		Source:      programs.SynCookie,
+		Config:      programs.SynCookieConfig,
+		Trace: func(seed int64) (*trafficgen.Trace, error) {
+			return trafficgen.SynCookieTrace(trafficgen.SynCookieSpec{Seed: seed}), nil
+		},
+		Paper: "tune: 4 -> 3 stages (sc_bf_cells shrunk until the proven-clients filter shares a stage)",
+		Tune:  &TuneSpec{AccuracyTable: "cookie_check"},
 	},
 	"stress": {
 		Name:        "stress",

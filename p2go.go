@@ -77,6 +77,12 @@ type (
 	PassInfo = core.PassInfo
 	// PassStat is one executed pass's runtime and analysis-cache counters.
 	PassStat = core.PassStat
+	// TuneOptions configures the opt-in "tune" pass: the accuracy signal
+	// table and the tolerated accuracy loss for the knob search.
+	TuneOptions = core.TuneOptions
+	// TunedKnob is one @tunable symbol's declared range and final value,
+	// reported in Result.Tunables.
+	TunedKnob = core.TunedKnob
 	// AnalysisCache memoizes compiles and profiles by content digest;
 	// share one across runs (Options.AnalysisCache) so a re-run with
 	// changed Options replays mostly from cache.
@@ -125,6 +131,20 @@ func ParseRules(text string) (*Config, error) { return rt.Parse(text) }
 
 // FormatRules renders a configuration back to the text format.
 func FormatRules(cfg *Config) string { return rt.Format(cfg) }
+
+// ParseBindings parses a "name=value,name=value" tunable bindings string
+// (the `p2go optimize -set` / job-spec "bindings" format).
+func ParseBindings(s string) (map[string]int, error) { return p4.ParseBindings(s) }
+
+// FormatBindings renders bindings canonically: sorted, "a=1,b=2".
+func FormatBindings(b map[string]int) string { return p4.FormatBindings(b) }
+
+// InstantiateProgram binds a parameterized program's @tunable symbols to
+// concrete values (missing names take their declared defaults) and returns
+// the concrete program; Optimize does this implicitly via Options.Bindings.
+func InstantiateProgram(prog *Program, bindings map[string]int) (*Program, error) {
+	return p4.Instantiate(prog, bindings)
+}
 
 // DefaultTarget returns the default hardware model: 12 stages with 256 KiB
 // SRAM and 64 KiB TCAM each.
